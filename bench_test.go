@@ -1,0 +1,331 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with -benchtime=1x for
+// one measurement per target), plus ablation benches for the design
+// choices DESIGN.md calls out. Custom metrics carry the reproduced
+// quantities: IPC, LC/FC ratios, stall fractions.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cacti"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchRunner shares one test-scale workload pair across all benchmarks.
+var (
+	benchOnce   sync.Once
+	benchShared *core.Runner
+)
+
+func runner() *core.Runner {
+	benchOnce.Do(func() { benchShared = core.NewRunner(core.TestScale()) })
+	return benchShared
+}
+
+func benchCell(camp sim.Camp, wk core.WorkloadKind, sat bool) core.Cell {
+	c := core.DefaultCell(camp, wk, sat)
+	c.WarmRefs = 100000
+	c.WindowCycles = 150000
+	c.UnsatTxns = 64
+	return c
+}
+
+func mustRun(b *testing.B, c core.Cell) core.CellResult {
+	b.Helper()
+	res, err := runner().Run(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1Camps measures chip construction for both camps (the
+// taxonomy's two configurations).
+func BenchmarkTable1Camps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range core.Camps {
+			cell := core.DefaultCell(spec.Camp, core.OLTP, true)
+			chip := sim.NewChip(cell.SimConfig())
+			if chip.Config().Contexts() == 0 {
+				b.Fatal("no contexts")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1CactiSweep regenerates the size→latency curve.
+func BenchmarkFigure1CactiSweep(b *testing.B) {
+	var last int
+	for i := 0; i < b.N; i++ {
+		pts, err := core.CactiCurve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pts[len(pts)-1].Cycles
+	}
+	b.ReportMetric(float64(last), "cycles@26MB")
+	b.ReportMetric(float64(cacti.Latency(1<<20)), "cycles@1MB")
+}
+
+// BenchmarkFigure2Saturation regenerates the throughput-vs-clients curve.
+func BenchmarkFigure2Saturation(b *testing.B) {
+	var sat, unsat float64
+	for i := 0; i < b.N; i++ {
+		pts, err := runner().Figure2([]int{1, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		unsat, sat = pts[0].Throughput, pts[1].Throughput
+	}
+	b.ReportMetric(sat/unsat, "sat/unsat")
+}
+
+// BenchmarkFigure3Validation regenerates the simulator-validation check.
+func BenchmarkFigure3Validation(b *testing.B) {
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		v, err := runner().Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		errPct = v.ErrPct
+	}
+	b.ReportMetric(errPct, "CPI-err-%")
+}
+
+// BenchmarkFigure4Camps regenerates the saturated camp comparison.
+func BenchmarkFigure4Camps(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		fc := mustRun(b, benchCell(sim.FatCamp, core.OLTP, true))
+		lc := mustRun(b, benchCell(sim.LeanCamp, core.OLTP, true))
+		ratio = lc.Throughput / fc.Throughput
+	}
+	b.ReportMetric(ratio, "LC/FC-throughput")
+}
+
+// BenchmarkFigure5Breakdown regenerates the saturated execution-time
+// breakdowns for all four camp × workload combinations.
+func BenchmarkFigure5Breakdown(b *testing.B) {
+	var fcD float64
+	for i := 0; i < b.N; i++ {
+		for _, wk := range []core.WorkloadKind{core.OLTP, core.DSS} {
+			for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
+				res := mustRun(b, benchCell(camp, wk, true))
+				if camp == sim.FatCamp && wk == core.OLTP {
+					_, _, d, _ := res.FracBreakdown()
+					fcD = d
+				}
+			}
+		}
+	}
+	b.ReportMetric(fcD*100, "FC-OLTP-Dstall-%")
+}
+
+// BenchmarkFigure6CacheSweep regenerates the cache-size sweep (three
+// sizes, const vs Cacti latency).
+func BenchmarkFigure6CacheSweep(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		pts, err := runner().Figure6(core.OLTP, []int{1, 8, 26})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		gap = (last.ThroughputConst - last.ThroughputReal) / last.ThroughputConst
+	}
+	b.ReportMetric(gap*100, "latency-penalty-%@26MB")
+}
+
+// BenchmarkFigure7SMPvsCMP regenerates the coherence comparison.
+func BenchmarkFigure7SMPvsCMP(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner().Figure7(core.OLTP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.CPISMP / res.CPICMP
+	}
+	b.ReportMetric(ratio, "SMP/CMP-CPI")
+}
+
+// BenchmarkFigure8CoreCount regenerates the core-count sweep.
+func BenchmarkFigure8CoreCount(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		pts, err := runner().Figure8(core.OLTP, []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = pts[1].Speedup / 16
+	}
+	b.ReportMetric(eff*100, "16core-linear-%")
+}
+
+// BenchmarkStagedVsMonolithic regenerates the Section 6 staged-execution
+// comparison.
+func BenchmarkStagedVsMonolithic(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner().StagedExperiment(8000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var volcano, parallel uint64
+		for _, m := range res {
+			switch m.Mode {
+			case "volcano":
+				volcano = m.Cycles
+			case "staged-parallel":
+				parallel = m.Cycles
+			}
+		}
+		speedup = float64(volcano) / float64(parallel)
+	}
+	b.ReportMetric(speedup, "staged-speedup")
+}
+
+// BenchmarkAblationPAX compares NSM and PAX layouts on a selective
+// column scan: trace line-footprint per qualifying tuple.
+func BenchmarkAblationPAX(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		lines := map[storage.Layout]int{}
+		for _, layout := range []storage.Layout{storage.NSM, storage.PAXLayout} {
+			h, err := workload.BuildTPCH(workload.TPCHConfig{
+				Lineitems: 20000, Layout: layout, ArenaBytes: 64 << 20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, s := trace.Pipe()
+			seen := map[mem.Addr]bool{}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					r, ok := s.Next()
+					if !ok {
+						return
+					}
+					if r.Kind() == trace.Load && r.Addr() >= mem.HeapBase {
+						seen[r.Addr().Line()] = true
+					}
+				}
+			}()
+			ctx := h.DB.NewCtx(rec, 0, 64<<20)
+			if _, err := h.Q6(ctx, workload.QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}); err != nil {
+				b.Fatal(err)
+			}
+			rec.Close()
+			<-done
+			lines[layout] = len(seen)
+		}
+		ratio = float64(lines[storage.NSM]) / float64(lines[storage.PAXLayout])
+	}
+	b.ReportMetric(ratio, "NSM/PAX-lines")
+}
+
+// BenchmarkAblationStreamBuffer toggles instruction stream buffers.
+func BenchmarkAblationStreamBuffer(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		on := benchCell(sim.FatCamp, core.OLTP, true)
+		on.StreamBuf = true
+		off := on
+		off.StreamBuf = false
+		rOn := mustRun(b, on)
+		rOff := mustRun(b, off)
+		iOn := rOn.Result.Breakdown.IStalls() + 1
+		iOff := rOff.Result.Breakdown.IStalls() + 1
+		ratio = float64(iOff) / float64(iOn)
+	}
+	b.ReportMetric(ratio, "Istall-reduction")
+}
+
+// BenchmarkAblationContexts sweeps LC hardware contexts per core.
+func BenchmarkAblationContexts(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		var one, four float64
+		for _, ctxs := range []int{1, 4} {
+			c := benchCell(sim.LeanCamp, core.OLTP, true)
+			c.CtxPerCore = ctxs
+			res := mustRun(b, c)
+			if ctxs == 1 {
+				one = res.Throughput
+			} else {
+				four = res.Throughput
+			}
+		}
+		gain = four / one
+	}
+	b.ReportMetric(gain, "4ctx/1ctx")
+}
+
+// BenchmarkAblationAffinity compares co-located vs spread stage placement.
+func BenchmarkAblationAffinity(b *testing.B) {
+	var hitGain float64
+	for i := 0; i < b.N; i++ {
+		res, err := runner().StagedExperiment(8000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var colocated, parallel float64
+		for _, m := range res {
+			switch m.Mode {
+			case "staged-colocated":
+				colocated = m.L1DHitRate
+			case "staged-parallel":
+				parallel = m.L1DHitRate
+			}
+		}
+		hitGain = colocated - parallel
+	}
+	b.ReportMetric(hitGain*100, "L1Dhit-gain-pp")
+}
+
+// BenchmarkAblationPorts sweeps shared-L2 ports under a 16-core burst
+// (the Figure 8 queueing mechanism).
+func BenchmarkAblationPorts(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		var q1, q4 uint64
+		for _, ports := range []int{1, 4} {
+			c := benchCell(sim.FatCamp, core.OLTP, true)
+			c.Cores = 16
+			c.Clients = 64
+			c.L2Ports = ports
+			res := mustRun(b, c)
+			if ports == 1 {
+				q1 = res.Result.Cache.PortQueueCycles
+			} else {
+				q4 = res.Result.Cache.PortQueueCycles
+			}
+		}
+		ratio = float64(q1+1) / float64(q4+1)
+	}
+	b.ReportMetric(ratio, "queue-1port/4port")
+}
+
+// BenchmarkSimCycleRate measures raw simulator speed (host ns per
+// simulated cycle) on a saturated LC chip.
+func BenchmarkSimCycleRate(b *testing.B) {
+	c := benchCell(sim.LeanCamp, core.OLTP, true)
+	c.WindowCycles = 100000
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, c)
+		cycles += res.Result.Cycles
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "host-ns/cycle")
+}

@@ -1,0 +1,120 @@
+// Command cmpsim runs one chip-multiprocessor simulation cell — a camp,
+// workload, and configuration — and prints its execution-time breakdown,
+// the unit of analysis throughout the paper.
+//
+// Examples:
+//
+//	cmpsim -camp lc -workload oltp -clients 64 -l2mb 26
+//	cmpsim -camp fc -workload dss -unsaturated -query 6
+//	cmpsim -camp fc -workload oltp -smp -l2mb 4   # Figure 7's SMP node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	campFlag := flag.String("camp", "fc", "core camp: fc (out-of-order) or lc (multithreaded in-order)")
+	wkFlag := flag.String("workload", "oltp", "workload: oltp or dss")
+	unsat := flag.Bool("unsaturated", false, "single client, response-time mode")
+	clients := flag.Int("clients", 0, "saturated client count (0 = paper default)")
+	cores := flag.Int("cores", 4, "cores on chip")
+	l2mb := flag.Int("l2mb", 26, "L2 size in MB")
+	l2lat := flag.Int("l2lat", 0, "L2 hit latency in cycles (0 = Cacti model)")
+	smp := flag.Bool("smp", false, "private L2 per core (SMP) instead of shared (CMP)")
+	query := flag.Int("query", 6, "DSS query analog for unsaturated runs (1, 6, 13, 16)")
+	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
+	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
+	scale := flag.String("scale", "full", "workload scale: full or test")
+	flag.Parse()
+
+	var camp sim.Camp
+	switch *campFlag {
+	case "fc":
+		camp = sim.FatCamp
+	case "lc":
+		camp = sim.LeanCamp
+	default:
+		fmt.Fprintf(os.Stderr, "unknown camp %q\n", *campFlag)
+		os.Exit(2)
+	}
+	var wk core.WorkloadKind
+	switch *wkFlag {
+	case "oltp":
+		wk = core.OLTP
+	case "dss":
+		wk = core.DSS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wkFlag)
+		os.Exit(2)
+	}
+	sc := core.FullScale()
+	if *scale == "test" {
+		sc = core.TestScale()
+	}
+
+	cell := core.DefaultCell(camp, wk, !*unsat)
+	cell.Cores = *cores
+	cell.L2Size = *l2mb << 20
+	cell.L2Lat = *l2lat
+	cell.SharedL2 = !*smp
+	cell.UnsatQuery = *query
+	cell.WindowCycles = *window
+	cell.WarmRefs = *warm
+	if *clients > 0 {
+		cell.Clients = *clients
+	}
+
+	fmt.Printf("cell: %v  (L2 hit latency %d cycles)\n", cell, cell.SimConfig().Hier.L2Lat)
+	r := core.NewRunner(sc)
+	res, err := r.Run(cell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	b := res.Result.Breakdown
+	fmt.Printf("\ncycles measured:    %d\n", res.Result.Cycles)
+	fmt.Printf("instructions:       %d\n", res.Result.Instructions)
+	fmt.Printf("throughput (IPC):   %.3f\n", res.Throughput)
+	if !cell.Saturated {
+		fmt.Printf("response (cycles):  %.0f per %v unit\n", res.ResponseCycles, wk)
+	}
+	fmt.Printf("work completed:     %d\n", res.Work)
+	fmt.Println("\nexecution time breakdown (busy core cycles):")
+	rows := []struct {
+		name string
+		kind sim.StallKind
+	}{
+		{"computation", sim.KindComp},
+		{"I-stall (L2 hit)", sim.KindIStallL2},
+		{"I-stall (memory)", sim.KindIStallMem},
+		{"D-stall (L2 hit)", sim.KindDStallL2},
+		{"D-stall (memory)", sim.KindDStallMem},
+		{"D-stall (coherence)", sim.KindDStallCoh},
+		{"other (branch/sched)", sim.KindOther},
+	}
+	for _, row := range rows {
+		fmt.Printf("  %-22s %6.1f%%\n", row.name, b.Frac(row.kind)*100)
+	}
+	st := res.Result.Cache
+	fmt.Println("\nmemory system:")
+	fmt.Printf("  L1D hit rate:      %.1f%%\n", pct(st.L1DHits, st.L1DHits+st.L1DMisses))
+	fmt.Printf("  L1I hit rate:      %.1f%%\n", pct(st.L1IHits, st.L1IHits+st.L1IMisses))
+	fmt.Printf("  L2 miss rate:      %.1f%%\n", st.L2MissRate()*100)
+	fmt.Printf("  L1-to-L1 xfers:    %d\n", st.L1Transfers)
+	fmt.Printf("  coherence xfers:   %d\n", st.CohTransfers)
+	fmt.Printf("  port queue cycles: %d\n", st.PortQueueCycles)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

@@ -1,0 +1,91 @@
+// Command dbshell exercises the database engine natively (no simulation):
+// it loads the TPC-C-like and TPC-H-like databases, runs transactions and
+// the four query analogs, and prints results — demonstrating that the
+// engine underneath the characterization is a real, correct engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	txns := flag.Int("txns", 2000, "TPC-C-like transactions to run")
+	lineitems := flag.Int("lineitems", 100000, "TPC-H-like lineitem rows")
+	flag.Parse()
+
+	if err := run(*txns, *lineitems); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(txns, lineitems int) error {
+	fmt.Println("== OLTP: TPC-C-like ==")
+	start := time.Now()
+	w, err := workload.BuildTPCC(workload.TPCCConfig{Warehouses: 2, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d-warehouse database in %s\n", w.Cfg.Warehouses, time.Since(start).Truncate(time.Millisecond))
+
+	ctx := w.DB.NewCtx(nil, 0, 4<<20)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var counts workload.MixCounts
+	start = time.Now()
+	for i := 0; i < txns; i++ {
+		if err := w.RunOne(ctx, rng, &counts); err != nil {
+			return err
+		}
+	}
+	dur := time.Since(start)
+	fmt.Printf("ran %d transactions in %s (%.0f txn/s native)\n",
+		counts.Total(), dur.Truncate(time.Millisecond), float64(counts.Total())/dur.Seconds())
+	fmt.Printf("mix: NewOrder=%d Payment=%d OrderStatus=%d Delivery=%d StockLevel=%d deadlockRetries=%d\n",
+		counts.NewOrder, counts.Payment, counts.OrderStatus, counts.Delivery, counts.StockLevel, counts.Deadlocks)
+
+	fmt.Println("\n== DSS: TPC-H-like ==")
+	start = time.Now()
+	h, err := workload.BuildTPCH(workload.TPCHConfig{Lineitems: lineitems, ArenaBytes: 192 << 20})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d lineitem rows in %s\n", lineitems, time.Since(start).Truncate(time.Millisecond))
+
+	qctx := h.DB.NewCtx(nil, 1, 96<<20)
+	params := workload.RandomParams(rng)
+	for _, q := range workload.Queries {
+		qctx.Work.Reset()
+		start = time.Now()
+		rows, err := h.RunQuery(qctx, q, params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nQ%d analog: %d result rows in %s\n", q, len(rows), time.Since(start).Truncate(time.Millisecond))
+		printRows(rows, 5)
+	}
+	return nil
+}
+
+func printRows(rows [][]engine.Value, max int) {
+	for i, r := range rows {
+		if i == max {
+			fmt.Printf("  ... (%d more)\n", len(rows)-max)
+			return
+		}
+		fmt.Print("  ")
+		for j, v := range r {
+			if j > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,42 @@
+// OLTP example: the paper's Figure 4/5 comparison in miniature — the same
+// saturated TPC-C-like workload on a fat-camp and a lean-camp chip, showing
+// the lean camp hiding data stalls that dominate the fat camp's time.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	runner := core.NewRunner(core.TestScale())
+	fmt.Println("saturated TPC-C-like workload, 26MB shared L2, 64 clients")
+	fmt.Printf("%-5s %10s %8s %9s %9s %8s\n", "camp", "IPC", "comp", "D-stall", "I-stall", "other")
+
+	var fc, lc float64
+	for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
+		cell := core.DefaultCell(camp, core.OLTP, true)
+		cell.WarmRefs = 150000
+		cell.WindowCycles = 250000
+		res, err := runner.Run(cell)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		comp, is, ds, oth := res.FracBreakdown()
+		fmt.Printf("%-5v %10.2f %7.0f%% %8.0f%% %8.0f%% %7.0f%%\n",
+			camp, res.Throughput, comp*100, ds*100, is*100, oth*100)
+		if camp == sim.FatCamp {
+			fc = res.Throughput
+		} else {
+			lc = res.Throughput
+		}
+	}
+	fmt.Printf("\nLC/FC throughput: %.2fx (paper: ~1.7x on saturated workloads)\n", lc/fc)
+	fmt.Println("The multithreaded in-order chip overlaps data stalls with work from")
+	fmt.Println("other contexts; the out-of-order chip cannot, because OLTP's pointer")
+	fmt.Println("chases (B+tree descents, lock and bucket chains) serialize its misses.")
+}

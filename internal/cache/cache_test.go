@@ -1,0 +1,363 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := New(64<<10, 2)
+	if c.Sets() != 512 || c.Assoc() != 2 || c.SizeBytes() != 64<<10 {
+		t.Fatalf("geometry: sets=%d assoc=%d size=%d", c.Sets(), c.Assoc(), c.SizeBytes())
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(100, 2) // sets not a power of two
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := New(4096, 4)
+	line := mem.Addr(0x1000)
+	if c.Touch(line) != Invalid {
+		t.Fatal("hit before insert")
+	}
+	c.Insert(line, Exclusive)
+	if c.Touch(line) != Exclusive {
+		t.Fatal("miss after insert")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2*mem.LineSize, 2) // one set, two ways
+	a := mem.Addr(0)
+	b := mem.Addr(1 << 12)
+	d := mem.Addr(2 << 12)
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	c.Touch(a) // a is now MRU
+	v, evicted := c.Insert(d, Shared)
+	if !evicted || v.Line != b {
+		t.Fatalf("evicted %+v (%v), want line %#x", v, evicted, uint64(b))
+	}
+	if c.Probe(a) == Invalid || c.Probe(d) == Invalid || c.Probe(b) != Invalid {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestInsertExistingUpdatesState(t *testing.T) {
+	c := New(4096, 4)
+	c.Insert(0x40, Shared)
+	if v, evicted := c.Insert(0x40, Modified); evicted {
+		t.Fatalf("re-insert evicted %+v", v)
+	}
+	if c.Probe(0x40) != Modified {
+		t.Fatal("state not updated")
+	}
+	if c.ResidentLines() != 1 {
+		t.Fatalf("resident = %d, want 1", c.ResidentLines())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4096, 4)
+	c.Insert(0x80, Modified)
+	if st := c.Invalidate(0x80); st != Modified {
+		t.Fatalf("Invalidate returned %v, want M", st)
+	}
+	if c.Probe(0x80) != Invalid {
+		t.Fatal("line still present")
+	}
+	if st := c.Invalidate(0x80); st != Invalid {
+		t.Fatal("double invalidate returned non-Invalid")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	c := New(8<<10, 4)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Insert(mem.Addr(a)&^63, Shared)
+		}
+		return c.ResidentLines() <= c.Sets()*c.Assoc()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetConflictsOnly(t *testing.T) {
+	// Lines mapping to different sets never evict each other.
+	c := New(4*mem.LineSize, 1) // 4 sets, direct-mapped
+	c.Insert(0*64, Shared)
+	c.Insert(1*64, Shared)
+	c.Insert(2*64, Shared)
+	c.Insert(3*64, Shared)
+	if c.ResidentLines() != 4 {
+		t.Fatalf("resident = %d, want 4", c.ResidentLines())
+	}
+	// Same set as line 0 (set index repeats every 4 lines).
+	if _, evicted := c.Insert(4*64, Shared); !evicted {
+		t.Fatal("conflicting insert did not evict")
+	}
+	if c.Probe(1*64) == Invalid || c.Probe(2*64) == Invalid {
+		t.Fatal("insert disturbed other sets")
+	}
+}
+
+func newTestHier(shared bool, cores int) *Hierarchy {
+	return NewHierarchy(Config{
+		Cores:    cores,
+		L2Size:   1 << 20,
+		L2Lat:    10,
+		SharedL2: shared,
+	})
+}
+
+func TestReadMissGoesToMemoryThenHits(t *testing.T) {
+	h := newTestHier(true, 2)
+	r := h.Read(0, 0x10000, 100)
+	if r.Level != LvlMem {
+		t.Fatalf("cold read level = %v, want mem", r.Level)
+	}
+	if r.DoneAt < 100+uint64(h.Config().MemLat) {
+		t.Fatalf("mem read done at %d, want >= %d", r.DoneAt, 100+h.Config().MemLat)
+	}
+	if r2 := h.Read(0, 0x10000, 200); r2.Level != LvlL1 {
+		t.Fatalf("second read level = %v, want L1", r2.Level)
+	}
+	// Another core reading the same line should hit in shared L2.
+	if r3 := h.Read(1, 0x10000, 300); r3.Level != LvlL2 {
+		t.Fatalf("peer read level = %v, want L2", r3.Level)
+	}
+}
+
+func TestCMPDirtyTransferIsOnChip(t *testing.T) {
+	h := newTestHier(true, 2)
+	h.Write(0, 0x4000, 10)
+	r := h.Read(1, 0x4000, 500)
+	if r.Level != LvlL2 {
+		t.Fatalf("dirty peer read = %v, want L2 (on-chip transfer)", r.Level)
+	}
+	if h.Stats.L1Transfers != 1 {
+		t.Fatalf("L1Transfers = %d, want 1", h.Stats.L1Transfers)
+	}
+	lat := r.DoneAt - 500
+	if lat >= uint64(h.Config().MemLat) {
+		t.Fatalf("on-chip transfer took %d cycles, should be far below memory", lat)
+	}
+}
+
+func TestSMPDirtyTransferIsCoherenceMiss(t *testing.T) {
+	h := newTestHier(false, 2)
+	h.Write(0, 0x4000, 10)
+	r := h.Read(1, 0x4000, 1000)
+	if r.Level != LvlCoh {
+		t.Fatalf("remote dirty read = %v, want coherence", r.Level)
+	}
+	if got := r.DoneAt - 1000; got != uint64(h.Config().CohLat) {
+		t.Fatalf("coherence latency = %d, want %d", got, h.Config().CohLat)
+	}
+	if h.Stats.CohTransfers != 1 {
+		t.Fatalf("CohTransfers = %d, want 1", h.Stats.CohTransfers)
+	}
+}
+
+func TestSMPvsCMPSameSharingPattern(t *testing.T) {
+	// The central mechanism of Figure 7: a ping-ponging line costs
+	// coherence transfers on the SMP but stays on-chip in the CMP.
+	run := func(shared bool) (coh, onchip uint64) {
+		h := newTestHier(shared, 2)
+		now := uint64(0)
+		for i := 0; i < 100; i++ {
+			h.Write(i%2, 0x8000, now)
+			now += 600
+			r := h.Read((i+1)%2, 0x8000, now)
+			now = r.DoneAt
+		}
+		return h.Stats.CohTransfers, h.Stats.L1Transfers
+	}
+	coh, _ := run(false)
+	_, xfer := run(true)
+	if coh == 0 {
+		t.Error("SMP saw no coherence transfers")
+	}
+	if xfer == 0 {
+		t.Error("CMP saw no L1-to-L1 transfers")
+	}
+}
+
+func TestWriteUpgradeInvalidatesPeers(t *testing.T) {
+	h := newTestHier(true, 4)
+	for c := 0; c < 4; c++ {
+		h.Read(c, 0x2000, uint64(c*10))
+	}
+	h.Write(0, 0x2000, 100)
+	if h.Stats.Upgrades != 1 {
+		t.Fatalf("Upgrades = %d, want 1", h.Stats.Upgrades)
+	}
+	// Peers must miss in L1 now (data comes from L2/owner).
+	r := h.Read(1, 0x2000, 200)
+	if r.Level == LvlL1 {
+		t.Fatal("peer L1 copy survived an upgrade")
+	}
+}
+
+func TestPortQueueingUnderBursts(t *testing.T) {
+	h := NewHierarchy(Config{
+		Cores: 8, L2Size: 1 << 20, L2Lat: 10, SharedL2: true,
+		L2Ports: 1, L2PortOcc: 4,
+	})
+	// Warm one line per core into L2 but not L1 (distinct lines per core,
+	// inserted by a peer so they are L2 hits).
+	for c := 0; c < 8; c++ {
+		h.WarmRead(7-c, mem.Addr(0x100000+c*4096))
+	}
+	// All cores access the L2 in the same cycle: with one 4-cycle port,
+	// the last access queues ~7*4 cycles.
+	var worst uint64
+	for c := 0; c < 8; c++ {
+		r := h.Read(c, mem.Addr(0x100000+c*4096), 1000)
+		if d := r.DoneAt - 1000; d > worst {
+			worst = d
+		}
+	}
+	if h.Stats.PortQueueCycles == 0 {
+		t.Fatal("no port queueing recorded")
+	}
+	if worst <= uint64(h.Config().L2Lat) {
+		t.Fatalf("worst latency %d shows no queueing", worst)
+	}
+}
+
+func TestMorePortsLessQueueing(t *testing.T) {
+	run := func(ports int) uint64 {
+		h := NewHierarchy(Config{
+			Cores: 8, L2Size: 1 << 20, L2Lat: 10, SharedL2: true,
+			L2Ports: ports, L2PortOcc: 4,
+		})
+		for c := 0; c < 8; c++ {
+			h.WarmRead(7-c, mem.Addr(0x100000+c*4096))
+		}
+		for c := 0; c < 8; c++ {
+			h.Read(c, mem.Addr(0x100000+c*4096), 1000)
+		}
+		return h.Stats.PortQueueCycles
+	}
+	if q1, q4 := run(1), run(4); q4 >= q1 {
+		t.Fatalf("queueing with 4 ports (%d) not below 1 port (%d)", q4, q1)
+	}
+}
+
+func TestStreamBufferServicesSequentialFetch(t *testing.T) {
+	h := NewHierarchy(Config{
+		Cores: 1, L2Size: 1 << 20, L2Lat: 10, SharedL2: true, StreamBuf: true,
+	})
+	base := mem.Addr(uint64(mem.CodeBase))
+	r0 := h.Fetch(0, base, 0)
+	if r0.Level != LvlMem {
+		t.Fatalf("first fetch = %v, want mem", r0.Level)
+	}
+	// Sequential successor lines should be stream-buffer hits, not L2/mem.
+	for i := 1; i <= 3; i++ {
+		r := h.Fetch(0, base+mem.Addr(i*mem.LineSize), uint64(i*100))
+		if r.Level != LvlL1 {
+			t.Fatalf("fetch line %d = %v, want stream-buffer (L1-class)", i, r.Level)
+		}
+	}
+	if h.Stats.StreamBufHits != 3 {
+		t.Fatalf("StreamBufHits = %d, want 3", h.Stats.StreamBufHits)
+	}
+}
+
+func TestStreamBufferOffExposesFetchMisses(t *testing.T) {
+	h := NewHierarchy(Config{
+		Cores: 1, L2Size: 1 << 20, L2Lat: 10, SharedL2: true, StreamBuf: false,
+	})
+	base := mem.Addr(uint64(mem.CodeBase))
+	for i := 0; i < 4; i++ {
+		h.Fetch(0, base+mem.Addr(i*mem.LineSize), uint64(i*100))
+	}
+	if h.Stats.StreamBufHits != 0 {
+		t.Fatal("stream buffer hits recorded while disabled")
+	}
+	if h.Stats.L1IMisses != 4 {
+		t.Fatalf("L1IMisses = %d, want 4", h.Stats.L1IMisses)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	// A tiny L2 forces evictions that must back-invalidate L1 copies.
+	h := NewHierarchy(Config{
+		Cores: 1, L1DSize: 32 << 10, L2Size: 8 << 10, L2Assoc: 1, L2Lat: 5,
+		SharedL2: true,
+	})
+	// Fill more distinct lines than the L2 holds, all same set region.
+	n := 8<<10/mem.LineSize + 16
+	for i := 0; i < n; i++ {
+		h.Read(0, mem.Addr(i*mem.LineSize), uint64(i*10))
+	}
+	if h.Stats.BackInvalidations == 0 {
+		t.Fatal("no back-invalidations despite L2 churn")
+	}
+	// Invariant: every valid L1D line must still be in L2 (inclusion).
+	for i := 0; i < n; i++ {
+		line := mem.Addr(i * mem.LineSize)
+		if h.l1d[0].Probe(line) != Invalid && h.l2[0].Probe(line) == Invalid {
+			t.Fatalf("line %#x in L1D but not L2 (inclusion violated)", uint64(line))
+		}
+	}
+}
+
+func TestWarmMatchesTimedContents(t *testing.T) {
+	// Functional warming and timed access must leave identical L1/L2
+	// contents for a read-only stream.
+	addrs := []mem.Addr{0x0, 0x40, 0x1000, 0x0, 0x2040, 0x40, 0x9000}
+	ht := newTestHier(true, 1)
+	hw := newTestHier(true, 1)
+	now := uint64(0)
+	for _, a := range addrs {
+		r := ht.Read(0, a, now)
+		now = r.DoneAt
+		hw.WarmRead(0, a)
+	}
+	for _, a := range addrs {
+		if (ht.l1d[0].Probe(a.Line()) == Invalid) != (hw.l1d[0].Probe(a.Line()) == Invalid) {
+			t.Errorf("L1D contents diverge at %#x", uint64(a))
+		}
+		if (ht.l2[0].Probe(a.Line()) == Invalid) != (hw.l2[0].Probe(a.Line()) == Invalid) {
+			t.Errorf("L2 contents diverge at %#x", uint64(a))
+		}
+	}
+}
+
+func TestL2MissRate(t *testing.T) {
+	var s Stats
+	if s.L2MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+	s.L2Hits, s.L2Misses = 75, 25
+	if r := s.L2MissRate(); r != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", r)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for l, want := range map[Level]string{LvlL1: "L1", LvlL2: "L2", LvlMem: "mem", LvlCoh: "coherence"} {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, l.String(), want)
+		}
+	}
+	for s, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if s.String() != want {
+			t.Errorf("State %d = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package cacti implements an analytical cache access-time, area, and
+// energy model in the spirit of Cacti 4.2 (Wilton & Jouppi), which the
+// paper uses to derive realistic L2 hit latencies for each cache size.
+//
+// The model decomposes an access into decoder, wordline/bitline, sense,
+// output-driver, and global-wire (H-tree to the selected bank) components.
+// The structural story matches Cacti's: array delay grows logarithmically
+// with capacity while global wire delay grows with the square root of the
+// die area the cache occupies, so large caches are dominated by wires.
+// Constants are calibrated to the latency points the paper cites
+// (~4 cycles for sub-MB caches of the Pentium III era, 14+ cycles for
+// multi-megabyte caches like Power5's, and still higher for the tens of
+// megabytes of Xeon/Itanium-class L3s).
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the cache being modelled.
+type Config struct {
+	SizeBytes int     // total capacity
+	Assoc     int     // set associativity
+	LineBytes int     // line size (default 64)
+	ClockGHz  float64 // core clock used to convert ns to cycles (default 4)
+}
+
+// Result reports the modelled characteristics.
+type Result struct {
+	LatencyNS     float64 // access time, nanoseconds
+	LatencyCycles int     // access time in core cycles (ceiling)
+	CycleTimeNS   float64 // random cycle time (bank busy time)
+	AreaMM2       float64 // silicon area
+	DynEnergyNJ   float64 // dynamic energy per access
+	LeakageMW     float64 // static leakage power
+	Banks         int     // number of banks chosen
+	SubarrayRows  int     // rows per subarray
+}
+
+// Technology constants for a ~90 nm process with aggressively repeated
+// global wires, tuned so the size→latency curve tracks the paper's points.
+const (
+	senseAndLatchNS = 0.55  // decode+sense+output fixed cost
+	arrayStepNS     = 0.12  // per doubling of capacity beyond 64 KB
+	wireNSPerMM     = 0.28  // repeated global wire delay
+	mm2PerMB        = 4.5   // SRAM density incl. overhead
+	baseDynNJ       = 0.08  // fixed dynamic energy per access
+	dynNJPerMM      = 0.035 // wire dynamic energy
+	leakMWPerMB     = 18.0  // subthreshold leakage
+)
+
+func (c Config) withDefaults() Config {
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+	if c.ClockGHz == 0 {
+		c.ClockGHz = 4.0
+	}
+	if c.Assoc == 0 {
+		c.Assoc = 8
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("cacti: non-positive size %d", c.SizeBytes)
+	}
+	if c.SizeBytes < c.LineBytes*c.Assoc {
+		return fmt.Errorf("cacti: size %d smaller than one set (%d-way × %dB lines)",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	if c.Assoc&(c.Assoc-1) != 0 {
+		return fmt.Errorf("cacti: associativity %d not a power of two", c.Assoc)
+	}
+	return nil
+}
+
+// Model computes the access characteristics for cfg. It panics only on
+// programmer error (zero value handled via defaults); invalid geometry
+// returns an error.
+func Model(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	sizeMB := float64(cfg.SizeBytes) / (1 << 20)
+	area := sizeMB * mm2PerMB
+
+	// Banking: one bank per ~2 MB keeps subarrays fast; at least one.
+	banks := 1
+	for float64(cfg.SizeBytes)/float64(banks) > 2<<20 {
+		banks *= 2
+	}
+	bankBytes := cfg.SizeBytes / banks
+	rows := int(math.Sqrt(float64(bankBytes) / float64(cfg.LineBytes)))
+	if rows < 1 {
+		rows = 1
+	}
+
+	// Array delay: grows with each doubling of capacity past 64 KB
+	// (deeper decoders, longer word/bitlines within the bank mesh).
+	doublings := math.Max(0, math.Log2(float64(cfg.SizeBytes)/(64<<10)))
+	arrayNS := senseAndLatchNS + arrayStepNS*doublings
+
+	// Global wire: half the H-tree span, proportional to sqrt(area).
+	wireMM := math.Sqrt(area)
+	wireNS := wireNSPerMM * wireMM
+
+	latencyNS := arrayNS + wireNS
+	cycles := int(math.Ceil(latencyNS * cfg.ClockGHz))
+
+	return Result{
+		LatencyNS:     latencyNS,
+		LatencyCycles: cycles,
+		CycleTimeNS:   arrayNS, // banks pipeline wire segments
+		AreaMM2:       area,
+		DynEnergyNJ:   baseDynNJ + dynNJPerMM*wireMM + 0.01*doublings,
+		LeakageMW:     leakMWPerMB * sizeMB,
+		Banks:         banks,
+		SubarrayRows:  rows,
+	}, nil
+}
+
+// Latency returns the modelled hit latency in cycles for a cache of the
+// given size with default geometry, panicking on invalid sizes. It is the
+// convenience used by simulator configuration code.
+func Latency(sizeBytes int) int {
+	r, err := Model(Config{SizeBytes: sizeBytes})
+	if err != nil {
+		panic(err)
+	}
+	return r.LatencyCycles
+}
+
+// Sweep models each size in sizes and returns the results in order.
+func Sweep(sizes []int) ([]Result, error) {
+	out := make([]Result, 0, len(sizes))
+	for _, s := range sizes {
+		r, err := Model(Config{SizeBytes: s})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

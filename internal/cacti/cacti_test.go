@@ -1,0 +1,133 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyMonotonicInSize(t *testing.T) {
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20, 16 << 20, 26 << 20}
+	prev := 0.0
+	for _, s := range sizes {
+		r, err := Model(Config{SizeBytes: s})
+		if err != nil {
+			t.Fatalf("Model(%d): %v", s, err)
+		}
+		if r.LatencyNS <= prev {
+			t.Errorf("latency not increasing at %d bytes: %.3f <= %.3f", s, r.LatencyNS, prev)
+		}
+		prev = r.LatencyNS
+	}
+}
+
+func TestCalibrationPoints(t *testing.T) {
+	// The paper's narrative anchors: small caches ~4 cycles or less at L1
+	// scale, ~Power5-class caches in the low teens, 26 MB well past that.
+	cases := []struct {
+		size     int
+		min, max int
+	}{
+		{64 << 10, 1, 4},   // L1-class
+		{1 << 20, 5, 9},    // small L2
+		{4 << 20, 8, 12},   // paper's SMP node L2
+		{16 << 20, 13, 18}, // paper's CMP shared L2
+		{26 << 20, 16, 22}, // paper's largest configuration
+	}
+	for _, c := range cases {
+		got := Latency(c.size)
+		if got < c.min || got > c.max {
+			t.Errorf("Latency(%d MB) = %d cycles, want in [%d, %d]",
+				c.size>>20, got, c.min, c.max)
+		}
+	}
+}
+
+func TestLatencyGapMatchesPaperNarrative(t *testing.T) {
+	// Paper: on-chip L2 latency more than tripled over a decade; our model
+	// must show ≥3x between a 90s-class 256KB cache and a 26MB cache.
+	small := Latency(256 << 10)
+	big := Latency(26 << 20)
+	if big < 3*small {
+		t.Errorf("26MB (%d cyc) should be ≥3x 256KB (%d cyc)", big, small)
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	if _, err := Model(Config{SizeBytes: -1}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Model(Config{SizeBytes: 128, Assoc: 8, LineBytes: 64}); err == nil {
+		t.Error("size smaller than one set accepted")
+	}
+	if _, err := Model(Config{SizeBytes: 1 << 20, Assoc: 3}); err == nil {
+		t.Error("non-power-of-two associativity accepted")
+	}
+}
+
+func TestAreaAndLeakageScaleLinearly(t *testing.T) {
+	a, _ := Model(Config{SizeBytes: 1 << 20})
+	b, _ := Model(Config{SizeBytes: 4 << 20})
+	if r := b.AreaMM2 / a.AreaMM2; r < 3.9 || r > 4.1 {
+		t.Errorf("area ratio 4MB/1MB = %.2f, want ~4", r)
+	}
+	if r := b.LeakageMW / a.LeakageMW; r < 3.9 || r > 4.1 {
+		t.Errorf("leakage ratio = %.2f, want ~4", r)
+	}
+}
+
+func TestBankingGrowsWithSize(t *testing.T) {
+	small, _ := Model(Config{SizeBytes: 1 << 20})
+	big, _ := Model(Config{SizeBytes: 16 << 20})
+	if small.Banks < 1 || big.Banks <= small.Banks {
+		t.Errorf("banks: small=%d big=%d, want growth", small.Banks, big.Banks)
+	}
+}
+
+func TestSweepOrder(t *testing.T) {
+	sizes := []int{1 << 20, 2 << 20, 4 << 20}
+	rs, err := Sweep(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].LatencyNS <= rs[i-1].LatencyNS {
+			t.Errorf("sweep not monotonic at %d", i)
+		}
+	}
+}
+
+func TestSweepPropagatesError(t *testing.T) {
+	if _, err := Sweep([]int{1 << 20, -5}); err == nil {
+		t.Error("Sweep accepted invalid size")
+	}
+}
+
+func TestModelProperties(t *testing.T) {
+	f := func(mb uint8) bool {
+		size := (int(mb)%32 + 1) << 20
+		r, err := Model(Config{SizeBytes: size})
+		if err != nil {
+			return false
+		}
+		return r.LatencyCycles >= 1 && r.AreaMM2 > 0 && r.DynEnergyNJ > 0 &&
+			r.Banks >= 1 && r.CycleTimeNS <= r.LatencyNS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFasterClockMoreCycles(t *testing.T) {
+	slow, _ := Model(Config{SizeBytes: 8 << 20, ClockGHz: 2})
+	fast, _ := Model(Config{SizeBytes: 8 << 20, ClockGHz: 5})
+	if fast.LatencyCycles <= slow.LatencyCycles {
+		t.Errorf("cycles at 5GHz (%d) should exceed 2GHz (%d)",
+			fast.LatencyCycles, slow.LatencyCycles)
+	}
+	if fast.LatencyNS != slow.LatencyNS {
+		t.Error("clock should not change wall-clock latency")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Fig2Point is one client count on the saturation curve.
+type Fig2Point struct {
+	Clients    int
+	Throughput float64
+}
+
+// Figure2 sweeps the number of DSS clients on the FC CMP, exposing the
+// unsaturated→saturated transition of the paper's Figure 2.
+func (r *Runner) Figure2(clients []int) ([]Fig2Point, error) {
+	if len(clients) == 0 {
+		clients = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	}
+	out := make([]Fig2Point, 0, len(clients))
+	for _, n := range clients {
+		c := DefaultCell(sim.FatCamp, DSS, true)
+		c.Clients = n
+		res, err := r.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig2Point{Clients: n, Throughput: res.Throughput})
+	}
+	return out, nil
+}
+
+// Fig4Result holds the camp comparisons of Figure 4.
+type Fig4Result struct {
+	// Response time of LC normalized to FC, unsaturated (a).
+	UnsatOLTP, UnsatDSS float64
+	// Throughput of LC normalized to FC, saturated (b).
+	SatOLTP, SatDSS float64
+	Cells           []CellResult
+}
+
+// Figure4 compares the camps on unsaturated response time and saturated
+// throughput for both workloads.
+func (r *Runner) Figure4() (Fig4Result, error) {
+	var out Fig4Result
+	run := func(camp sim.Camp, wk WorkloadKind, sat bool) (CellResult, error) {
+		res, err := r.Run(DefaultCell(camp, wk, sat))
+		if err == nil {
+			out.Cells = append(out.Cells, res)
+		}
+		return res, err
+	}
+	fcUO, err := run(sim.FatCamp, OLTP, false)
+	if err != nil {
+		return out, err
+	}
+	lcUO, err := run(sim.LeanCamp, OLTP, false)
+	if err != nil {
+		return out, err
+	}
+	// Unsaturated DSS response is the total over the paper's four query
+	// analogs (their single-client methodology runs the full mix).
+	var fcUD, lcUD float64
+	for _, q := range []int{1, 6, 13, 16} {
+		for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
+			cell := DefaultCell(camp, DSS, false)
+			cell.UnsatQuery = q
+			res, err := r.Run(cell)
+			if err != nil {
+				return out, err
+			}
+			out.Cells = append(out.Cells, res)
+			if camp == sim.FatCamp {
+				fcUD += res.ResponseCycles
+			} else {
+				lcUD += res.ResponseCycles
+			}
+		}
+	}
+	fcSO, err := run(sim.FatCamp, OLTP, true)
+	if err != nil {
+		return out, err
+	}
+	lcSO, err := run(sim.LeanCamp, OLTP, true)
+	if err != nil {
+		return out, err
+	}
+	fcSD, err := run(sim.FatCamp, DSS, true)
+	if err != nil {
+		return out, err
+	}
+	lcSD, err := run(sim.LeanCamp, DSS, true)
+	if err != nil {
+		return out, err
+	}
+	out.UnsatOLTP = lcUO.ResponseCycles / fcUO.ResponseCycles
+	out.UnsatDSS = lcUD / fcUD
+	out.SatOLTP = lcSO.Throughput / fcSO.Throughput
+	out.SatDSS = lcSD.Throughput / fcSD.Throughput
+	return out, nil
+}
+
+// Figure5 measures the execution-time breakdown for all eight camp ×
+// workload × saturation combinations (26 MB shared L2, as in the paper).
+func (r *Runner) Figure5() ([]CellResult, error) {
+	var out []CellResult
+	for _, sat := range []bool{false, true} {
+		for _, wk := range []WorkloadKind{OLTP, DSS} {
+			for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
+				res, err := r.Run(DefaultCell(camp, wk, sat))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig6Point is one cache size in the Figure 6 sweep.
+type Fig6Point struct {
+	L2MB     int
+	LatConst int // the fixed 4-cycle latency
+	LatReal  int // Cacti latency actually used
+
+	// Throughput under constant 4-cycle latency and under Cacti latency.
+	ThroughputConst, ThroughputReal float64
+
+	// CPI decomposition under Cacti latency (Figures 6b/6c).
+	CPITotal, CPIDStall, CPIL2Hit float64
+}
+
+// Figure6 sweeps the shared L2 from 1 MB to 26 MB for one workload on the
+// FC CMP, at both a fixed 4-cycle hit latency and the Cacti latency.
+func (r *Runner) Figure6(wk WorkloadKind, sizesMB []int) ([]Fig6Point, error) {
+	if len(sizesMB) == 0 {
+		sizesMB = []int{1, 2, 4, 8, 16, 26}
+	}
+	out := make([]Fig6Point, 0, len(sizesMB))
+	for _, mb := range sizesMB {
+		cellConst := DefaultCell(sim.FatCamp, wk, true)
+		cellConst.L2Size = mb << 20
+		cellConst.L2Lat = 4
+		resConst, err := r.Run(cellConst)
+		if err != nil {
+			return nil, err
+		}
+		cellReal := cellConst
+		cellReal.L2Lat = 0 // Cacti
+		resReal, err := r.Run(cellReal)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig6Point{
+			L2MB:            mb,
+			LatConst:        4,
+			LatReal:         cellReal.SimConfig().Hier.L2Lat,
+			ThroughputConst: resConst.Throughput,
+			ThroughputReal:  resReal.Throughput,
+			CPITotal:        resReal.Result.CPI(),
+			CPIDStall: resReal.Result.CPIComponent(sim.KindDStallL2) +
+				resReal.Result.CPIComponent(sim.KindDStallMem) +
+				resReal.Result.CPIComponent(sim.KindDStallCoh),
+			CPIL2Hit: resReal.Result.CPIComponent(sim.KindDStallL2),
+		})
+	}
+	return out, nil
+}
+
+// Fig7Result compares the 4-node SMP (private 4 MB L2s) against the
+// 4-core CMP (shared 16 MB L2) per workload.
+type Fig7Result struct {
+	Workload        WorkloadKind
+	SMP, CMP        CellResult
+	CPISMP, CPICMP  float64
+	L2HitCPIRatio   float64 // CMP L2-hit CPI / SMP L2-hit CPI
+	CoherenceCPISMP float64
+}
+
+// Figure7 runs the SMP-vs-CMP comparison of Figure 7.
+func (r *Runner) Figure7(wk WorkloadKind) (Fig7Result, error) {
+	smp := DefaultCell(sim.FatCamp, wk, true)
+	smp.SharedL2 = false
+	smp.L2Size = 4 << 20
+	smpRes, err := r.Run(smp)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	cmp := DefaultCell(sim.FatCamp, wk, true)
+	cmp.SharedL2 = true
+	cmp.L2Size = 16 << 20
+	cmpRes, err := r.Run(cmp)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	out := Fig7Result{
+		Workload: wk, SMP: smpRes, CMP: cmpRes,
+		CPISMP:          smpRes.Result.CPI(),
+		CPICMP:          cmpRes.Result.CPI(),
+		CoherenceCPISMP: smpRes.Result.CPIComponent(sim.KindDStallCoh),
+	}
+	smpL2 := smpRes.Result.CPIComponent(sim.KindDStallL2)
+	cmpL2 := cmpRes.Result.CPIComponent(sim.KindDStallL2)
+	if smpL2 > 0 {
+		out.L2HitCPIRatio = cmpL2 / smpL2
+	}
+	return out, nil
+}
+
+// Fig8Point is one core count in the Figure 8 sweep.
+type Fig8Point struct {
+	Cores       int
+	Throughput  float64
+	Speedup     float64 // normalized to the 4-core baseline (x1)
+	L2MissRate  float64
+	QueueCycles uint64
+}
+
+// Figure8 sweeps FC core count at a fixed 16 MB shared L2.
+func (r *Runner) Figure8(wk WorkloadKind, cores []int) ([]Fig8Point, error) {
+	if len(cores) == 0 {
+		cores = []int{4, 8, 12, 16}
+	}
+	out := make([]Fig8Point, 0, len(cores))
+	var base float64
+	for i, n := range cores {
+		c := DefaultCell(sim.FatCamp, wk, true)
+		c.Cores = n
+		c.L2Size = 16 << 20
+		// Client population scales with the machine, keeping it saturated
+		// without pathological lock convoys on the scaled-down database.
+		c.Clients = n * 8
+		if wk == DSS {
+			c.Clients = n * 4
+		}
+		res, err := r.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig8Point{
+			Cores:       n,
+			Throughput:  res.Throughput,
+			L2MissRate:  res.Result.Cache.L2MissRate(),
+			QueueCycles: res.Result.Cache.PortQueueCycles,
+		}
+		if i == 0 {
+			base = res.Throughput / float64(n)
+		}
+		if base > 0 {
+			p.Speedup = res.Throughput / base
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import "repro/internal/cacti"
+
+// HistoricPoint is one processor generation's on-chip cache data, the raw
+// material of Figure 1. Sizes are the largest on-chip cache level; values
+// follow the public datasheet/ISSCC figures the paper draws on.
+type HistoricPoint struct {
+	Year      int
+	Processor string
+	CacheKB   int
+	HitCycles int // L2/L3 hit latency where documented; 0 = n/a
+}
+
+// Historic is the Figure 1 dataset: two decades of on-chip cache growth
+// and the accompanying hit-latency growth.
+var Historic = []HistoricPoint{
+	{1990, "Intel i486", 8, 0},
+	{1993, "Intel Pentium", 16, 0},
+	{1995, "Intel Pentium Pro", 512, 4},
+	{1997, "Intel Pentium II", 512, 4},
+	{1999, "Intel Pentium III", 512, 4},
+	{2001, "IBM Power4", 1440, 12},
+	{2002, "Intel Itanium 2 (McKinley)", 3072, 5},
+	{2003, "Intel Pentium 4 (Gallatin)", 2048, 18},
+	{2004, "IBM Power5", 1920, 14},
+	{2005, "Intel Itanium 2 (9M)", 9216, 14},
+	{2005, "Sun UltraSPARC T1", 3072, 21},
+	{2006, "Intel Xeon 7100 (Tulsa)", 16384, 14},
+	{2006, "Intel Itanium (Montecito)", 24576, 14},
+}
+
+// CactiCurvePoint pairs a cache size with the model's latency.
+type CactiCurvePoint struct {
+	SizeKB  int
+	Cycles  int
+	Area    float64
+	Leakage float64
+}
+
+// CactiCurve evaluates the Cacti-style model over the Figure 1 size range,
+// showing that the latency trend is a physical consequence of size.
+func CactiCurve() ([]CactiCurvePoint, error) {
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 26 << 20}
+	rs, err := cacti.Sweep(sizes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CactiCurvePoint, len(rs))
+	for i, r := range rs {
+		out[i] = CactiCurvePoint{
+			SizeKB:  sizes[i] >> 10,
+			Cycles:  r.LatencyCycles,
+			Area:    r.AreaMM2,
+			Leakage: r.LeakageMW,
+		}
+	}
+	return out, nil
+}

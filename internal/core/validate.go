@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CPIBreakdown decomposes cycles-per-instruction, the unit of Figure 3.
+type CPIBreakdown struct {
+	Total       float64
+	Computation float64
+	IStalls     float64
+	DStalls     float64
+	Other       float64
+}
+
+// ValidationResult compares the timing simulator against an independent
+// analytical CPI model built from the same run's event counts —
+// substituting for the paper's FLEXUS-vs-OpenPower720 hardware-counter
+// validation (Figure 3), whose role is to show two independent estimates
+// of CPI agree closely.
+type ValidationResult struct {
+	Simulated CPIBreakdown
+	Analytic  CPIBreakdown
+	// ErrPct is |sim-analytic|/analytic of total CPI, in percent. The
+	// paper reports <5% between FLEXUS and hardware.
+	ErrPct float64
+}
+
+// Figure3 validates cycle accounting on the saturated DSS workload using
+// a blocking-core configuration (one context per LC core), for which a
+// closed-form CPI model exists: every instruction costs 1/width, every
+// miss stalls for its full service latency, every mispredict costs the
+// pipeline refill.
+func (r *Runner) Figure3() (ValidationResult, error) {
+	cell := DefaultCell(sim.LeanCamp, DSS, true)
+	cell.CtxPerCore = 1
+	cell.Clients = 4 // one per core: every core busy, no overlap to model
+	res, err := r.Run(cell)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+
+	cfg := cell.SimConfig().WithDefaults()
+	simulated := CPIBreakdown{
+		Total:       res.Result.CPI(),
+		Computation: float64(res.Result.Breakdown.Computation()) / float64(res.Result.Instructions),
+		IStalls:     float64(res.Result.Breakdown.IStalls()) / float64(res.Result.Instructions),
+		DStalls:     float64(res.Result.Breakdown.DStalls()) / float64(res.Result.Instructions),
+		Other:       float64(res.Result.Breakdown.Other()) / float64(res.Result.Instructions),
+	}
+
+	// Analytical model from event counts and configured latencies.
+	instr := float64(res.Result.Instructions)
+	st := res.Result.Cache
+	hier := cfg.Hier.WithDefaults()
+	// L2 hits include both instruction and data fills; both block a
+	// single-context in-order core for the full latency. Stream-buffer
+	// hits cost L1-class latency (no stall).
+	stallL2 := float64(st.L2Hits) * float64(hier.L2Lat)
+	stallMem := float64(st.MemAccesses) * float64(hier.MemLat)
+	branch := instr / float64(cfg.BranchEvery) * float64(cfg.BranchPenalty)
+	queue := float64(st.PortQueueCycles)
+	analytic := CPIBreakdown{
+		Computation: 1 / float64(cfg.LCIssue),
+		DStalls:     (stallL2 + stallMem + queue) / instr,
+		Other:       branch / instr,
+	}
+	// Split stalls by I/D in proportion to L1 miss sources.
+	l1iMissShare := 0.0
+	if tot := st.L1IMisses - st.StreamBufHits + st.L1DMisses; tot > 0 {
+		l1iMissShare = float64(st.L1IMisses-st.StreamBufHits) / float64(tot)
+	}
+	analytic.IStalls = analytic.DStalls * l1iMissShare
+	analytic.DStalls -= analytic.IStalls
+	analytic.Total = analytic.Computation + analytic.IStalls + analytic.DStalls + analytic.Other
+
+	out := ValidationResult{Simulated: simulated, Analytic: analytic}
+	if analytic.Total > 0 {
+		out.ErrPct = math.Abs(simulated.Total-analytic.Total) / analytic.Total * 100
+	}
+	return out, nil
+}

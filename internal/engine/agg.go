@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("AggFunc(%d)", uint8(f))
+}
+
+// AggSpec is one aggregate over an input column (Col ignored for Count).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Name string
+}
+
+// HashAgg groups child rows by GroupCols and computes Aggs per group.
+// Groups accumulate in a workspace hash table; output rows are
+// group columns followed by aggregate results.
+type HashAgg struct {
+	Child     Op
+	GroupCols []int
+	Aggs      []AggSpec
+	// Expected sizes the hash table (default 1024 groups).
+	Expected int
+
+	out     Schema
+	ht      *HashTable
+	groupW  int
+	slotW   int // accumulator bytes per agg (8, or 16 for Avg)
+	buf     []byte
+	offs    []int
+	results [][]byte
+	resIdx  int
+	code    mem.CodeSeg
+	drained bool
+}
+
+// Schema implements Op.
+func (a *HashAgg) Schema() Schema {
+	if a.out != nil {
+		return a.out
+	}
+	cs := a.Child.Schema()
+	a.out = cs.Project(a.GroupCols)
+	for _, g := range a.Aggs {
+		switch {
+		case g.Func == Count:
+			a.out = append(a.out, Int(g.Name))
+		case cs[g.Col].Type == TInt && (g.Func == Sum || g.Func == Min || g.Func == Max):
+			a.out = append(a.out, Int(g.Name))
+		default:
+			a.out = append(a.out, Float(g.Name))
+		}
+	}
+	return a.out
+}
+
+// accWidth returns the accumulator width for one agg.
+func accWidth(f AggFunc) int {
+	if f == Avg {
+		return 16 // sum + count
+	}
+	return 8
+}
+
+// Open implements Op: it drains the child, accumulating groups.
+func (a *HashAgg) Open(ctx *Ctx) error {
+	a.Schema()
+	cs := a.Child.Schema()
+	a.offs = cs.Offsets()
+	a.code = ctx.DB.Codes.Register("op:hashagg", 4096)
+	a.groupW = 0
+	for _, c := range a.GroupCols {
+		a.groupW += cs[c].Width
+	}
+	a.slotW = 0
+	for _, g := range a.Aggs {
+		a.slotW += accWidth(g.Func)
+	}
+	expected := a.Expected
+	if expected == 0 {
+		expected = 1024
+	}
+	a.ht = NewHashTable(ctx, expected, a.groupW+a.slotW)
+	a.buf = make([]byte, a.out.RowWidth())
+	a.results = nil
+	a.resIdx = 0
+	a.drained = false
+
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer a.Child.Close(ctx)
+	gkey := make([]byte, a.groupW)
+	for {
+		row, ok, err := a.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.Rec.Exec(a.code, 65)
+		a.groupBytes(cs, row, gkey)
+		h := hashBytes(gkey)
+		payload, at := a.findGroup(ctx.Rec, h, gkey)
+		if payload == nil {
+			payload, at = a.ht.Insert(ctx.Rec, h, nil)
+			copy(payload[:a.groupW], gkey)
+			a.initAccums(payload[a.groupW:])
+			ctx.Rec.StoreRange(at, a.groupW+a.slotW)
+		}
+		a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))
+	}
+	return nil
+}
+
+// findGroup locates the entry whose stored group bytes equal gkey.
+func (a *HashAgg) findGroup(rec *trace.Recorder, h uint64, gkey []byte) ([]byte, mem.Addr) {
+	var out []byte
+	var at mem.Addr
+	a.ht.Iter(rec, h, func(p []byte, addr mem.Addr) bool {
+		if string(p[:a.groupW]) == string(gkey) {
+			out, at = p, addr
+			return false
+		}
+		return true
+	})
+	return out, at
+}
+
+func (a *HashAgg) groupBytes(cs Schema, row, dst []byte) {
+	off := 0
+	for _, c := range a.GroupCols {
+		w := cs[c].Width
+		copy(dst[off:off+w], row[a.offs[c]:a.offs[c]+w])
+		off += w
+	}
+}
+
+func (a *HashAgg) initAccums(acc []byte) {
+	off := 0
+	for _, g := range a.Aggs {
+		switch g.Func {
+		case Min:
+			binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(math.Inf(1)))
+		case Max:
+			binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(math.Inf(-1)))
+		}
+		off += accWidth(g.Func)
+	}
+}
+
+// update folds one row into the group's accumulators, tracing the
+// read-modify-write of the touched accumulator bytes.
+func (a *HashAgg) update(rec *trace.Recorder, cs Schema, row, acc []byte, at mem.Addr) {
+	off := 0
+	for _, g := range a.Aggs {
+		w := accWidth(g.Func)
+		rec.Load(at+mem.Addr(off), true)
+		switch g.Func {
+		case Count:
+			n := binary.LittleEndian.Uint64(acc[off:])
+			binary.LittleEndian.PutUint64(acc[off:], n+1)
+		case Sum:
+			if cs[g.Col].Type == TInt {
+				v := binary.LittleEndian.Uint64(acc[off:])
+				binary.LittleEndian.PutUint64(acc[off:], v+uint64(RowInt(row, a.offs[g.Col])))
+			} else {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(acc[off:]))
+				v += RowFloat(row, a.offs[g.Col])
+				binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(v))
+			}
+		case Avg:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(acc[off:]))
+			v += a.asFloat(cs, row, g.Col)
+			binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(v))
+			n := binary.LittleEndian.Uint64(acc[off+8:])
+			binary.LittleEndian.PutUint64(acc[off+8:], n+1)
+		case Min:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(acc[off:]))
+			x := a.asFloat(cs, row, g.Col)
+			if x < v {
+				binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(x))
+			}
+		case Max:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(acc[off:]))
+			x := a.asFloat(cs, row, g.Col)
+			if x > v {
+				binary.LittleEndian.PutUint64(acc[off:], math.Float64bits(x))
+			}
+		}
+		rec.Store(at + mem.Addr(off))
+		off += w
+	}
+}
+
+func (a *HashAgg) asFloat(cs Schema, row []byte, col int) float64 {
+	if cs[col].Type == TInt {
+		return float64(RowInt(row, a.offs[col]))
+	}
+	return RowFloat(row, a.offs[col])
+}
+
+// Close implements Op.
+func (a *HashAgg) Close(ctx *Ctx) { a.ht = nil; a.results = nil }
+
+// Next implements Op: emits one row per group.
+func (a *HashAgg) Next(ctx *Ctx) ([]byte, bool, error) {
+	if !a.drained {
+		a.drained = true
+		cs := a.Child.Schema()
+		a.ht.Scan(ctx.Rec, func(_ uint64, p []byte) bool {
+			out := make([]byte, a.out.RowWidth())
+			copy(out[:a.groupW], p[:a.groupW])
+			a.finish(cs, p[a.groupW:], out[a.groupW:])
+			a.results = append(a.results, out)
+			return true
+		})
+	}
+	if a.resIdx >= len(a.results) {
+		return nil, false, nil
+	}
+	row := a.results[a.resIdx]
+	a.resIdx++
+	return row, true, nil
+}
+
+// finish converts accumulators into output column values.
+func (a *HashAgg) finish(cs Schema, acc, out []byte) {
+	accOff, outOff := 0, 0
+	for _, g := range a.Aggs {
+		switch {
+		case g.Func == Count:
+			copy(out[outOff:], acc[accOff:accOff+8])
+		case g.Func == Avg:
+			sum := math.Float64frombits(binary.LittleEndian.Uint64(acc[accOff:]))
+			n := binary.LittleEndian.Uint64(acc[accOff+8:])
+			v := 0.0
+			if n > 0 {
+				v = sum / float64(n)
+			}
+			binary.LittleEndian.PutUint64(out[outOff:], math.Float64bits(v))
+		case (g.Func == Min || g.Func == Max) && cs[g.Col].Type == TInt:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(acc[accOff:]))
+			binary.LittleEndian.PutUint64(out[outOff:], uint64(int64(v)))
+		default:
+			copy(out[outOff:], acc[accOff:accOff+8])
+		}
+		accOff += accWidth(g.Func)
+		outOff += 8
+	}
+}
+
+// hashBytes is FNV-1a over b.
+func hashBytes(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

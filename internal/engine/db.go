@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// DB is one database instance: arena, buffer pool, catalog.
+type DB struct {
+	Arena *mem.Arena
+	Pool  *storage.BufferPool
+	Codes *mem.CodeMap
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// Config sizes a database instance.
+type Config struct {
+	ArenaBytes int // simulated heap for pages + metadata (default 256 MB)
+	Frames     int // buffer-pool frames (default: arena minus slack / page)
+	MaxPages   int // page-table capacity (default: 2x frames)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = 256 << 20
+	}
+	if c.Frames == 0 {
+		// Leave 1/8 of the arena for metadata (page table, lock table,
+		// log ring) and slack.
+		c.Frames = c.ArenaBytes / storage.PageSize * 7 / 8
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = 2 * c.Frames
+	}
+	return c
+}
+
+// NewDB creates an empty database.
+func NewDB(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	arena := mem.NewArena(mem.HeapBase, cfg.ArenaBytes)
+	codes := mem.NewCodeMap()
+	// The "SQL layer": parser/planner/catalog code executed per statement.
+	// Its large footprint is a defining property of OLTP instruction
+	// streams (the paper's I-stall discussion).
+	codes.Register("sql:frontend", 24<<10)
+	pool := storage.NewBufferPool(arena, cfg.Frames, cfg.MaxPages, codes)
+	return &DB{Arena: arena, Pool: pool, Codes: codes, tables: make(map[string]*Table)}
+}
+
+// Table is a named heap file with schema and secondary indexes.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Offs    []int
+	Heap    *storage.HeapFile
+	indexes map[string]*Index
+	mu      sync.RWMutex
+}
+
+// Index is a B+tree over an integer key derived from each row.
+type Index struct {
+	Name  string
+	Tree  *storage.BTree
+	KeyOf func(row []byte) int64
+}
+
+// CreateTable registers a new table with the given physical layout.
+func (db *DB) CreateTable(name string, schema Schema, layout storage.Layout) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("engine: table %q exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		Offs:    schema.Offsets(),
+		Heap:    storage.NewHeapFile(db.Pool, layout, schema.Widths(), db.Codes, name),
+		indexes: make(map[string]*Index),
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table for static names known to exist.
+func (db *DB) MustTable(name string) *Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames lists tables (for the shell).
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CreateIndex adds a secondary index computing its int64 key with keyOf.
+func (db *DB) CreateIndex(t *Table, name string, keyOf func(row []byte) int64) (*Index, error) {
+	tree, err := storage.NewBTree(db.Pool, db.Codes, name)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Name: name, Tree: tree, KeyOf: keyOf}
+	t.mu.Lock()
+	t.indexes[name] = idx
+	t.mu.Unlock()
+	return idx, nil
+}
+
+// Index returns the named index.
+func (t *Table) Index(name string) (*Index, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q has no index %q", t.Name, name)
+	}
+	return idx, nil
+}
+
+// MustIndex is Index for static names.
+func (t *Table) MustIndex(name string) *Index {
+	idx, err := t.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Insert encodes vals, appends the row, and maintains all indexes. It
+// returns the new row's RID.
+func (t *Table) Insert(rec *trace.Recorder, vals []Value) (storage.RID, error) {
+	row := make([]byte, t.Schema.RowWidth())
+	if err := t.Schema.EncodeRow(row, vals); err != nil {
+		return storage.RID{}, err
+	}
+	return t.InsertRow(rec, row)
+}
+
+// InsertRow appends a pre-encoded row and maintains indexes.
+func (t *Table) InsertRow(rec *trace.Recorder, row []byte) (storage.RID, error) {
+	var rid storage.RID
+	var err error
+	if t.Heap.Layout() == storage.NSM {
+		rid, err = t.Heap.Insert(rec, row)
+	} else {
+		fields := make([][]byte, len(t.Schema))
+		off := 0
+		for i, c := range t.Schema {
+			fields[i] = row[off : off+c.Width]
+			off += c.Width
+		}
+		rid, err = t.Heap.InsertFields(rec, fields)
+	}
+	if err != nil {
+		return rid, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if err := idx.Tree.Insert(rec, idx.KeyOf(row), rid.Pack()); err != nil {
+			return rid, err
+		}
+	}
+	return rid, nil
+}
+
+// Fetch reads the encoded row at rid (NSM tables).
+func (t *Table) Fetch(rec *trace.Recorder, rid storage.RID) ([]byte, error) {
+	return t.Heap.FetchNSM(rec, rid)
+}
+
+// Update overwrites the row at rid and is only valid when no indexed key
+// changed (the OLTP workloads update balances and quantities, not keys).
+func (t *Table) Update(rec *trace.Recorder, rid storage.RID, row []byte) error {
+	return t.Heap.UpdateNSM(rec, rid, row)
+}
+
+// Ctx carries per-worker execution state through operators.
+type Ctx struct {
+	Rec  *trace.Recorder
+	DB   *DB
+	Work *mem.Arena // per-worker workspace for hash tables and results
+}
+
+// NewCtx builds an execution context with a private workspace of workBytes
+// at the worker's slot in the workspace region.
+func (db *DB) NewCtx(rec *trace.Recorder, worker, workBytes int) *Ctx {
+	base := mem.WorkBase + mem.Addr(worker)*mem.Addr(workBytes+(64<<10))
+	return &Ctx{Rec: rec, DB: db, Work: mem.NewArena(base, workBytes)}
+}

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// HashTable is a chained hash table laid out in a worker's workspace
+// arena. Hash joins and hash aggregates build and probe it; bucket-chain
+// walks emit dependent loads at the entries' simulated addresses, which is
+// the access pattern behind the paper's DSS L2-hit stalls (multi-megabyte
+// hash tables fit the L2 but not the L1D).
+//
+// Entry layout: [next u64][key u64][payload payloadW bytes].
+type HashTable struct {
+	arena    *mem.Arena
+	buckets  mem.Addr
+	nbuckets uint64
+	payloadW int
+	entryW   int
+	n        int
+	code     mem.CodeSeg
+}
+
+const htEntryHeader = 16
+
+// NewHashTable builds a table sized for roughly expected entries with
+// fixed-width payloads.
+func NewHashTable(ctx *Ctx, expected, payloadW int) *HashTable {
+	nb := uint64(16)
+	for nb < uint64(expected)*2 {
+		nb *= 2
+	}
+	h := &HashTable{
+		arena:    ctx.Work,
+		nbuckets: nb,
+		payloadW: payloadW,
+		entryW:   htEntryHeader + payloadW,
+		code:     ctx.DB.Codes.Register("engine:hash", 2560),
+	}
+	h.buckets = ctx.Work.Alloc(int(nb)*8, mem.LineSize)
+	// Workspace arenas are recycled between queries (Reset does not zero),
+	// so stale bytes from a previous query may alias the bucket array.
+	b := ctx.Work.Bytes(h.buckets, int(nb)*8)
+	for i := range b {
+		b[i] = 0
+	}
+	return h
+}
+
+// Len returns the number of entries.
+func (h *HashTable) Len() int { return h.n }
+
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (h *HashTable) bucketAddr(k uint64) mem.Addr {
+	return h.buckets + mem.Addr(mix(k)&(h.nbuckets-1))*8
+}
+
+// Insert adds an entry for key, copying payload in (payload may be nil for
+// a zeroed entry). It returns the payload's backing slice and simulated
+// address so callers can update it in place, tracing their own stores.
+func (h *HashTable) Insert(rec *trace.Recorder, key uint64, payload []byte) ([]byte, mem.Addr) {
+	if payload != nil && len(payload) != h.payloadW {
+		panic(fmt.Sprintf("engine: payload %d bytes, table holds %d", len(payload), h.payloadW))
+	}
+	rec.Exec(h.code, 45)
+	ba := h.bucketAddr(key)
+	bm := h.arena.Bytes(ba, 8)
+	head := binary.LittleEndian.Uint64(bm)
+	// The bucket address is computed from a key loaded moments ago
+	// (scanned tuple or probe row): a dependent access.
+	rec.Load(ba, true)
+
+	ea := h.arena.Alloc(h.entryW, 8)
+	eb := h.arena.Bytes(ea, h.entryW)
+	binary.LittleEndian.PutUint64(eb[0:8], head)
+	binary.LittleEndian.PutUint64(eb[8:16], key)
+	if payload != nil {
+		copy(eb[htEntryHeader:], payload)
+		rec.StoreRange(ea, h.entryW)
+	} else {
+		// A nil payload promises a zeroed entry; the arena may hand back
+		// recycled bytes after a workspace Reset, so zero explicitly.
+		for i := htEntryHeader; i < h.entryW; i++ {
+			eb[i] = 0
+		}
+		rec.StoreRange(ea, htEntryHeader)
+	}
+	binary.LittleEndian.PutUint64(bm, uint64(ea))
+	rec.Store(ba)
+	h.n++
+	return eb[htEntryHeader:], ea + htEntryHeader
+}
+
+// Iter walks all entries matching key, calling fn with each payload and
+// its simulated address; fn returns false to stop. The chain walk loads
+// are dependent: each entry's address comes from the previous entry.
+func (h *HashTable) Iter(rec *trace.Recorder, key uint64, fn func(payload []byte, at mem.Addr) bool) {
+	rec.Exec(h.code, 35)
+	ba := h.bucketAddr(key)
+	rec.Load(ba, true)
+	cur := binary.LittleEndian.Uint64(h.arena.Bytes(ba, 8))
+	for cur != 0 {
+		ea := mem.Addr(cur)
+		eb := h.arena.Bytes(ea, h.entryW)
+		rec.Load(ea, true)
+		if binary.LittleEndian.Uint64(eb[8:16]) == key {
+			if h.payloadW > 0 {
+				rec.LoadRange(ea+htEntryHeader, h.payloadW)
+			}
+			if !fn(eb[htEntryHeader:], ea+htEntryHeader) {
+				return
+			}
+		}
+		cur = binary.LittleEndian.Uint64(eb[0:8])
+	}
+}
+
+// Lookup returns the first payload for key (nil when absent) and its
+// simulated address.
+func (h *HashTable) Lookup(rec *trace.Recorder, key uint64) ([]byte, mem.Addr) {
+	var out []byte
+	var at mem.Addr
+	h.Iter(rec, key, func(p []byte, a mem.Addr) bool {
+		out, at = p, a
+		return false
+	})
+	return out, at
+}
+
+// LookupOrInsert returns the payload for key, creating a zeroed entry when
+// absent (the hash-aggregate upsert path). created reports insertion.
+func (h *HashTable) LookupOrInsert(rec *trace.Recorder, key uint64) (payload []byte, at mem.Addr, created bool) {
+	if p, a := h.Lookup(rec, key); p != nil {
+		return p, a, false
+	}
+	p, a := h.Insert(rec, key, nil)
+	return p, a, true
+}
+
+// Scan visits every entry in bucket order (hash-aggregate output).
+func (h *HashTable) Scan(rec *trace.Recorder, fn func(key uint64, payload []byte) bool) {
+	for b := uint64(0); b < h.nbuckets; b++ {
+		ba := h.buckets + mem.Addr(b*8)
+		cur := binary.LittleEndian.Uint64(h.arena.Bytes(ba, 8))
+		if cur != 0 {
+			rec.Load(ba, false)
+		}
+		for cur != 0 {
+			ea := mem.Addr(cur)
+			eb := h.arena.Bytes(ea, h.entryW)
+			rec.Load(ea, true)
+			if h.payloadW > 0 {
+				rec.LoadRange(ea+htEntryHeader, h.payloadW)
+			}
+			if !fn(binary.LittleEndian.Uint64(eb[8:16]), eb[htEntryHeader:]) {
+				return
+			}
+			cur = binary.LittleEndian.Uint64(eb[0:8])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package engine
+
+import "repro/internal/mem"
+
+// Map computes derived columns: for each child row it produces a row of
+// Out filled by Fn (e.g. extendedprice*(1-discount) for TPC-H Q1/Q6).
+type Map struct {
+	Child Op
+	Out   Schema
+	// Fn fills out (len = Out.RowWidth()) from the child row.
+	Fn func(in, out []byte)
+	// Cost is the synthetic instruction cost per row (default 10).
+	Cost int
+
+	buf  []byte
+	code mem.CodeSeg
+}
+
+// Schema implements Op.
+func (m *Map) Schema() Schema { return m.Out }
+
+// Open implements Op.
+func (m *Map) Open(ctx *Ctx) error {
+	m.buf = make([]byte, m.Out.RowWidth())
+	m.code = ctx.DB.Codes.Register("op:map", 1024)
+	if m.Cost == 0 {
+		m.Cost = 30
+	}
+	return m.Child.Open(ctx)
+}
+
+// Close implements Op.
+func (m *Map) Close(ctx *Ctx) { m.Child.Close(ctx) }
+
+// Next implements Op.
+func (m *Map) Next(ctx *Ctx) ([]byte, bool, error) {
+	row, ok, err := m.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ctx.Rec.Exec(m.code, m.Cost)
+	m.Fn(row, m.buf)
+	return m.buf, true, nil
+}

@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+// Op is a Volcano-style iterator. Next returns an encoded row valid until
+// the following Next call.
+type Op interface {
+	Schema() Schema
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) ([]byte, bool, error)
+	Close(ctx *Ctx)
+}
+
+// Run drains op, invoking fn on each row; it is the engine's top-level
+// execution helper.
+func Run(ctx *Ctx, op Op, fn func(row []byte) error) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	defer op.Close(ctx)
+	for {
+		row, ok, err := op.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if fn != nil {
+			if err := fn(row); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Collect drains op and decodes every row (testing and small results).
+func Collect(ctx *Ctx, op Op) ([][]Value, error) {
+	var out [][]Value
+	s := op.Schema()
+	err := Run(ctx, op, func(row []byte) error {
+		out = append(out, s.DecodeRow(row))
+		return nil
+	})
+	return out, err
+}
+
+// SeqScan scans a table, applying pushed-down predicates and projecting
+// cols (nil = all columns). Under PAX it reads predicate columns first and
+// the remaining projected columns only for qualifying tuples — the
+// cache-conscious behaviour the paper's Section 6.2 discusses.
+type SeqScan struct {
+	Table *Table
+	Preds []Pred
+	Cols  []int // projected columns; nil for all
+	// StartPage rotates the scan origin (circular shared scans): the scan
+	// still covers every page once, beginning at StartPage and wrapping.
+	// Concurrent scans at staggered origins share the leader's L2 wake.
+	StartPage int
+
+	out     Schema
+	outOffs []int
+	page    int
+	slot    int
+	ref     *storage.PageRef
+	buf     []byte
+	code    mem.CodeSeg
+	nslots  int
+}
+
+// Schema implements Op.
+func (s *SeqScan) Schema() Schema {
+	if s.out == nil {
+		if s.Cols == nil {
+			s.out = s.Table.Schema
+		} else {
+			s.out = s.Table.Schema.Project(s.Cols)
+		}
+		s.outOffs = s.out.Offsets()
+	}
+	return s.out
+}
+
+// Open implements Op.
+func (s *SeqScan) Open(ctx *Ctx) error {
+	s.Schema()
+	s.page, s.slot = 0, 0
+	s.ref = nil
+	s.buf = make([]byte, s.out.RowWidth())
+	s.code = ctx.DB.Codes.Register("op:seqscan", 3072)
+	return nil
+}
+
+// Close implements Op.
+func (s *SeqScan) Close(ctx *Ctx) {
+	if s.ref != nil {
+		s.ref.Release()
+		s.ref = nil
+	}
+}
+
+func (s *SeqScan) nextPage(ctx *Ctx) (bool, error) {
+	if s.ref != nil {
+		s.ref.Release()
+		s.ref = nil
+	}
+	n := s.Table.Heap.NumPages()
+	if s.page >= n {
+		return false, nil
+	}
+	ref, err := ctx.DB.Pool.Get(ctx.Rec, s.Table.Heap.PageAt((s.page+s.StartPage)%n))
+	if err != nil {
+		return false, err
+	}
+	s.ref = ref
+	s.page++
+	s.slot = 0
+	if s.Table.Heap.Layout() == storage.NSM {
+		s.nslots = storage.AsSlotted(ref.Data, ref.Addr).NumSlots()
+	} else {
+		s.nslots = storage.AsPAX(ref.Data, ref.Addr, s.Table.Schema.Widths()).N()
+	}
+	return true, nil
+}
+
+// Next implements Op.
+func (s *SeqScan) Next(ctx *Ctx) ([]byte, bool, error) {
+	for {
+		if s.ref == nil || s.slot >= s.nslots {
+			ok, err := s.nextPage(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			continue
+		}
+		slot := s.slot
+		s.slot++
+		ctx.Rec.Exec(s.code, 70+evalCost*len(s.Preds))
+		if s.Table.Heap.Layout() == storage.NSM {
+			row := storage.AsSlotted(s.ref.Data, s.ref.Addr).Tuple(ctx.Rec, slot)
+			if row == nil {
+				continue
+			}
+			if !s.evalNSM(row) {
+				continue
+			}
+			return s.projectNSM(row), true, nil
+		}
+		row, ok := s.evalAndLoadPAX(ctx, slot)
+		if !ok {
+			continue
+		}
+		return row, true, nil
+	}
+}
+
+func (s *SeqScan) evalNSM(row []byte) bool {
+	for _, p := range s.Preds {
+		if !p.Eval(s.Table.Schema, s.Table.Offs, row) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *SeqScan) projectNSM(row []byte) []byte {
+	if s.Cols == nil {
+		return row
+	}
+	off := 0
+	for _, c := range s.Cols {
+		w := s.Table.Schema[c].Width
+		copy(s.buf[off:off+w], row[s.Table.Offs[c]:s.Table.Offs[c]+w])
+		off += w
+	}
+	return s.buf
+}
+
+// evalAndLoadPAX evaluates predicates reading only their minipages, then
+// materializes the projected columns of qualifying tuples.
+func (s *SeqScan) evalAndLoadPAX(ctx *Ctx, slot int) ([]byte, bool) {
+	px := storage.AsPAX(s.ref.Data, s.ref.Addr, s.Table.Schema.Widths())
+	// A scratch row assembled column-by-column; predicate columns first.
+	full := s.Table.Schema
+	loaded := make(map[int][]byte, 4)
+	for _, p := range s.Preds {
+		f := px.Field(ctx.Rec, slot, p.Col)
+		loaded[p.Col] = f
+		if !s.evalPAXPred(p, f, full[p.Col]) {
+			return nil, false
+		}
+	}
+	cols := s.Cols
+	if cols == nil {
+		cols = make([]int, len(full))
+		for i := range full {
+			cols[i] = i
+		}
+	}
+	off := 0
+	for _, c := range cols {
+		f, ok := loaded[c]
+		if !ok {
+			f = px.Field(ctx.Rec, slot, c)
+		}
+		copy(s.buf[off:off+len(f)], f)
+		off += len(f)
+	}
+	return s.buf, true
+}
+
+func (s *SeqScan) evalPAXPred(p Pred, field []byte, col Column) bool {
+	// Reuse Eval by treating the field as a single-column row.
+	tmp := Schema{col}
+	q := p
+	q.Col = 0
+	return q.Eval(tmp, []int{0}, field)
+}
+
+// IndexScan returns rows whose index key lies in [Lo, Hi], fetching each
+// from the heap (NSM tables).
+type IndexScan struct {
+	Table  *Table
+	Idx    *Index
+	Lo, Hi int64
+	Preds  []Pred
+
+	cur  *storage.Cursor
+	buf  []byte
+	code mem.CodeSeg
+}
+
+// Schema implements Op.
+func (s *IndexScan) Schema() Schema { return s.Table.Schema }
+
+// Open implements Op.
+func (s *IndexScan) Open(ctx *Ctx) error {
+	cur, err := s.Idx.Tree.Seek(ctx.Rec, s.Lo)
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	s.code = ctx.DB.Codes.Register("op:indexscan", 2048)
+	s.buf = make([]byte, s.Table.Schema.RowWidth())
+	return nil
+}
+
+// Close implements Op.
+func (s *IndexScan) Close(ctx *Ctx) { s.cur = nil }
+
+// Next implements Op.
+func (s *IndexScan) Next(ctx *Ctx) ([]byte, bool, error) {
+	for {
+		k, v, ok, err := s.cur.Next(ctx.Rec)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok || k > s.Hi {
+			return nil, false, nil
+		}
+		ctx.Rec.Exec(s.code, 80+evalCost*len(s.Preds))
+		row, err := s.Table.Fetch(ctx.Rec, storage.UnpackRID(v))
+		if err != nil {
+			return nil, false, err
+		}
+		pass := true
+		for _, p := range s.Preds {
+			if !p.Eval(s.Table.Schema, s.Table.Offs, row) {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		copy(s.buf, row)
+		return s.buf, true, nil
+	}
+}
+
+// Filter drops child rows failing the conjunction.
+type Filter struct {
+	Child Op
+	Preds []Pred
+
+	offs []int
+	code mem.CodeSeg
+}
+
+// Schema implements Op.
+func (f *Filter) Schema() Schema { return f.Child.Schema() }
+
+// Open implements Op.
+func (f *Filter) Open(ctx *Ctx) error {
+	f.offs = f.Child.Schema().Offsets()
+	f.code = ctx.DB.Codes.Register("op:filter", 1024)
+	return f.Child.Open(ctx)
+}
+
+// Close implements Op.
+func (f *Filter) Close(ctx *Ctx) { f.Child.Close(ctx) }
+
+// Next implements Op.
+func (f *Filter) Next(ctx *Ctx) ([]byte, bool, error) {
+	for {
+		row, ok, err := f.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Rec.Exec(f.code, 20+evalCost*len(f.Preds))
+		pass := true
+		for _, p := range f.Preds {
+			if !p.Eval(f.Child.Schema(), f.offs, row) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Project narrows child rows to the given columns.
+type Project struct {
+	Child Op
+	Cols  []int
+
+	out  Schema
+	offs []int
+	buf  []byte
+	code mem.CodeSeg
+}
+
+// Schema implements Op.
+func (p *Project) Schema() Schema {
+	if p.out == nil {
+		p.out = p.Child.Schema().Project(p.Cols)
+	}
+	return p.out
+}
+
+// Open implements Op.
+func (p *Project) Open(ctx *Ctx) error {
+	p.Schema()
+	p.offs = p.Child.Schema().Offsets()
+	p.buf = make([]byte, p.out.RowWidth())
+	p.code = ctx.DB.Codes.Register("op:project", 768)
+	return p.Child.Open(ctx)
+}
+
+// Close implements Op.
+func (p *Project) Close(ctx *Ctx) { p.Child.Close(ctx) }
+
+// Next implements Op.
+func (p *Project) Next(ctx *Ctx) ([]byte, bool, error) {
+	row, ok, err := p.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ctx.Rec.Exec(p.code, 10+6*len(p.Cols))
+	cs := p.Child.Schema()
+	off := 0
+	for _, c := range p.Cols {
+		w := cs[c].Width
+		copy(p.buf[off:off+w], row[p.offs[c]:p.offs[c]+w])
+		off += w
+	}
+	return p.buf, true, nil
+}
+
+// Limit passes through the first N rows.
+type Limit struct {
+	Child Op
+	N     int
+	seen  int
+}
+
+// Schema implements Op.
+func (l *Limit) Schema() Schema { return l.Child.Schema() }
+
+// Open implements Op.
+func (l *Limit) Open(ctx *Ctx) error {
+	l.seen = 0
+	return l.Child.Open(ctx)
+}
+
+// Close implements Op.
+func (l *Limit) Close(ctx *Ctx) { l.Child.Close(ctx) }
+
+// Next implements Op.
+func (l *Limit) Next(ctx *Ctx) ([]byte, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}

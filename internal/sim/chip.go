@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// coreModel is one simulated core advancing cycle by cycle.
+type coreModel interface {
+	// step simulates one cycle, returning the number of instructions
+	// issued and, when zero, the classification of the lost cycle.
+	step(now uint64) (int, StallKind)
+	// hasWork reports whether any software thread is bound to the core.
+	hasWork() bool
+	// contexts exposes the core's hardware contexts for thread placement.
+	contexts() []*hwctx
+}
+
+// Chip is one simulated chip multiprocessor (or, with a private-L2
+// hierarchy, one node-per-core SMP): cores plus memory hierarchy plus the
+// software threads scheduled onto them.
+type Chip struct {
+	cfg     Config
+	hier    *cache.Hierarchy
+	cores   []coreModel
+	ctxs    []*hwctx // all hardware contexts, placement order
+	ctxCore []int    // owning core of each placement slot
+
+	threads    []*Thread
+	threadCore []int    // owning core per thread, for warming
+	doneAt     []uint64 // completion cycle per thread
+	live       int
+
+	now uint64
+}
+
+// NewChip builds a chip from cfg; zero config fields take defaults.
+func NewChip(cfg Config) *Chip {
+	cfg = cfg.withDefaults()
+	ch := &Chip{cfg: cfg, hier: cache.NewHierarchy(cfg.Hier)}
+	for i := 0; i < cfg.Cores; i++ {
+		switch cfg.Camp {
+		case FatCamp:
+			c := &fcCore{id: i, cfg: &ch.cfg, chip: ch, ctx: &hwctx{}}
+			ch.cores = append(ch.cores, c)
+		case LeanCamp:
+			c := &lcCore{id: i, cfg: &ch.cfg, chip: ch}
+			for k := 0; k < cfg.CtxPerCore; k++ {
+				c.ctxs = append(c.ctxs, &hwctx{})
+			}
+			ch.cores = append(ch.cores, c)
+		default:
+			panic(fmt.Sprintf("sim: unknown camp %d", cfg.Camp))
+		}
+	}
+	// Placement order interleaves contexts across cores so the first N
+	// threads land on N distinct cores.
+	for k := 0; ; k++ {
+		added := false
+		for coreID, c := range ch.cores {
+			if k < len(c.contexts()) {
+				ch.ctxs = append(ch.ctxs, c.contexts()[k])
+				ch.ctxCore = append(ch.ctxCore, coreID)
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return ch
+}
+
+// Config returns the chip's (defaulted) configuration.
+func (ch *Chip) Config() Config { return ch.cfg }
+
+// Hierarchy exposes the memory hierarchy (for stats inspection).
+func (ch *Chip) Hierarchy() *cache.Hierarchy { return ch.hier }
+
+// AddThread binds a software thread reading from s to the chip, placing it
+// on hardware contexts round-robin. It returns the thread id.
+func (ch *Chip) AddThread(s *trace.Stream) int {
+	return ch.AddThreadAt(s, len(ch.threads)%len(ch.ctxs))
+}
+
+// AddThreadAt binds a software thread to a specific hardware context
+// (placement order interleaves contexts across cores: context i lives on
+// core i%Cores). Scheduling experiments use it to co-locate producer and
+// consumer threads on one core.
+func (ch *Chip) AddThreadAt(s *trace.Stream, ctxIdx int) int {
+	id := len(ch.threads)
+	t := newThread(id, s, ch, ch.cfg.BranchEvery)
+	ctxIdx %= len(ch.ctxs)
+	ch.ctxs[ctxIdx].threads = append(ch.ctxs[ctxIdx].threads, t)
+	ch.threads = append(ch.threads, t)
+	ch.threadCore = append(ch.threadCore, ch.ctxCore[ctxIdx])
+	ch.doneAt = append(ch.doneAt, 0)
+	ch.live++
+	return id
+}
+
+// pump obtains at least one more chunk for t, returning false when t's
+// trace has ended. While t's producer has nothing ready, the pump drains
+// whatever other producers have queued (into their threads' local chunk
+// buffers) so that a producer blocked on a full channel always makes
+// progress — without this, engine lock coupling between client threads
+// could deadlock the single-threaded simulator.
+func (ch *Chip) pump(t *Thread) bool {
+	for {
+		c, ok, ended := t.stream.RecvChunk(0)
+		if ok {
+			t.chunks = append(t.chunks, c)
+			return true
+		}
+		if ended {
+			return false
+		}
+		progress := false
+		for _, o := range ch.threads {
+			if o == t || o.done {
+				continue
+			}
+			if oc, okc, _ := o.stream.RecvChunk(0); okc {
+				o.chunks = append(o.chunks, oc)
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Nothing anywhere: wait briefly for t's producer, then rescan.
+		c, ok, ended = t.stream.RecvChunk(200 * time.Microsecond)
+		if ok {
+			t.chunks = append(t.chunks, c)
+			return true
+		}
+		if ended {
+			return false
+		}
+	}
+}
+
+// threadFinished records a thread's completion.
+func (ch *Chip) threadFinished(t *Thread, now uint64) {
+	if ch.doneAt[t.ID] == 0 {
+		ch.doneAt[t.ID] = now
+		ch.live--
+	}
+}
+
+// Warm consumes up to refs trace records from every thread, updating cache
+// contents without timing — SimFlex-style functional warming before a
+// measured window.
+func (ch *Chip) Warm(refs int) {
+	for i, t := range ch.threads {
+		core := ch.threadCore[i]
+		for n := 0; n < refs; n++ {
+			r, ok := t.next()
+			if !ok {
+				break
+			}
+			switch r.Kind() {
+			case trace.Exec:
+				ch.hier.WarmFetch(core, r.Addr())
+			case trace.Load:
+				ch.hier.WarmRead(core, r.Addr())
+			case trace.Store:
+				ch.hier.WarmWrite(core, r.Addr())
+			}
+		}
+	}
+}
+
+// Run simulates up to maxCycles cycles (beyond those already elapsed) and
+// returns the measured result. It stops early when every thread's trace
+// has been fully executed. Statistics cover only this measurement window,
+// so Warm → Run yields a warmed measurement.
+func (ch *Chip) Run(maxCycles uint64) Result {
+	start := ch.now
+	statsStart := ch.hier.Stats
+	var bd Breakdown
+	var instructions uint64
+
+	for ch.now-start < maxCycles && ch.live > 0 {
+		for _, c := range ch.cores {
+			if !c.hasWork() {
+				bd.Add(KindIdle)
+				continue
+			}
+			issued, kind := c.step(ch.now)
+			if issued > 0 {
+				instructions += uint64(issued)
+				bd.Add(KindComp)
+			} else {
+				bd.Add(kind)
+			}
+		}
+		ch.now++
+	}
+
+	stats := ch.hier.Stats
+	stats.L1DHits -= statsStart.L1DHits
+	stats.L1DMisses -= statsStart.L1DMisses
+	stats.L1IHits -= statsStart.L1IHits
+	stats.L1IMisses -= statsStart.L1IMisses
+	stats.StreamBufHits -= statsStart.StreamBufHits
+	stats.L2Hits -= statsStart.L2Hits
+	stats.L2Misses -= statsStart.L2Misses
+	stats.L1Transfers -= statsStart.L1Transfers
+	stats.CohTransfers -= statsStart.CohTransfers
+	stats.MemAccesses -= statsStart.MemAccesses
+	stats.Upgrades -= statsStart.Upgrades
+	stats.PortQueueCycles -= statsStart.PortQueueCycles
+	stats.BackInvalidations -= statsStart.BackInvalidations
+
+	done := make([]uint64, len(ch.doneAt))
+	copy(done, ch.doneAt)
+	return Result{
+		Cycles:       ch.now - start,
+		Instructions: instructions,
+		Breakdown:    bd,
+		Cache:        stats,
+		ThreadDone:   done,
+	}
+}
+
+// Now returns the current simulated cycle.
+func (ch *Chip) Now() uint64 { return ch.now }
+
+// ThreadProgress returns how many trace records thread id has executed
+// (or warmed) so far.
+func (ch *Chip) ThreadProgress(id int) uint64 { return ch.threads[id].consumed }

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestFCWindowLimitsRunahead(t *testing.T) {
+	// With a tiny window, FC cannot overlap distant misses; a large
+	// window recovers the overlap. Independent loads, big stride.
+	run := func(window int) uint64 {
+		cfg := testConfig(FatCamp, 1)
+		cfg.Window = window
+		ch := NewChip(cfg)
+		ch.AddThread(feed(1, streamScan(4000)))
+		res := ch.Run(20 << 20)
+		return res.ThreadDone[0]
+	}
+	small, big := run(16), run(1024)
+	if big >= small {
+		t.Fatalf("window 1024 (%d cycles) not faster than window 16 (%d)", big, small)
+	}
+}
+
+func TestFCMLPCapsOverlap(t *testing.T) {
+	run := func(mlp int) uint64 {
+		cfg := testConfig(FatCamp, 1)
+		cfg.MLP = mlp
+		cfg.Window = 4096
+		ch := NewChip(cfg)
+		ch.AddThread(feed(1, streamScan(4000)))
+		return ch.Run(20 << 20).ThreadDone[0]
+	}
+	one, eight := run(1), run(8)
+	if ratio := float64(one) / float64(eight); ratio < 2 {
+		t.Fatalf("MLP 8 speedup over MLP 1 = %.2f, want >= 2", ratio)
+	}
+}
+
+func TestFCContextSwitchClearsDependence(t *testing.T) {
+	// Two threads timesliced on one FC core: switching must not leak one
+	// thread's outstanding-miss state into the other (no deadlock, both
+	// finish).
+	cfg := testConfig(FatCamp, 1)
+	cfg.Quantum = 500
+	ch := NewChip(cfg)
+	ch.AddThread(feed(3, pointerChase(8192, 500)))
+	ch.AddThread(feed(3, pointerChase(16384, 500)))
+	res := ch.Run(50 << 20)
+	for i, d := range res.ThreadDone {
+		if d == 0 {
+			t.Fatalf("thread %d never finished", i)
+		}
+	}
+}
+
+func TestLCRoundRobinFairness(t *testing.T) {
+	// Four compute-only threads on one LC core must progress near-equally.
+	ch := NewChip(testConfig(LeanCamp, 1))
+	for i := 0; i < 4; i++ {
+		ch.AddThread(feed(1000000, computeOnly))
+	}
+	ch.Run(100000)
+	var lo, hi uint64 = ^uint64(0), 0
+	for i := 0; i < 4; i++ {
+		p := ch.ThreadProgress(i)
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo == 0 || float64(hi)/float64(lo) > 1.2 {
+		t.Fatalf("unfair interleave: min=%d max=%d", lo, hi)
+	}
+}
+
+func TestSingleLCContextExposesFullLatency(t *testing.T) {
+	// CtxPerCore=1 turns LC into a blocking scalar core: runtime should
+	// be roughly misses*latency + issue time.
+	cfg := testConfig(LeanCamp, 1)
+	cfg.CtxPerCore = 1
+	ch := NewChip(cfg)
+	const n = 500
+	ch.AddThread(feed(1, streamScan(n)))
+	res := ch.Run(10 << 20)
+	got := res.ThreadDone[0]
+	memLat := uint64(ch.Config().Hier.WithDefaults().MemLat)
+	min := n * memLat // every line misses to memory
+	if got < min {
+		t.Fatalf("finished in %d cycles, below the %d cycle memory bound", got, min)
+	}
+	if got > min*3/2 {
+		t.Fatalf("finished in %d cycles; expected near %d for a blocking core", got, min)
+	}
+}
+
+func TestBranchPenaltyScalesOtherStalls(t *testing.T) {
+	run := func(penalty int) uint64 {
+		cfg := testConfig(FatCamp, 1)
+		cfg.BranchPenalty = penalty
+		ch := NewChip(cfg)
+		ch.AddThread(feed(3000, computeOnly))
+		return ch.Run(1 << 22).Breakdown.Other()
+	}
+	if lo, hi := run(2), run(30); hi <= lo {
+		t.Fatalf("other stalls with penalty 30 (%d) not above penalty 2 (%d)", hi, lo)
+	}
+}
+
+func TestWarmThenRunContinuesStream(t *testing.T) {
+	// Warming must consume the stream prefix: total consumption equals
+	// warm + timed without loss or duplication.
+	ch := NewChip(testConfig(FatCamp, 1))
+	ch.AddThread(feed(100, computeOnly)) // 100*4 exec records
+	ch.Warm(100)
+	if p := ch.ThreadProgress(0); p != 100 {
+		t.Fatalf("warm consumed %d refs, want 100", p)
+	}
+	res := ch.Run(1 << 22)
+	if res.ThreadDone[0] == 0 {
+		t.Fatal("did not finish after warming")
+	}
+	if p := ch.ThreadProgress(0); p != 400 {
+		t.Fatalf("total consumed %d, want 400", p)
+	}
+}
+
+func TestRunStopsAtCycleLimit(t *testing.T) {
+	ch := NewChip(testConfig(LeanCamp, 2))
+	ch.AddThread(feed(1<<30, computeOnly))
+	res := ch.Run(5000)
+	if res.Cycles != 5000 {
+		t.Fatalf("ran %d cycles, want exactly 5000", res.Cycles)
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 || r.CPI() != 0 {
+		t.Fatal("zero result should have zero metrics")
+	}
+	r.Cycles = 100
+	r.Instructions = 250
+	r.Breakdown.Cycles[KindComp] = 100
+	if r.IPC() != 2.5 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+	if r.CPI() != 0.4 {
+		t.Fatalf("CPI = %v", r.CPI())
+	}
+	if r.CPIComponent(KindComp) != 0.4 {
+		t.Fatalf("CPIComponent = %v", r.CPIComponent(KindComp))
+	}
+}
+
+func TestBreakdownFracProperty(t *testing.T) {
+	f := func(vals [8]uint16) bool {
+		var b Breakdown
+		for i, v := range vals {
+			if i < int(numKinds) {
+				b.Cycles[i] = uint64(v)
+			}
+		}
+		var sum float64
+		for k := StallKind(0); k < numKinds; k++ {
+			if k != KindIdle {
+				sum += b.Frac(k)
+			}
+		}
+		return b.Busy() == 0 || (sum > 0.999 && sum < 1.001)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddThreadAtPlacement(t *testing.T) {
+	// Threads placed on contexts 0 and Cores land on the same core for
+	// LC chips (interleaved placement order).
+	cfg := testConfig(LeanCamp, 4)
+	ch := NewChip(cfg)
+	a := ch.AddThreadAt(feed(10, computeOnly), 0)
+	b := ch.AddThreadAt(feed(10, computeOnly), 4)
+	c := ch.AddThreadAt(feed(10, computeOnly), 1)
+	if ch.threadCore[a] != ch.threadCore[b] {
+		t.Fatalf("contexts 0 and 4 on cores %d and %d, want same",
+			ch.threadCore[a], ch.threadCore[b])
+	}
+	if ch.threadCore[a] == ch.threadCore[c] {
+		t.Fatal("contexts 0 and 1 on the same core, want different")
+	}
+}
+
+func TestSharedL2VisibleAcrossCores(t *testing.T) {
+	// A line brought in by core 0's thread must be an L2 hit for core 1's
+	// thread (CMP data sharing).
+	ch := NewChip(testConfig(FatCamp, 2))
+	// A 256KB region: too big for a 64KB L1D, fits the 1MB shared L2, so
+	// each core's L1 capacity misses become shared-L2 hits.
+	gen := func(r *trace.Recorder) {
+		for i := 0; i < 4096; i++ {
+			r.Exec(testSeg, 8)
+			r.Load(mem.HeapBase+mem.Addr(i*64), false)
+		}
+	}
+	ch.AddThread(feed(1000, gen)) // core 0
+	ch.AddThread(feed(1000, gen)) // core 1, same lines
+	ch.Warm(20000)
+	res := ch.Run(100000)
+	st := res.Cache
+	if st.L2Hits == 0 {
+		t.Fatal("no shared-L2 hits between cores")
+	}
+}
+
+func TestHierarchyConfigPropagated(t *testing.T) {
+	cfg := Config{
+		Camp:  FatCamp,
+		Cores: 3,
+		Hier:  cache.Config{L2Size: 2 << 20, L2Lat: 9, SharedL2: true},
+	}
+	ch := NewChip(cfg)
+	if got := ch.Hierarchy().Config().Cores; got != 3 {
+		t.Fatalf("hierarchy cores = %d", got)
+	}
+	if got := ch.Hierarchy().Config().L2Lat; got != 9 {
+		t.Fatalf("hierarchy L2Lat = %d", got)
+	}
+}
+
+func TestCampString(t *testing.T) {
+	if FatCamp.String() != "FC" || LeanCamp.String() != "LC" {
+		t.Fatal("camp strings wrong")
+	}
+}

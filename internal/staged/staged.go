@@ -1,0 +1,415 @@
+// Package staged implements the staged database system design of the
+// paper's Section 6.3 (Harizopoulos & Ailamaki's StagedDB / QPipe line):
+// query work is decomposed into stages that exchange packets — batches of
+// tuples in the simulated address space — instead of executing one
+// monolithic operator tree per request.
+//
+// Two executors realize the two scheduling policies the paper discusses:
+//
+//   - RunAffinity: producer and consumer stages share one hardware context
+//     (STEPS-style cohort scheduling). A stage processes a whole packet
+//     before yielding, so its instruction footprint stays L1I-resident,
+//     and packets are sized to fit the L1D, so the consumer reads what the
+//     producer just wrote at L1 cost.
+//
+//   - RunParallel: each stage is its own software thread (its own trace
+//     stream), placeable on a different core. Stage code locality is even
+//     better, and stages run concurrently — but packets now travel between
+//     cores through the shared L2, trading data locality for parallelism.
+//
+// Comparing monolithic Volcano execution against these two modes
+// regenerates the paper's "opportunities" discussion quantitatively.
+package staged
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Packet is a batch of fixed-width rows in a workspace arena.
+type Packet struct {
+	buf  []byte
+	addr mem.Addr
+	rowW int
+	cap  int
+	n    int
+}
+
+// NewPacket allocates a packet of capacity rows from work.
+func NewPacket(work *mem.Arena, capRows, rowW int) *Packet {
+	if capRows <= 0 || rowW <= 0 {
+		panic(fmt.Sprintf("staged: bad packet geometry %d x %d", capRows, rowW))
+	}
+	a := work.Alloc(capRows*rowW, mem.LineSize)
+	return &Packet{buf: work.Bytes(a, capRows*rowW), addr: a, rowW: rowW, cap: capRows}
+}
+
+// Reset empties the packet for reuse; reused packets keep their addresses,
+// which is what makes affinity scheduling L1-friendly.
+func (p *Packet) Reset() { p.n = 0 }
+
+// N returns the row count.
+func (p *Packet) N() int { return p.n }
+
+// Cap returns the row capacity.
+func (p *Packet) Cap() int { return p.cap }
+
+// Append copies row in, tracing the store. It reports false when full.
+func (p *Packet) Append(rec *trace.Recorder, row []byte) bool {
+	if p.n == p.cap {
+		return false
+	}
+	off := p.n * p.rowW
+	copy(p.buf[off:off+p.rowW], row)
+	rec.StoreRange(p.addr+mem.Addr(off), p.rowW)
+	p.n++
+	return true
+}
+
+// Row returns row i, tracing the load.
+func (p *Packet) Row(rec *trace.Recorder, i int) []byte {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("staged: row %d of %d", i, p.n))
+	}
+	off := i * p.rowW
+	rec.LoadRange(p.addr+mem.Addr(off), p.rowW)
+	return p.buf[off : off+p.rowW]
+}
+
+// Transform is one stage's per-row work: it may emit zero or more output
+// rows. Implementations trace their own instruction and data costs.
+type Transform func(ctx *engine.Ctx, row []byte, emit func([]byte))
+
+// Stage is a middle pipeline stage.
+type Stage struct {
+	Name string
+	Out  engine.Schema // output row schema
+	Fn   Transform
+}
+
+// FilterStage builds a stage dropping rows that fail the conjunction.
+func FilterStage(db *engine.DB, in engine.Schema, preds []engine.Pred) Stage {
+	code := db.Codes.Register("stage:filter", 1536)
+	offs := in.Offsets()
+	return Stage{
+		Name: "filter",
+		Out:  in,
+		Fn: func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
+			ctx.Rec.Exec(code, 10+12*len(preds))
+			for _, p := range preds {
+				if !p.Eval(in, offs, row) {
+					return
+				}
+			}
+			emit(row)
+		},
+	}
+}
+
+// ProjectStage builds a stage narrowing rows to cols.
+func ProjectStage(db *engine.DB, in engine.Schema, cols []int) Stage {
+	code := db.Codes.Register("stage:project", 1024)
+	offs := in.Offsets()
+	out := in.Project(cols)
+	buf := make([]byte, out.RowWidth())
+	return Stage{
+		Name: "project",
+		Out:  out,
+		Fn: func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
+			ctx.Rec.Exec(code, 4*len(cols))
+			off := 0
+			for _, c := range cols {
+				w := in[c].Width
+				copy(buf[off:off+w], row[offs[c]:offs[c]+w])
+				off += w
+			}
+			emit(buf)
+		},
+	}
+}
+
+// Sink absorbs the pipeline's final rows.
+type Sink interface {
+	Absorb(ctx *engine.Ctx, row []byte)
+	// Rows returns how many rows were absorbed.
+	Rows() int
+}
+
+// CountSink counts rows (and models a small per-row cost).
+type CountSink struct {
+	db   *engine.DB
+	code mem.CodeSeg
+	n    int
+}
+
+// NewCountSink builds a counting sink.
+func NewCountSink(db *engine.DB) *CountSink {
+	return &CountSink{db: db, code: db.Codes.Register("stage:count", 512)}
+}
+
+// Absorb implements Sink.
+func (s *CountSink) Absorb(ctx *engine.Ctx, _ []byte) {
+	ctx.Rec.Exec(s.code, 6)
+	s.n++
+}
+
+// Rows implements Sink.
+func (s *CountSink) Rows() int { return s.n }
+
+// AggSink folds rows into a grouped sum via a workspace hash table.
+type AggSink struct {
+	db       *engine.DB
+	code     mem.CodeSeg
+	groupOff int
+	sumOff   int
+	ht       *engine.HashTable
+	n        int
+	isFloat  bool
+}
+
+// NewAggSink groups by integer column groupCol summing column sumCol.
+func NewAggSink(ctx *engine.Ctx, db *engine.DB, in engine.Schema, groupCol, sumCol int) *AggSink {
+	offs := in.Offsets()
+	return &AggSink{
+		db:       db,
+		code:     db.Codes.Register("stage:agg", 2048),
+		groupOff: offs[groupCol],
+		sumOff:   offs[sumCol],
+		ht:       engine.NewHashTable(ctx, 1024, 8),
+		isFloat:  in[sumCol].Type == engine.TFloat,
+	}
+}
+
+// Absorb implements Sink.
+func (s *AggSink) Absorb(ctx *engine.Ctx, row []byte) {
+	ctx.Rec.Exec(s.code, 24)
+	key := uint64(engine.RowInt(row, s.groupOff))
+	p, at, _ := s.ht.LookupOrInsert(ctx.Rec, key)
+	if s.isFloat {
+		engine.PutRowFloat(p, 0, engine.RowFloat(p, 0)+engine.RowFloat(row, s.sumOff))
+	} else {
+		engine.PutRowInt(p, 0, engine.RowInt(p, 0)+engine.RowInt(row, s.sumOff))
+	}
+	ctx.Rec.Store(at)
+	s.n++
+}
+
+// Rows implements Sink.
+func (s *AggSink) Rows() int { return s.n }
+
+// Groups returns the per-group sums (float-valued view).
+func (s *AggSink) Groups() map[uint64]float64 {
+	out := make(map[uint64]float64)
+	s.ht.Scan(nil, func(k uint64, p []byte) bool {
+		if s.isFloat {
+			out[k] = engine.RowFloat(p, 0)
+		} else {
+			out[k] = float64(engine.RowInt(p, 0))
+		}
+		return true
+	})
+	return out
+}
+
+// Pipeline is a linear staged plan: source → stages → sink.
+type Pipeline struct {
+	DB     *engine.DB
+	Source engine.Op
+	Stages []Stage
+	Sink   Sink
+
+	// BatchRows sizes packets; the default fits half a 64 KB L1D.
+	BatchRows int
+}
+
+func (pl *Pipeline) batch(rowW int) int {
+	if pl.BatchRows > 0 {
+		return pl.BatchRows
+	}
+	b := (32 << 10) / rowW
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// RunAffinity executes the pipeline on one worker: fill a packet from the
+// source, push it through every stage packet-at-a-time, absorb into the
+// sink, repeat. Producer and consumer data stay within one context's L1.
+func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
+	srcSchema := pl.Source.Schema()
+	if err := pl.Source.Open(ctx); err != nil {
+		return 0, err
+	}
+	defer pl.Source.Close(ctx)
+
+	// One reusable packet per pipeline edge.
+	pkts := make([]*Packet, len(pl.Stages)+1)
+	pkts[0] = NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
+	for i, st := range pl.Stages {
+		pkts[i+1] = NewPacket(ctx.Work, pl.batch(st.Out.RowWidth()), st.Out.RowWidth())
+	}
+
+	for {
+		// Fill the head packet from the source.
+		head := pkts[0]
+		head.Reset()
+		for head.N() < head.Cap() {
+			row, ok, err := pl.Source.Next(ctx)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			head.Append(ctx.Rec, row)
+		}
+		if head.N() == 0 {
+			return pl.Sink.Rows(), nil
+		}
+		cur := head
+		for i, st := range pl.Stages {
+			out := pkts[i+1]
+			out.Reset()
+			for r := 0; r < cur.N(); r++ {
+				row := cur.Row(ctx.Rec, r)
+				st.Fn(ctx, row, func(o []byte) { out.Append(ctx.Rec, o) })
+			}
+			cur = out
+		}
+		for r := 0; r < cur.N(); r++ {
+			pl.Sink.Absorb(ctx, cur.Row(ctx.Rec, r))
+		}
+	}
+}
+
+// RunParallel executes source, stages, and sink each as its own worker
+// goroutine with its own execution context (and so its own trace stream).
+// ctxs must have len(Stages)+2 entries: source, stages..., sink. Packets
+// flow through bounded queues with a free-list per edge, so packet
+// addresses recycle just as in affinity mode — but the consumer runs on
+// another core, so reads are L2 traffic there.
+func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
+	want := len(pl.Stages) + 2
+	if len(ctxs) != want {
+		return 0, fmt.Errorf("staged: %d contexts for %d workers", len(ctxs), want)
+	}
+	type edge struct {
+		data chan *Packet
+		free chan *Packet
+	}
+	schemas := make([]engine.Schema, len(pl.Stages)+1)
+	schemas[0] = pl.Source.Schema()
+	for i, st := range pl.Stages {
+		schemas[i+1] = st.Out
+	}
+	const ring = 4
+	edges := make([]edge, len(schemas))
+	for i, s := range schemas {
+		edges[i] = edge{data: make(chan *Packet, ring), free: make(chan *Packet, ring)}
+		// Packets live in the producing worker's workspace.
+		for k := 0; k < ring; k++ {
+			edges[i].free <- NewPacket(ctxs[i].Work, pl.batch(s.RowWidth()), s.RowWidth())
+		}
+	}
+
+	errc := make(chan error, want)
+
+	// Source worker.
+	go func() {
+		ctx := ctxs[0]
+		defer close(edges[0].data)
+		if err := pl.Source.Open(ctx); err != nil {
+			errc <- err
+			return
+		}
+		defer pl.Source.Close(ctx)
+		for {
+			pkt := <-edges[0].free
+			pkt.Reset()
+			for pkt.N() < pkt.Cap() {
+				row, ok, err := pl.Source.Next(ctx)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !ok {
+					break
+				}
+				pkt.Append(ctx.Rec, row)
+			}
+			if pkt.N() == 0 {
+				edges[0].free <- pkt
+				errc <- nil
+				return
+			}
+			edges[0].data <- pkt
+		}
+	}()
+
+	// Middle stage workers.
+	for i := range pl.Stages {
+		go func(i int) {
+			ctx := ctxs[i+1]
+			st := pl.Stages[i]
+			in, out := edges[i], edges[i+1]
+			defer close(out.data)
+			cur := <-out.free
+			cur.Reset()
+			flush := func() {
+				if cur.N() > 0 {
+					out.data <- cur
+					cur = <-out.free
+					cur.Reset()
+				}
+			}
+			for pkt := range in.data {
+				for r := 0; r < pkt.N(); r++ {
+					row := pkt.Row(ctx.Rec, r)
+					st.Fn(ctx, row, func(o []byte) {
+						if !cur.Append(ctx.Rec, o) {
+							out.data <- cur
+							cur = <-out.free
+							cur.Reset()
+							cur.Append(ctx.Rec, o)
+						}
+					})
+				}
+				pkt.Reset()
+				in.free <- pkt
+			}
+			flush()
+			errc <- nil
+		}(i)
+	}
+
+	// Sink worker.
+	sinkDone := make(chan int, 1)
+	go func() {
+		ctx := ctxs[len(ctxs)-1]
+		last := edges[len(edges)-1]
+		for pkt := range last.data {
+			for r := 0; r < pkt.N(); r++ {
+				pl.Sink.Absorb(ctx, pkt.Row(ctx.Rec, r))
+			}
+			pkt.Reset()
+			last.free <- pkt
+		}
+		errc <- nil
+		sinkDone <- pl.Sink.Rows()
+	}()
+
+	var firstErr error
+	for i := 0; i < want; i++ {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return <-sinkDone, nil
+}

@@ -1,0 +1,130 @@
+// Package stats provides the statistical-sampling support of the paper's
+// SimFlex methodology: sample means, confidence intervals, and paired
+// measurements for reporting changes in performance with 95% confidence.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// tTable95 holds two-sided 95% critical values of Student's t for small
+// degrees of freedom; beyond the table the normal approximation is used.
+var tTable95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+}
+
+// t95 returns the 95% critical value for df degrees of freedom.
+func t95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.96
+}
+
+// Sample accumulates scalar measurements.
+type Sample struct {
+	vals []float64
+}
+
+// Add appends a measurement.
+func (s *Sample) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the number of measurements.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Var returns the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s *Sample) CI95() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return t95(n-1) * s.Stddev() / math.Sqrt(float64(n))
+}
+
+// RelErr95 returns the 95% confidence half-width relative to the mean —
+// the "±5% error" target of the paper's sampling methodology.
+func (s *Sample) RelErr95() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.CI95() / m)
+}
+
+// Converged reports whether the sample reached the target relative error
+// with at least minN measurements.
+func (s *Sample) Converged(target float64, minN int) bool {
+	return s.N() >= minN && s.RelErr95() <= target
+}
+
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ±%.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// Paired compares two matched measurement vectors (the paper's paired
+// measurement sampling: the same sample locations measured under two
+// configurations) and reports the mean difference b-a with its 95%
+// confidence half-width.
+func Paired(a, b []float64) (mean, ci float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("stats: paired lengths differ: %d vs %d", len(a), len(b))
+	}
+	var d Sample
+	for i := range a {
+		d.Add(b[i] - a[i])
+	}
+	return d.Mean(), d.CI95(), nil
+}
+
+// SpeedupCI returns the ratio mean(b)/mean(a) of two paired measurement
+// vectors along with a conservative 95% interval computed from the paired
+// differences of ratios.
+func SpeedupCI(a, b []float64) (ratio, ci float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("stats: paired lengths differ: %d vs %d", len(a), len(b))
+	}
+	var r Sample
+	for i := range a {
+		if a[i] == 0 {
+			return 0, 0, fmt.Errorf("stats: zero baseline at %d", i)
+		}
+		r.Add(b[i] / a[i])
+	}
+	return r.Mean(), r.CI95(), nil
+}

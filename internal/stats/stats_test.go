@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if m := s.Mean(); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := s.Stddev(); math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("Stddev = %v, want ~2.138", sd)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Error("empty sample should have zero mean/var")
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Error("empty CI should be infinite")
+	}
+	s.Add(3)
+	if !math.IsInf(s.CI95(), 1) {
+		t.Error("singleton CI should be infinite")
+	}
+	if s.Mean() != 3 {
+		t.Error("singleton mean wrong")
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	mk := func(n int) float64 {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(float64(i%7) - 3)
+		}
+		return s.CI95()
+	}
+	if !(mk(200) < mk(50) && mk(50) < mk(10)) {
+		t.Errorf("CI not shrinking: %v %v %v", mk(10), mk(50), mk(200))
+	}
+}
+
+func TestConverged(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(100 + float64(i%3)) // tiny variance around 101
+	}
+	if !s.Converged(0.05, 30) {
+		t.Errorf("tight sample not converged: relerr=%v", s.RelErr95())
+	}
+	if s.Converged(0.05, 200) {
+		t.Error("converged despite minN unmet")
+	}
+}
+
+func TestT95Table(t *testing.T) {
+	if got := t95(1); got != 12.706 {
+		t.Errorf("t95(1) = %v", got)
+	}
+	if got := t95(1000); got != 1.96 {
+		t.Errorf("t95(1000) = %v", got)
+	}
+	if !math.IsNaN(t95(0)) {
+		t.Error("t95(0) should be NaN")
+	}
+}
+
+func TestPaired(t *testing.T) {
+	a := []float64{10, 12, 11, 13}
+	b := []float64{12, 14, 13, 15}
+	mean, ci, err := Paired(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 2 {
+		t.Errorf("paired mean = %v, want 2", mean)
+	}
+	if ci != 0 {
+		t.Errorf("constant difference should have 0 CI, got %v", ci)
+	}
+	if _, _, err := Paired(a, b[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSpeedupCI(t *testing.T) {
+	a := []float64{10, 20, 30}
+	b := []float64{20, 40, 60}
+	r, _, err := SpeedupCI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 {
+		t.Errorf("speedup = %v, want 2", r)
+	}
+	if _, _, err := SpeedupCI([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestMeanWithinRangeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Keep magnitudes sane to avoid float overflow in the sum.
+			if math.Abs(v) > 1e12 {
+				return true
+			}
+			s.Add(v)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarNonNegativeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			s.Add(v)
+		}
+		return s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// PageID identifies a database page.
+type PageID uint32
+
+// InvalidPage is the zero PageID; page numbering starts at 1.
+const InvalidPage PageID = 0
+
+// BufferPool manages page frames inside the simulated heap arena. Frames
+// hold the working database; pages evicted under memory pressure spill to
+// a simulated disk (a host-side map — the paper's workloads are tuned to
+// be memory-resident, so eviction is a correctness path, not a hot one).
+//
+// The pool is safe for concurrent use by the engine's worker threads.
+type BufferPool struct {
+	mu sync.Mutex
+
+	arena     *mem.Arena
+	frames    int
+	frameAddr []mem.Addr
+	frameBuf  [][]byte
+	framePage []PageID
+	pins      []int
+	clockRef  []bool
+	hand      int
+
+	table map[PageID]int // resident pages -> frame
+	disk  map[PageID][]byte
+
+	nextPage PageID
+
+	// tableAddr is the simulated base of the page-table metadata; each
+	// lookup loads one entry, giving buffer-pool metadata its footprint.
+	tableAddr mem.Addr
+	tableCap  int
+
+	code mem.CodeSeg
+
+	// Counters (protected by mu).
+	Hits, Misses, Evictions uint64
+}
+
+// bufCodeSize is the synthetic instruction footprint of the buffer-pool
+// code path (hash lookup, pin bookkeeping).
+const bufCodeSize = 2048
+
+// pageTableEntry is the metadata bytes charged per page-table lookup.
+const pageTableEntry = 16
+
+// NewBufferPool creates a pool of frames pages inside arena, registering
+// its code segment with codes. maxPages bounds the page-table metadata
+// region (allocate generously; entries are 16 simulated bytes each).
+func NewBufferPool(arena *mem.Arena, frames, maxPages int, codes *mem.CodeMap) *BufferPool {
+	if frames <= 0 || maxPages < frames {
+		panic(fmt.Sprintf("storage: bad pool geometry frames=%d maxPages=%d", frames, maxPages))
+	}
+	bp := &BufferPool{
+		arena:     arena,
+		frames:    frames,
+		framePage: make([]PageID, frames),
+		pins:      make([]int, frames),
+		clockRef:  make([]bool, frames),
+		table:     make(map[PageID]int, frames),
+		disk:      make(map[PageID][]byte),
+		tableCap:  maxPages,
+		code:      codes.Register("bufferpool", bufCodeSize),
+	}
+	bp.tableAddr = arena.Alloc(maxPages*pageTableEntry, mem.LineSize)
+	for i := 0; i < frames; i++ {
+		a := arena.Alloc(PageSize, mem.LineSize)
+		bp.frameAddr = append(bp.frameAddr, a)
+		bp.frameBuf = append(bp.frameBuf, arena.Bytes(a, PageSize))
+	}
+	return bp
+}
+
+// PageRef is a pinned page: its host buffer and simulated address. Callers
+// must Release it when done.
+type PageRef struct {
+	ID   PageID
+	Addr mem.Addr
+	Data []byte
+	pool *BufferPool
+	fr   int
+}
+
+// Release unpins the page.
+func (r *PageRef) Release() {
+	r.pool.mu.Lock()
+	if r.pool.pins[r.fr] > 0 {
+		r.pool.pins[r.fr]--
+	}
+	r.pool.mu.Unlock()
+}
+
+func (bp *BufferPool) tableEntryAddr(pid PageID) mem.Addr {
+	return bp.tableAddr + mem.Addr(int(pid)%bp.tableCap*pageTableEntry)
+}
+
+// NewPage allocates a fresh page, pinned.
+func (bp *BufferPool) NewPage(rec *trace.Recorder) (*PageRef, error) {
+	rec.Exec(bp.code, 70)
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.nextPage++
+	pid := bp.nextPage
+	if int(pid) >= bp.tableCap {
+		return nil, fmt.Errorf("storage: page table full (%d pages)", bp.tableCap)
+	}
+	fr, err := bp.grabFrame(rec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range bp.frameBuf[fr] {
+		bp.frameBuf[fr][i] = 0
+	}
+	bp.install(rec, pid, fr)
+	return &PageRef{ID: pid, Addr: bp.frameAddr[fr], Data: bp.frameBuf[fr], pool: bp, fr: fr}, nil
+}
+
+// Get pins page pid, reading it back from simulated disk if evicted.
+func (bp *BufferPool) Get(rec *trace.Recorder, pid PageID) (*PageRef, error) {
+	rec.Exec(bp.code, 55)
+	rec.Load(bp.tableEntryAddr(pid), true) // page-table lookup, pointer-dependent
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if pid == InvalidPage || pid > bp.nextPage {
+		return nil, fmt.Errorf("storage: no such page %d", pid)
+	}
+	if fr, ok := bp.table[pid]; ok {
+		bp.Hits++
+		bp.pins[fr]++
+		bp.clockRef[fr] = true
+		return &PageRef{ID: pid, Addr: bp.frameAddr[fr], Data: bp.frameBuf[fr], pool: bp, fr: fr}, nil
+	}
+	bp.Misses++
+	fr, err := bp.grabFrame(rec)
+	if err != nil {
+		return nil, err
+	}
+	if img, ok := bp.disk[pid]; ok {
+		copy(bp.frameBuf[fr], img)
+	} else {
+		for i := range bp.frameBuf[fr] {
+			bp.frameBuf[fr][i] = 0
+		}
+	}
+	bp.install(rec, pid, fr)
+	return &PageRef{ID: pid, Addr: bp.frameAddr[fr], Data: bp.frameBuf[fr], pool: bp, fr: fr}, nil
+}
+
+// install binds pid to frame fr (mu held).
+func (bp *BufferPool) install(rec *trace.Recorder, pid PageID, fr int) {
+	bp.table[pid] = fr
+	bp.framePage[fr] = pid
+	bp.pins[fr] = 1
+	bp.clockRef[fr] = true
+	rec.Store(bp.tableEntryAddr(pid))
+}
+
+// grabFrame finds a free frame or evicts an unpinned one (clock sweep);
+// mu must be held.
+func (bp *BufferPool) grabFrame(rec *trace.Recorder) (int, error) {
+	for i := 0; i < bp.frames; i++ {
+		if bp.framePage[i] == InvalidPage {
+			return i, nil
+		}
+	}
+	for sweep := 0; sweep < 2*bp.frames; sweep++ {
+		fr := bp.hand
+		bp.hand = (bp.hand + 1) % bp.frames
+		if bp.pins[fr] > 0 {
+			continue
+		}
+		if bp.clockRef[fr] {
+			bp.clockRef[fr] = false
+			continue
+		}
+		old := bp.framePage[fr]
+		img := make([]byte, PageSize)
+		copy(img, bp.frameBuf[fr])
+		bp.disk[old] = img
+		delete(bp.table, old)
+		bp.Evictions++
+		rec.Store(bp.tableEntryAddr(old))
+		return fr, nil
+	}
+	return 0, fmt.Errorf("storage: all %d frames pinned", bp.frames)
+}
+
+// Resident returns the number of in-memory pages.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.table)
+}
+
+// PageCount returns the number of allocated pages.
+func (bp *BufferPool) PageCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return int(bp.nextPage)
+}

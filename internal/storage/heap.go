@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Layout selects the physical page layout of a heap file.
+type Layout uint8
+
+// Page layouts.
+const (
+	// NSM is the conventional slotted layout (rows contiguous).
+	NSM Layout = iota
+	// PAXLayout groups columns in per-page minipages (Ailamaki et al.).
+	PAXLayout
+)
+
+func (l Layout) String() string {
+	if l == NSM {
+		return "NSM"
+	}
+	return "PAX"
+}
+
+// RID names a tuple: page and slot.
+type RID struct {
+	Page PageID
+	Slot uint32
+}
+
+// Pack encodes the RID into a uint64 for index payloads.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<32 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID { return RID{Page: PageID(v >> 32), Slot: uint32(v)} }
+
+// HeapFile is an unordered collection of fixed-schema tuples across pages.
+type HeapFile struct {
+	mu     sync.RWMutex
+	pool   *BufferPool
+	layout Layout
+	widths []int
+	rowW   int
+	pages  []PageID
+	rows   int
+	code   mem.CodeSeg
+}
+
+// NewHeapFile creates an empty heap file for tuples with the given column
+// widths (all columns fixed-width).
+func NewHeapFile(pool *BufferPool, layout Layout, widths []int, codes *mem.CodeMap, name string) *HeapFile {
+	rowW := 0
+	for _, w := range widths {
+		rowW += w
+	}
+	if rowW == 0 || rowW > PageSize/2 {
+		panic(fmt.Sprintf("storage: bad row width %d for %s", rowW, name))
+	}
+	return &HeapFile{
+		pool:   pool,
+		layout: layout,
+		widths: append([]int(nil), widths...),
+		rowW:   rowW,
+		code:   codes.Register("heap:"+name, 1536),
+	}
+}
+
+// Layout returns the file's page layout.
+func (h *HeapFile) Layout() Layout { return h.layout }
+
+// Widths returns the column widths.
+func (h *HeapFile) Widths() []int { return h.widths }
+
+// RowWidth returns the total tuple width.
+func (h *HeapFile) RowWidth() int { return h.rowW }
+
+// Rows returns the number of live inserts performed.
+func (h *HeapFile) Rows() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows
+}
+
+// NumPages returns the page count.
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// PageAt returns the i-th page id (scan order).
+func (h *HeapFile) PageAt(i int) PageID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.pages[i]
+}
+
+// Insert appends one NSM tuple (the concatenated fixed-width row) and
+// returns its RID.
+func (h *HeapFile) Insert(rec *trace.Recorder, tuple []byte) (RID, error) {
+	if h.layout != NSM {
+		return RID{}, fmt.Errorf("storage: Insert on %v heap; use InsertFields", h.layout)
+	}
+	if len(tuple) != h.rowW {
+		return RID{}, fmt.Errorf("storage: tuple %d bytes, schema row is %d", len(tuple), h.rowW)
+	}
+	rec.Exec(h.code, 50)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.pages) > 0 {
+		ref, err := h.pool.Get(rec, h.pages[len(h.pages)-1])
+		if err != nil {
+			return RID{}, err
+		}
+		if slot, ok := AsSlotted(ref.Data, ref.Addr).Insert(rec, tuple); ok {
+			ref.Release()
+			h.rows++
+			return RID{Page: ref.ID, Slot: uint32(slot)}, nil
+		}
+		ref.Release()
+	}
+	ref, err := h.pool.NewPage(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	defer ref.Release()
+	p := AsSlotted(ref.Data, ref.Addr)
+	p.Init()
+	h.pages = append(h.pages, ref.ID)
+	slot, ok := p.Insert(rec, tuple)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: tuple does not fit an empty page")
+	}
+	h.rows++
+	return RID{Page: ref.ID, Slot: uint32(slot)}, nil
+}
+
+// InsertFields appends one PAX tuple given per-column encodings.
+func (h *HeapFile) InsertFields(rec *trace.Recorder, fields [][]byte) (RID, error) {
+	if h.layout != PAXLayout {
+		return RID{}, fmt.Errorf("storage: InsertFields on %v heap; use Insert", h.layout)
+	}
+	rec.Exec(h.code, 50)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.pages) > 0 {
+		ref, err := h.pool.Get(rec, h.pages[len(h.pages)-1])
+		if err != nil {
+			return RID{}, err
+		}
+		if slot, ok := AsPAX(ref.Data, ref.Addr, h.widths).Append(rec, fields); ok {
+			ref.Release()
+			h.rows++
+			return RID{Page: ref.ID, Slot: uint32(slot)}, nil
+		}
+		ref.Release()
+	}
+	ref, err := h.pool.NewPage(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	defer ref.Release()
+	p := AsPAX(ref.Data, ref.Addr, h.widths)
+	p.Init()
+	h.pages = append(h.pages, ref.ID)
+	slot, ok := p.Append(rec, fields)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: tuple does not fit an empty PAX page")
+	}
+	h.rows++
+	return RID{Page: ref.ID, Slot: uint32(slot)}, nil
+}
+
+// FetchNSM reads the tuple at rid into a fresh slice (NSM heaps).
+func (h *HeapFile) FetchNSM(rec *trace.Recorder, rid RID) ([]byte, error) {
+	ref, err := h.pool.Get(rec, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer ref.Release()
+	t := AsSlotted(ref.Data, ref.Addr).Tuple(rec, int(rid.Slot))
+	if t == nil {
+		return nil, fmt.Errorf("storage: rid %v deleted", rid)
+	}
+	out := make([]byte, len(t))
+	copy(out, t)
+	return out, nil
+}
+
+// UpdateNSM overwrites the tuple at rid (NSM heaps, same width).
+func (h *HeapFile) UpdateNSM(rec *trace.Recorder, rid RID, tuple []byte) error {
+	ref, err := h.pool.Get(rec, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer ref.Release()
+	AsSlotted(ref.Data, ref.Addr).Update(rec, int(rid.Slot), tuple)
+	return nil
+}
+
+// PutUint64 is a helper encoding v little-endian into 8 bytes.
+func PutUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// GetUint64 decodes 8 little-endian bytes.
+func GetUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

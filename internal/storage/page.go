@@ -1,0 +1,252 @@
+// Package storage implements the database engine's physical layer over the
+// simulated address space: slotted (NSM) and PAX page layouts, a buffer
+// pool with LRU eviction, heap files, and a B+tree index.
+//
+// Every read or write of page bytes both performs the real operation on
+// host-backed memory and, when a trace recorder is supplied, emits the
+// corresponding simulated memory references. The trace therefore carries
+// the genuine locality of the layout in use — the paper's discussion of
+// cache-conscious layouts (PAX [3]) is reproducible, not asserted.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// PageSize is the size of every database page.
+const PageSize = 8192
+
+// Slotted is a view of an NSM (slotted) page: a slot directory grows from
+// the front, tuple bodies grow from the back.
+//
+// Layout:
+//
+//	[0:2]  slot count
+//	[2:4]  free-space offset (start of tuple area)
+//	[4:..] slot directory, 4 bytes per slot: tuple offset u16, length u16
+//	[...:] tuple bodies
+type Slotted struct {
+	data []byte
+	addr mem.Addr
+}
+
+const slottedHeader = 4
+
+// AsSlotted interprets a page buffer at simulated address addr.
+func AsSlotted(data []byte, addr mem.Addr) Slotted {
+	if len(data) != PageSize {
+		panic(fmt.Sprintf("storage: page buffer %d bytes, want %d", len(data), PageSize))
+	}
+	return Slotted{data: data, addr: addr}
+}
+
+// Init formats the page empty.
+func (p Slotted) Init() {
+	binary.LittleEndian.PutUint16(p.data[0:2], 0)
+	binary.LittleEndian.PutUint16(p.data[2:4], PageSize)
+}
+
+// NumSlots returns the slot count, including deleted slots.
+func (p Slotted) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.data[0:2]))
+}
+
+func (p Slotted) freeOff() int {
+	return int(binary.LittleEndian.Uint16(p.data[2:4]))
+}
+
+func (p Slotted) slotOff(slot int) int { return slottedHeader + slot*4 }
+
+// FreeSpace returns the bytes available for one more tuple (including its
+// slot entry).
+func (p Slotted) FreeSpace() int {
+	free := p.freeOff() - p.slotOff(p.NumSlots()) - 4
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores tuple and returns its slot number, or ok=false when the
+// page is full. It records the header read and tuple write.
+func (p Slotted) Insert(rec *trace.Recorder, tuple []byte) (slot int, ok bool) {
+	rec.Load(p.addr, false) // header
+	if len(tuple) > p.FreeSpace() {
+		return 0, false
+	}
+	n := p.NumSlots()
+	off := p.freeOff() - len(tuple)
+	copy(p.data[off:], tuple)
+	so := p.slotOff(n)
+	binary.LittleEndian.PutUint16(p.data[so:], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[so+2:], uint16(len(tuple)))
+	binary.LittleEndian.PutUint16(p.data[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(p.data[2:4], uint16(off))
+	rec.Store(p.addr + mem.Addr(so))
+	rec.StoreRange(p.addr+mem.Addr(off), len(tuple))
+	return n, true
+}
+
+// Tuple returns the bytes of slot, or nil if the slot is deleted. It
+// records the slot-directory read and the tuple-body read.
+func (p Slotted) Tuple(rec *trace.Recorder, slot int) []byte {
+	if slot < 0 || slot >= p.NumSlots() {
+		panic(fmt.Sprintf("storage: slot %d out of range (%d slots)", slot, p.NumSlots()))
+	}
+	so := p.slotOff(slot)
+	off := int(binary.LittleEndian.Uint16(p.data[so:]))
+	ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+	rec.Load(p.addr+mem.Addr(so), false)
+	if ln == 0 {
+		return nil
+	}
+	// The tuple body address comes from the slot entry just read: a true
+	// dependence that bounds how far out-of-order cores can run ahead.
+	rec.LoadRangeDep(p.addr+mem.Addr(off), ln)
+	return p.data[off : off+ln]
+}
+
+// TupleAddr returns the simulated address of slot's body (for callers that
+// trace field-level access themselves).
+func (p Slotted) TupleAddr(slot int) (mem.Addr, int) {
+	so := p.slotOff(slot)
+	off := int(binary.LittleEndian.Uint16(p.data[so:]))
+	ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+	return p.addr + mem.Addr(off), ln
+}
+
+// Update overwrites slot in place; the new tuple must not be longer than
+// the old one (fixed-width schemas always satisfy this).
+func (p Slotted) Update(rec *trace.Recorder, slot int, tuple []byte) {
+	so := p.slotOff(slot)
+	off := int(binary.LittleEndian.Uint16(p.data[so:]))
+	ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+	if len(tuple) > ln {
+		panic(fmt.Sprintf("storage: in-place update grows tuple %d -> %d", ln, len(tuple)))
+	}
+	rec.Load(p.addr+mem.Addr(so), false)
+	copy(p.data[off:off+len(tuple)], tuple)
+	binary.LittleEndian.PutUint16(p.data[so+2:], uint16(len(tuple)))
+	rec.StoreRange(p.addr+mem.Addr(off), len(tuple))
+}
+
+// Delete marks slot deleted (length 0); space is not reclaimed.
+func (p Slotted) Delete(rec *trace.Recorder, slot int) {
+	so := p.slotOff(slot)
+	binary.LittleEndian.PutUint16(p.data[so+2:], 0)
+	rec.Store(p.addr + mem.Addr(so))
+}
+
+// PAX is a view of a PAX page (Ailamaki et al. [3]): fixed-width columns
+// stored in per-column minipages so a scan of few columns touches few
+// cache lines.
+//
+// Layout:
+//
+//	[0:2] tuple count
+//	[2:4] capacity
+//	then one minipage per column, each capacity*width bytes.
+type PAX struct {
+	data   []byte
+	addr   mem.Addr
+	widths []int
+	offs   []int // minipage offsets
+	cap    int
+}
+
+const paxHeader = 4
+
+// PAXCapacity returns how many tuples of the given column widths fit.
+func PAXCapacity(widths []int) int {
+	row := 0
+	for _, w := range widths {
+		row += w
+	}
+	if row == 0 {
+		panic("storage: empty PAX schema")
+	}
+	return (PageSize - paxHeader) / row
+}
+
+// AsPAX interprets a page buffer with the given column widths.
+func AsPAX(data []byte, addr mem.Addr, widths []int) PAX {
+	if len(data) != PageSize {
+		panic(fmt.Sprintf("storage: page buffer %d bytes, want %d", len(data), PageSize))
+	}
+	cp := PAXCapacity(widths)
+	offs := make([]int, len(widths))
+	off := paxHeader
+	for i, w := range widths {
+		offs[i] = off
+		off += cp * w
+	}
+	return PAX{data: data, addr: addr, widths: widths, offs: offs, cap: cp}
+}
+
+// Init formats the page empty.
+func (p PAX) Init() {
+	binary.LittleEndian.PutUint16(p.data[0:2], 0)
+	binary.LittleEndian.PutUint16(p.data[2:4], uint16(p.cap))
+}
+
+// N returns the tuple count.
+func (p PAX) N() int { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+
+// Cap returns the page capacity in tuples.
+func (p PAX) Cap() int { return p.cap }
+
+// Append adds a tuple given as per-column encoded fields; ok=false when
+// the page is full.
+func (p PAX) Append(rec *trace.Recorder, fields [][]byte) (slot int, ok bool) {
+	rec.Load(p.addr, false)
+	n := p.N()
+	if n >= p.cap {
+		return 0, false
+	}
+	if len(fields) != len(p.widths) {
+		panic(fmt.Sprintf("storage: %d fields for %d columns", len(fields), len(p.widths)))
+	}
+	for c, f := range fields {
+		w := p.widths[c]
+		if len(f) != w {
+			panic(fmt.Sprintf("storage: column %d field %d bytes, want %d", c, len(f), w))
+		}
+		off := p.offs[c] + n*w
+		copy(p.data[off:off+w], f)
+		rec.StoreRange(p.addr+mem.Addr(off), w)
+	}
+	binary.LittleEndian.PutUint16(p.data[0:2], uint16(n+1))
+	return n, true
+}
+
+// Field returns column c of tuple slot, recording only that minipage read
+// — the PAX locality advantage.
+func (p PAX) Field(rec *trace.Recorder, slot, c int) []byte {
+	if slot < 0 || slot >= p.N() {
+		panic(fmt.Sprintf("storage: PAX slot %d out of range (%d)", slot, p.N()))
+	}
+	w := p.widths[c]
+	off := p.offs[c] + slot*w
+	rec.LoadRange(p.addr+mem.Addr(off), w)
+	return p.data[off : off+w]
+}
+
+// FieldAddr returns the simulated address of column c of tuple slot.
+func (p PAX) FieldAddr(slot, c int) mem.Addr {
+	return p.addr + mem.Addr(p.offs[c]+slot*p.widths[c])
+}
+
+// WriteField overwrites column c of tuple slot.
+func (p PAX) WriteField(rec *trace.Recorder, slot, c int, f []byte) {
+	w := p.widths[c]
+	if len(f) != w {
+		panic(fmt.Sprintf("storage: column %d field %d bytes, want %d", c, len(f), w))
+	}
+	off := p.offs[c] + slot*w
+	copy(p.data[off:off+w], f)
+	rec.StoreRange(p.addr+mem.Addr(off), w)
+}

@@ -1,0 +1,385 @@
+// Package trace defines the memory-reference trace format that connects the
+// database engine to the CMP timing simulator.
+//
+// Engine worker threads run real query and transaction code against data in
+// the simulated address space and emit a compact stream of references:
+// instruction execution at synthetic code addresses, and data loads/stores
+// at the addresses actually touched. The simulator consumes one stream per
+// software thread. Streams are produced through bounded channels so an
+// arbitrarily long workload never materializes an unbounded trace.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// Kind distinguishes the three reference types.
+type Kind uint8
+
+// Reference kinds.
+const (
+	// Exec represents Count() instructions fetched from the code line at
+	// Addr(). The simulator charges issue bandwidth and instruction-cache
+	// behaviour for them.
+	Exec Kind = iota
+	// Load is a data read of the line containing Addr. Dep() reports
+	// whether it depends on the immediately preceding load (pointer
+	// chasing), which serializes it behind that load in the core model.
+	Load
+	// Store is a data write of the line containing Addr.
+	Store
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Exec:
+		return "exec"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Ref is one trace record packed into 64 bits:
+//
+//	bits 0..1   kind
+//	bit  2      dependence flag (loads)
+//	bits 3..15  instruction count (Exec records)
+//	bits 16..63 address bits 0..47
+type Ref uint64
+
+// MaxExecCount is the largest instruction count one Exec record can carry.
+const MaxExecCount = 1<<13 - 1
+
+const addrMask = 1<<48 - 1
+
+// MakeExec builds an Exec record for n instructions at code address a.
+func MakeExec(a mem.Addr, n int) Ref {
+	if n <= 0 || n > MaxExecCount {
+		panic(fmt.Sprintf("trace: bad exec count %d", n))
+	}
+	return Ref(uint64(Exec) | uint64(n)<<3 | uint64(a&addrMask)<<16)
+}
+
+// MakeLoad builds a Load record; dep marks it dependent on the previous load.
+func MakeLoad(a mem.Addr, dep bool) Ref {
+	r := Ref(uint64(Load) | uint64(a&addrMask)<<16)
+	if dep {
+		r |= 1 << 2
+	}
+	return r
+}
+
+// MakeStore builds a Store record.
+func MakeStore(a mem.Addr) Ref {
+	return Ref(uint64(Store) | uint64(a&addrMask)<<16)
+}
+
+// Kind returns the record kind.
+func (r Ref) Kind() Kind { return Kind(r & 3) }
+
+// Dep reports the dependence flag.
+func (r Ref) Dep() bool { return r&(1<<2) != 0 }
+
+// Count returns the instruction count of an Exec record.
+func (r Ref) Count() int { return int(r >> 3 & MaxExecCount) }
+
+// Addr returns the reference address.
+func (r Ref) Addr() mem.Addr { return mem.Addr(r >> 16) }
+
+func (r Ref) String() string {
+	switch r.Kind() {
+	case Exec:
+		return fmt.Sprintf("exec %d @%#x", r.Count(), uint64(r.Addr()))
+	case Load:
+		if r.Dep() {
+			return fmt.Sprintf("load* %#x", uint64(r.Addr()))
+		}
+		return fmt.Sprintf("load %#x", uint64(r.Addr()))
+	default:
+		return fmt.Sprintf("store %#x", uint64(r.Addr()))
+	}
+}
+
+// chunkSize is the number of records moved between producer and consumer
+// at a time; it amortizes channel synchronization.
+const chunkSize = 4096
+
+// instrPerLine is how many 4-byte instructions fit in one 64-byte code line.
+const instrPerLine = mem.LineSize / 4
+
+// Pipe creates a connected Recorder/Stream pair. The engine thread writes
+// through the Recorder; the simulator reads the Stream. Closing the stream
+// (from the consumer side) makes further recording a no-op and unblocks the
+// producer; closing the recorder (producer side) ends the stream.
+func Pipe() (*Recorder, *Stream) {
+	ch := make(chan []Ref, 4)
+	stop := make(chan struct{})
+	r := &Recorder{ch: ch, stop: stop, buf: make([]Ref, 0, chunkSize)}
+	s := &Stream{ch: ch, stop: stop}
+	return r, s
+}
+
+// Recorder is the producer half of a trace pipe. It is used by exactly one
+// engine thread; it is not safe for concurrent use. A nil Recorder is valid
+// and discards everything, so engine code can run untraced at full speed.
+type Recorder struct {
+	ch      chan []Ref
+	stop    chan struct{}
+	buf     []Ref
+	stopped bool
+
+	// Counters for the analytical validation model (Figure 3).
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+}
+
+// Stopped reports whether the consumer has closed the stream; workload
+// drivers poll it between transactions or batches to terminate promptly.
+func (r *Recorder) Stopped() bool {
+	if r == nil {
+		return true
+	}
+	if r.stopped {
+		return true
+	}
+	select {
+	case <-r.stop:
+		r.stopped = true
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Recorder) emit(ref Ref) {
+	r.buf = append(r.buf, ref)
+	if len(r.buf) == chunkSize {
+		r.flush()
+	}
+}
+
+func (r *Recorder) flush() {
+	if len(r.buf) == 0 {
+		return
+	}
+	chunk := r.buf
+	r.buf = make([]Ref, 0, chunkSize)
+	select {
+	case r.ch <- chunk:
+	case <-r.stop:
+		r.stopped = true
+	}
+}
+
+// Exec records the execution of n instructions of the code segment seg,
+// walking the segment's cache lines from its start (one pass through a
+// loop body or call path), wrapping if n exceeds the segment.
+func (r *Recorder) Exec(seg mem.CodeSeg, n int) {
+	if r == nil || r.stopped || n <= 0 {
+		return
+	}
+	r.Instructions += uint64(n)
+	lines := seg.Size / mem.LineSize
+	if lines == 0 {
+		lines = 1
+	}
+	line := 0
+	for n > 0 {
+		k := instrPerLine
+		if n < k {
+			k = n
+		}
+		r.emit(MakeExec(seg.Base+mem.Addr(line*mem.LineSize), k))
+		n -= k
+		line++
+		if line == lines {
+			line = 0
+		}
+	}
+}
+
+// ExecAt records n instructions at byte offset off into seg, for callers
+// that model distinct paths within one component's footprint.
+func (r *Recorder) ExecAt(seg mem.CodeSeg, off, n int) {
+	if r == nil || r.stopped || n <= 0 {
+		return
+	}
+	r.Instructions += uint64(n)
+	lines := seg.Size / mem.LineSize
+	if lines == 0 {
+		lines = 1
+	}
+	line := (off / mem.LineSize) % lines
+	for n > 0 {
+		k := instrPerLine
+		if n < k {
+			k = n
+		}
+		r.emit(MakeExec(seg.Base+mem.Addr(line*mem.LineSize), k))
+		n -= k
+		line++
+		if line == lines {
+			line = 0
+		}
+	}
+}
+
+// Load records a data read at a; dep marks it dependent on the previous load.
+func (r *Recorder) Load(a mem.Addr, dep bool) {
+	if r == nil || r.stopped {
+		return
+	}
+	r.Loads++
+	r.emit(MakeLoad(a, dep))
+}
+
+// LoadRange records reads covering n bytes starting at a (one per line).
+func (r *Recorder) LoadRange(a mem.Addr, n int) {
+	if r == nil || r.stopped || n <= 0 {
+		return
+	}
+	first, last := a.Line(), (a + mem.Addr(n) - 1).Line()
+	for l := first; l <= last; l += mem.LineSize {
+		r.Loads++
+		r.emit(MakeLoad(l, false))
+	}
+}
+
+// LoadRangeDep records reads covering n bytes starting at a, with the
+// first line dependent on the preceding load — the pattern of an access
+// whose base address was just loaded (slot directory → tuple body).
+func (r *Recorder) LoadRangeDep(a mem.Addr, n int) {
+	if r == nil || r.stopped || n <= 0 {
+		return
+	}
+	first, last := a.Line(), (a + mem.Addr(n) - 1).Line()
+	dep := true
+	for l := first; l <= last; l += mem.LineSize {
+		r.Loads++
+		r.emit(MakeLoad(l, dep))
+		dep = false
+	}
+}
+
+// Store records a data write at a.
+func (r *Recorder) Store(a mem.Addr) {
+	if r == nil || r.stopped {
+		return
+	}
+	r.Stores++
+	r.emit(MakeStore(a))
+}
+
+// StoreRange records writes covering n bytes starting at a (one per line).
+func (r *Recorder) StoreRange(a mem.Addr, n int) {
+	if r == nil || r.stopped || n <= 0 {
+		return
+	}
+	first, last := a.Line(), (a + mem.Addr(n) - 1).Line()
+	for l := first; l <= last; l += mem.LineSize {
+		r.Stores++
+		r.emit(MakeStore(l))
+	}
+}
+
+// Close flushes buffered records and ends the stream. The producer must not
+// record after Close.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	if !r.stopped {
+		r.flush()
+	}
+	close(r.ch)
+}
+
+// Stream is the consumer half of a trace pipe, read by the simulator.
+type Stream struct {
+	ch     chan []Ref
+	stop   chan struct{}
+	cur    []Ref
+	pos    int
+	closed bool
+	ended  bool
+
+	// Consumed counts records delivered by Next.
+	Consumed uint64
+}
+
+// Next returns the next record, or ok=false when the producer has closed
+// the pipe and all records were consumed.
+func (s *Stream) Next() (Ref, bool) {
+	if s.pos == len(s.cur) {
+		chunk, ok, _ := s.RecvChunk(-1)
+		if !ok {
+			return 0, false
+		}
+		s.cur, s.pos = chunk, 0
+	}
+	ref := s.cur[s.pos]
+	s.pos++
+	s.Consumed++
+	return ref, true
+}
+
+// RecvChunk receives one whole chunk. wait < 0 blocks until a chunk or
+// close; wait == 0 polls; wait > 0 waits at most that duration. ended
+// reports producer close. Consumers that multiplex many streams (the
+// simulator) use the polling mode so a producer stalled on an engine lock
+// held by another producer can never wedge them.
+func (s *Stream) RecvChunk(wait time.Duration) (chunk []Ref, ok, ended bool) {
+	if s.ended {
+		return nil, false, true
+	}
+	switch {
+	case wait < 0:
+		c, okc := <-s.ch
+		if !okc {
+			s.ended = true
+			return nil, false, true
+		}
+		return c, true, false
+	case wait == 0:
+		select {
+		case c, okc := <-s.ch:
+			if !okc {
+				s.ended = true
+				return nil, false, true
+			}
+			return c, true, false
+		default:
+			return nil, false, false
+		}
+	default:
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case c, okc := <-s.ch:
+			if !okc {
+				s.ended = true
+				return nil, false, true
+			}
+			return c, true, false
+		case <-t.C:
+			return nil, false, false
+		}
+	}
+}
+
+// Stop tells the producer to cease recording. The consumer should then
+// drain remaining chunks (Next until false) or simply abandon the stream;
+// a blocked producer is released either way.
+func (s *Stream) Stop() {
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
+}

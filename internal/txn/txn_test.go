@@ -1,0 +1,241 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+func testManager() *Manager {
+	arena := mem.NewArena(mem.HeapBase, 16<<20)
+	return NewManager(arena, mem.NewCodeMap())
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	b := m.Begin(nil)
+	if err := a.Lock(nil, 1, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(nil, 1, Shared); err != nil {
+		t.Fatal(err)
+	}
+	a.Commit(nil)
+	b.Commit(nil)
+}
+
+func TestExclusiveBlocksUntilRelease(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	if err := a.Lock(nil, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var acquired atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b := m.Begin(nil)
+		if err := b.Lock(nil, 7, Exclusive); err != nil {
+			t.Error(err)
+			return
+		}
+		acquired.Store(true)
+		b.Commit(nil)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if acquired.Load() {
+		t.Fatal("waiter acquired while held")
+	}
+	a.Commit(nil)
+	<-done
+	if !acquired.Load() {
+		t.Fatal("waiter never acquired")
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	if err := a.Lock(nil, 3, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(nil, 3, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade with no other holders must succeed.
+	if err := a.Lock(nil, 3, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(nil, 3, Shared); err != nil {
+		t.Fatal(err) // X covers S
+	}
+	a.Commit(nil)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	b := m.Begin(nil)
+	if err := a.Lock(nil, 100, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(nil, 200, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Each goroutine closes the cycle and resolves its own transaction:
+	// the deadlock victim aborts (releasing locks so the peer proceeds).
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	attempt := func(tx *Txn, key uint64) {
+		defer wg.Done()
+		err := tx.Lock(nil, key, Exclusive)
+		errs <- err
+		if err != nil {
+			tx.Abort(nil)
+		} else {
+			tx.Commit(nil)
+		}
+	}
+	go attempt(a, 200)
+	go func() {
+		// Give A a moment to start waiting so the cycle exists.
+		time.Sleep(20 * time.Millisecond)
+		attempt(b, 100)
+	}()
+	wg.Wait()
+	close(errs)
+	var deadlocks, ok int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 || ok != 1 {
+		t.Fatalf("want exactly one deadlock and one grant, got deadlocks=%d ok=%d", deadlocks, ok)
+	}
+}
+
+func TestAbortRunsUndoInReverse(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	var order []int
+	a.OnAbort(nil, 32, func() { order = append(order, 1) })
+	a.OnAbort(nil, 32, func() { order = append(order, 2) })
+	a.Abort(nil)
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order = %v, want [2 1]", order)
+	}
+}
+
+func TestCommitDiscardsUndo(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	ran := false
+	a.OnAbort(nil, 16, func() { ran = true })
+	a.Commit(nil)
+	if ran {
+		t.Fatal("undo ran on commit")
+	}
+}
+
+func TestDoubleFinishPanics(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	a.Commit(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double finish did not panic")
+		}
+	}()
+	a.Commit(nil)
+}
+
+func TestLogLSNMonotonic(t *testing.T) {
+	arena := mem.NewArena(mem.HeapBase, 8<<20)
+	l := NewLog(arena, 1<<20, mem.NewCodeMap())
+	var prev uint64
+	for i := 0; i < 1000; i++ {
+		lsn := l.Append(nil, 100)
+		if lsn <= prev {
+			t.Fatalf("LSN not monotonic: %d after %d", lsn, prev)
+		}
+		prev = lsn
+	}
+	if l.LSN() != 1000 {
+		t.Fatalf("LSN = %d", l.LSN())
+	}
+}
+
+func TestLogWraps(t *testing.T) {
+	arena := mem.NewArena(mem.HeapBase, 8<<20)
+	l := NewLog(arena, 1<<16, mem.NewCodeMap())
+	for i := 0; i < 100; i++ {
+		l.Append(nil, 4096) // 100*4KB >> 64KB ring
+	}
+	if l.LSN() != 100 {
+		t.Fatalf("LSN after wrap = %d", l.LSN())
+	}
+}
+
+func TestConcurrentTransfersConsistent(t *testing.T) {
+	// Bank-transfer style workload: total balance must be conserved under
+	// concurrent locking, and deadlocks must resolve by abort+retry.
+	m := testManager()
+	const accounts = 20
+	const workers = 8
+	const transfers = 300
+	balances := make([]int64, accounts)
+	for i := range balances {
+		balances[i] = 1000
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := uint64(seed)*2654435761 + 1
+			for i := 0; i < transfers; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % accounts
+				to := (from + 1 + int(rng>>21)%(accounts-1)) % accounts
+				for {
+					tx := m.Begin(nil)
+					k1, k2 := uint64(from), uint64(to)
+					err := tx.Lock(nil, k1, Exclusive)
+					if err == nil {
+						err = tx.Lock(nil, k2, Exclusive)
+					}
+					if err != nil {
+						tx.Abort(nil)
+						continue // retry
+					}
+					old1, old2 := balances[from], balances[to]
+					tx.OnAbort(nil, 32, func() { balances[from], balances[to] = old1, old2 })
+					balances[from] -= 5
+					balances[to] += 5
+					tx.Commit(nil)
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, b := range balances {
+		total += b
+	}
+	if total != accounts*1000 {
+		t.Fatalf("balance not conserved: %d", total)
+	}
+}
