@@ -1,0 +1,28 @@
+# Mirrors the CI jobs (.github/workflows/ci.yml) so tier-1 is one
+# command locally: `make` runs build + lint + test.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -316,6 +316,53 @@ func BenchmarkAblationPorts(b *testing.B) {
 	b.ReportMetric(ratio, "queue-1port/4port")
 }
 
+// parallelSpeedup measures one query on the morsel-driven executor at 1
+// and 4 workers, returning simulated-cycle speedup (the host has however
+// many cores it has; the chip always has four).
+func parallelSpeedup(b *testing.B, q int) float64 {
+	b.Helper()
+	cell := core.DefaultCell(sim.FatCamp, core.DSS, true)
+	cell.WarmRefs = 50000 // leave the test-scale query observable past warming
+	res, speedup, err := runner().ParallelSpeedup(cell, q, []int{1, 4}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res[0].Rows == 0 {
+		b.Fatal("parallel query produced no rows")
+	}
+	return speedup
+}
+
+// BenchmarkParallelScan measures the morsel-driven executor on the
+// selective-scan analog (Q6): 4 workers vs 1 on a 4-core FC chip.
+func BenchmarkParallelScan(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = parallelSpeedup(b, 6)
+	}
+	b.ReportMetric(speedup, "scan-4w/1w-speedup")
+}
+
+// BenchmarkParallelAgg measures parallel aggregation with partial-table
+// merge on the scan+aggregate analog (Q1).
+func BenchmarkParallelAgg(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = parallelSpeedup(b, 1)
+	}
+	b.ReportMetric(speedup, "agg-4w/1w-speedup")
+}
+
+// BenchmarkParallelJoin measures the partitioned parallel hash join on
+// the Q13 join core (customer left-outer-join non-special orders).
+func BenchmarkParallelJoin(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = parallelSpeedup(b, core.ParallelJoinQuery)
+	}
+	b.ReportMetric(speedup, "join-4w/1w-speedup")
+}
+
 // BenchmarkSimCycleRate measures raw simulator speed (host ns per
 // simulated cycle) on a saturated LC chip.
 func BenchmarkSimCycleRate(b *testing.B) {

@@ -7,6 +7,7 @@
 //	cmpsim -camp lc -workload oltp -clients 64 -l2mb 26
 //	cmpsim -camp fc -workload dss -unsaturated -query 6
 //	cmpsim -camp fc -workload oltp -smp -l2mb 4   # Figure 7's SMP node
+//	cmpsim -camp fc -workload dss -workers 4 -query 1   # morsel-parallel Q1
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	l2lat := flag.Int("l2lat", 0, "L2 hit latency in cycles (0 = Cacti model)")
 	smp := flag.Bool("smp", false, "private L2 per core (SMP) instead of shared (CMP)")
 	query := flag.Int("query", 6, "DSS query analog for unsaturated runs (1, 6, 13, 16)")
+	workers := flag.Int("workers", 0, "run one DSS query on the morsel-driven parallel executor with N workers (1 and 6; 13 runs the parallel-join core)")
 	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
 	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
 	scale := flag.String("scale", "full", "workload scale: full or test")
@@ -70,6 +72,27 @@ func main() {
 		cell.Clients = *clients
 	}
 
+	if *workers > 0 {
+		if wk != core.DSS {
+			fmt.Fprintln(os.Stderr, "-workers requires -workload dss (intra-query parallelism)")
+			os.Exit(2)
+		}
+		// The saturated -warm default would consume a whole test-scale
+		// query during functional warming; parallel runs measure to
+		// completion, so default to a light warm unless -warm was given.
+		warmSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "warm" {
+				warmSet = true
+			}
+		})
+		if !warmSet {
+			cell.WarmRefs = 50000
+		}
+		runParallel(core.NewRunner(sc), cell, *query, *workers)
+		return
+	}
+
 	fmt.Printf("cell: %v  (L2 hit latency %d cycles)\n", cell, cell.SimConfig().Hier.L2Lat)
 	r := core.NewRunner(sc)
 	res, err := r.Run(cell)
@@ -110,6 +133,25 @@ func main() {
 	fmt.Printf("  L1-to-L1 xfers:    %d\n", st.L1Transfers)
 	fmt.Printf("  coherence xfers:   %d\n", st.CohTransfers)
 	fmt.Printf("  port queue cycles: %d\n", st.PortQueueCycles)
+}
+
+// runParallel measures one query on the morsel-driven executor at 1 and
+// at N workers — on the same chip geometry, taken from cell so -cores,
+// -l2mb, -l2lat, -smp and -warm apply — printing cycles and the
+// intra-query speedup.
+func runParallel(r *core.Runner, cell core.Cell, query, workers int) {
+	res, speedup, err := r.ParallelSpeedup(cell, query, []int{1, workers}, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("morsel-parallel q%d on %v (%d cores, %d MB L2):\n",
+		query, cell.Camp, max(cell.Cores, workers), cell.L2Size>>20)
+	for _, p := range res {
+		fmt.Printf("  %2d worker(s): %12d cycles  (%d rows, IPC %.3f)\n",
+			p.Workers, p.Cycles, p.Rows, p.Result.IPC())
+	}
+	fmt.Printf("  speedup %dw over 1w: %.2fx\n", workers, speedup)
 }
 
 func pct(a, b uint64) float64 {

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// parCell is the fixed chip geometry the parallel tests share (4-core FC
+// CMP), so worker-count comparisons measure executor scaling only. The
+// saturated default of 400k warming refs would consume a test-scale
+// query before measurement starts; 50k warms the caches and leaves the
+// run observable.
+func parCell() Cell {
+	c := DefaultCell(sim.FatCamp, DSS, true)
+	c.WarmRefs = 50000
+	return c
+}
+
+func TestRunParallelDSSCompletes(t *testing.T) {
+	res, err := sharedRunner.RunParallelDSS(parCell(), 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if res.Rows == 0 {
+		t.Fatal("query produced no result rows")
+	}
+	if res.Workers != 2 || res.Query != 6 {
+		t.Fatalf("result mislabeled: %+v", res)
+	}
+}
+
+func TestParallelSpeedupScalesWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated speedup sweep in -short mode")
+	}
+	// The morsel executor must convert cores into query speedup: 4 workers
+	// beat 1 worker by at least 1.8x on the scan-dominated analog (the
+	// observed ratio is ~2.6; the slack absorbs steal-order variation).
+	_, speedup, err := sharedRunner.ParallelSpeedup(parCell(), 6, []int{1, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 1.8 {
+		t.Fatalf("scan speedup %.2f on 4 workers, want >= 1.8", speedup)
+	}
+}
+
+func TestParallelJoinMode(t *testing.T) {
+	one, err := sharedRunner.RunParallelDSS(parCell(), ParallelJoinQuery, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := sharedRunner.RunParallelDSS(parCell(), ParallelJoinQuery, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Rows != four.Rows {
+		t.Fatalf("join row count differs across worker counts: %d vs %d", one.Rows, four.Rows)
+	}
+	if four.Cycles >= one.Cycles {
+		t.Fatalf("4-worker join (%d cycles) not faster than 1-worker (%d)", four.Cycles, one.Cycles)
+	}
+}
+
+func TestRunParallelDSSRejectsBadArgs(t *testing.T) {
+	if _, err := sharedRunner.RunParallelDSS(parCell(), 6, 0, 7); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := sharedRunner.RunParallelDSS(parCell(), 16, 2, 7); err == nil {
+		t.Fatal("query without a parallel variant accepted")
+	}
+}

@@ -49,9 +49,14 @@ type engineTPCH struct {
 //
 //	volcano          — one thread pulls tuple-at-a-time through the plan
 //	staged-affinity  — one thread, packet-at-a-time (STEPS-style batching)
-//	staged-parallel  — one thread per stage on three different cores
-//	staged-colocated — one thread per stage on three contexts of one LC core
+//	staged-parallel  — packet pool: a source worker plus stage-chain
+//	                   consumers, each on its own FC core
+//	staged-colocated — the same pool packed onto three contexts of ONE
+//	                   LC core (packets stay core-local)
 //
+// The parallel/colocated pair contrasts spreading the pool across cores
+// (parallelism, packets cross the L2) against packing it on one core
+// (locality, packets stay L1-resident but contexts time-share).
 // rows caps the lineitem prefix processed (0 = 150000).
 func (r *Runner) StagedExperiment(rows int) ([]StagedResult, error) {
 	if rows == 0 {
@@ -116,7 +121,7 @@ func (r *Runner) StagedExperiment(rows int) ([]StagedResult, error) {
 		out = append(out, res)
 	}
 
-	// Mode 3: staged, one worker per stage on three FC cores.
+	// Mode 3: staged pool (source + two consumers) on three FC cores.
 	{
 		res, err := r.stagedRun("staged-parallel", sim.FatCamp, func(ctxs []*engine.Ctx) (int, error) {
 			src, preds := stagedPlan(et, rows)
@@ -134,8 +139,9 @@ func (r *Runner) StagedExperiment(rows int) ([]StagedResult, error) {
 		out = append(out, res)
 	}
 
-	// Mode 4: staged, one worker per stage on three contexts of ONE LC
-	// core — the paper's producer/consumer binding.
+	// Mode 4: the same pool on three contexts of ONE LC core, so
+	// producers and consumers share that core's L1s (the paper's
+	// co-location lever, applied to the pool's workers).
 	{
 		placement := []int{0, 4, 8} // contexts 0,1,2 of core 0 (4-core LC)
 		res, err := r.stagedRun("staged-colocated", sim.LeanCamp, func(ctxs []*engine.Ctx) (int, error) {

@@ -94,8 +94,11 @@ func accWidth(f AggFunc) int {
 	return 8
 }
 
-// Open implements Op: it drains the child, accumulating groups.
-func (a *HashAgg) Open(ctx *Ctx) error {
+// prepare computes the output schema and accumulator geometry and
+// allocates an empty group table in ctx's workspace. It is shared by the
+// serial Open and by ParallelAgg's gather path, which fills the table by
+// merging worker partials instead of draining a child.
+func (a *HashAgg) prepare(ctx *Ctx) Schema {
 	a.Schema()
 	cs := a.Child.Schema()
 	a.offs = cs.Offsets()
@@ -117,7 +120,36 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 	a.results = nil
 	a.resIdx = 0
 	a.drained = false
+	return cs
+}
 
+// findOrInsertGroup returns gkey's entry, creating and initializing it —
+// with the insert's trace stores — on first sight. Serial absorption and
+// ParallelAgg's gather merge share it, so both charge the same traffic.
+func (a *HashAgg) findOrInsertGroup(rec *trace.Recorder, gkey []byte) ([]byte, mem.Addr) {
+	h := hashBytes(gkey)
+	payload, at := a.findGroup(rec, h, gkey)
+	if payload == nil {
+		payload, at = a.ht.Insert(rec, h, nil)
+		copy(payload[:a.groupW], gkey)
+		a.initAccums(payload[a.groupW:])
+		rec.StoreRange(at, a.groupW+a.slotW)
+	}
+	return payload, at
+}
+
+// absorb folds one child row into the group table, inserting the group on
+// first sight. gkey is caller-provided scratch of groupW bytes.
+func (a *HashAgg) absorb(ctx *Ctx, cs Schema, gkey, row []byte) {
+	ctx.Rec.Exec(a.code, 65)
+	a.groupBytes(cs, row, gkey)
+	payload, at := a.findOrInsertGroup(ctx.Rec, gkey)
+	a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))
+}
+
+// Open implements Op: it drains the child, accumulating groups.
+func (a *HashAgg) Open(ctx *Ctx) error {
+	cs := a.prepare(ctx)
 	if err := a.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -131,19 +163,50 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 		if !ok {
 			break
 		}
-		ctx.Rec.Exec(a.code, 65)
-		a.groupBytes(cs, row, gkey)
-		h := hashBytes(gkey)
-		payload, at := a.findGroup(ctx.Rec, h, gkey)
-		if payload == nil {
-			payload, at = a.ht.Insert(ctx.Rec, h, nil)
-			copy(payload[:a.groupW], gkey)
-			a.initAccums(payload[a.groupW:])
-			ctx.Rec.StoreRange(at, a.groupW+a.slotW)
-		}
-		a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))
+		a.absorb(ctx, cs, gkey, row)
 	}
 	return nil
+}
+
+// mergeAccums folds the partial accumulators src into dst: counts and
+// sums add, Avg adds both its sum and count halves, Min/Max keep the
+// extremum. Both slices follow the layout update() maintains, so merging
+// worker partials is exact for every function (no lossy re-averaging).
+func mergeAccums(cs Schema, aggs []AggSpec, dst, src []byte) {
+	off := 0
+	for _, g := range aggs {
+		switch g.Func {
+		case Count:
+			n := binary.LittleEndian.Uint64(dst[off:])
+			binary.LittleEndian.PutUint64(dst[off:], n+binary.LittleEndian.Uint64(src[off:]))
+		case Sum:
+			if cs[g.Col].Type == TInt {
+				v := binary.LittleEndian.Uint64(dst[off:])
+				binary.LittleEndian.PutUint64(dst[off:], v+binary.LittleEndian.Uint64(src[off:]))
+			} else {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(dst[off:]))
+				v += math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+				binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+			}
+		case Avg:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(dst[off:]))
+			v += math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+			n := binary.LittleEndian.Uint64(dst[off+8:])
+			binary.LittleEndian.PutUint64(dst[off+8:], n+binary.LittleEndian.Uint64(src[off+8:]))
+		case Min:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(dst[off:]))
+			if x := math.Float64frombits(binary.LittleEndian.Uint64(src[off:])); x < v {
+				binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(x))
+			}
+		case Max:
+			v := math.Float64frombits(binary.LittleEndian.Uint64(dst[off:]))
+			if x := math.Float64frombits(binary.LittleEndian.Uint64(src[off:])); x > v {
+				binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(x))
+			}
+		}
+		off += accWidth(g.Func)
+	}
 }
 
 // findGroup locates the entry whose stored group bytes equal gkey.

@@ -1,0 +1,425 @@
+// Exchange operators: the gather side of morsel-driven parallel plans.
+// Exchange merges the row streams of per-worker subtrees; ParallelAgg
+// merges per-worker partial hash tables at a gather barrier; and
+// ParallelHashJoin partitions its build side by key hash so workers build
+// and probe disjoint hash tables.
+
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// errExchangeClosed aborts worker subtrees when the consumer closes the
+// exchange before draining it.
+var errExchangeClosed = errors.New("engine: exchange closed")
+
+// memoChild lazily builds and memoizes worker w's subtree in *children.
+// Memoization is not goroutine-safe: every parallel operator must
+// materialize all n children (call this for every w) before handing them
+// to worker goroutines.
+func memoChild(children *[]Op, n, w int, build func(int) Op) Op {
+	if *children == nil {
+		*children = make([]Op, n)
+	}
+	if (*children)[w] == nil {
+		(*children)[w] = build(w)
+	}
+	return (*children)[w]
+}
+
+// Exchange runs one copy of a child subtree per Ctx concurrently and
+// merges their output rows into a single stream, in arbitrary arrival
+// order. Build must return a fresh subtree each call (subtrees typically
+// share a MorselPool, which is what partitions the work). It is the
+// bridge that lets a serial consumer — a sort, a join build, a sink —
+// read the output of a parallel producer.
+type Exchange struct {
+	Build func(w int) Op
+	Ctxs  []*Ctx
+
+	children  []Op
+	rows      chan []byte
+	done      chan struct{}
+	errc      chan error
+	collected bool
+	err       error
+	closeOnce sync.Once
+}
+
+// child builds (once) and returns worker w's subtree.
+func (e *Exchange) child(w int) Op {
+	return memoChild(&e.children, len(e.Ctxs), w, e.Build)
+}
+
+// Schema implements Op.
+func (e *Exchange) Schema() Schema { return e.child(0).Schema() }
+
+// Open implements Op: it starts the worker goroutines. Rows become
+// available to Next as workers produce them.
+func (e *Exchange) Open(ctx *Ctx) error {
+	if len(e.Ctxs) == 0 {
+		return fmt.Errorf("engine: exchange with no worker contexts")
+	}
+	e.rows = make(chan []byte, 4*len(e.Ctxs))
+	e.done = make(chan struct{})
+	e.errc = make(chan error, len(e.Ctxs))
+	e.collected = false
+	e.err = nil
+	e.closeOnce = sync.Once{}
+	// Materialize every subtree before spawning: child() memoizes without
+	// a lock, so it must not be first called from the workers.
+	for w := range e.Ctxs {
+		e.child(w)
+	}
+	var wg sync.WaitGroup
+	for w := range e.Ctxs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := Run(e.Ctxs[w], e.child(w), func(row []byte) error {
+				out := make([]byte, len(row))
+				copy(out, row)
+				select {
+				case e.rows <- out:
+					return nil
+				case <-e.done:
+					return errExchangeClosed
+				}
+			})
+			if errors.Is(err, errExchangeClosed) {
+				err = nil
+			}
+			e.errc <- err
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(e.rows)
+	}()
+	return nil
+}
+
+// collect gathers worker errors once all workers have finished.
+func (e *Exchange) collect() {
+	if e.collected {
+		return
+	}
+	e.collected = true
+	for range e.Ctxs {
+		if err := <-e.errc; err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+}
+
+// Next implements Op.
+func (e *Exchange) Next(ctx *Ctx) ([]byte, bool, error) {
+	row, ok := <-e.rows
+	if !ok {
+		e.collect()
+		return nil, false, e.err
+	}
+	return row, true, nil
+}
+
+// Close implements Op: it aborts in-flight workers and drains the stream
+// so they all exit.
+func (e *Exchange) Close(ctx *Ctx) {
+	if e.done == nil {
+		return
+	}
+	e.closeOnce.Do(func() { close(e.done) })
+	for range e.rows {
+	}
+	e.collect()
+}
+
+// ParallelAgg computes the same result as a HashAgg over a partitioned
+// input, with one worker per Ctx. Each worker drains its own subtree
+// (typically a Map over a MorselScan, all sharing one MorselPool) into a
+// private hash table of partial accumulators; at the gather barrier the
+// partials merge into the final table — counts and sums add, Avg merges
+// its (sum, count) halves, Min/Max keep the extremum — so the merged
+// result is exactly what the serial operator computes. Group keys and
+// integer aggregates are bit-identical for every worker count; float
+// aggregates vary only by addition order.
+type ParallelAgg struct {
+	Build func(w int) Op
+	Ctxs  []*Ctx
+
+	GroupCols []int
+	Aggs      []AggSpec
+	Expected  int
+
+	master   *HashAgg
+	children []Op
+}
+
+// child builds (once) and returns worker w's subtree.
+func (a *ParallelAgg) child(w int) Op {
+	return memoChild(&a.children, len(a.Ctxs), w, a.Build)
+}
+
+// gather returns the master aggregate that the merged partials fill.
+func (a *ParallelAgg) gather() *HashAgg {
+	if a.master == nil {
+		a.master = &HashAgg{
+			Child:     a.child(0),
+			GroupCols: a.GroupCols,
+			Aggs:      a.Aggs,
+			Expected:  a.Expected,
+		}
+	}
+	return a.master
+}
+
+// Schema implements Op.
+func (a *ParallelAgg) Schema() Schema { return a.gather().Schema() }
+
+// Open implements Op: it runs the workers to completion, then merges
+// their partial tables into the master under the gather context.
+func (a *ParallelAgg) Open(ctx *Ctx) error {
+	if len(a.Ctxs) == 0 {
+		return fmt.Errorf("engine: parallel agg with no worker contexts")
+	}
+	m := a.gather()
+	cs := m.prepare(ctx)
+	for w := range a.Ctxs {
+		a.child(w)
+	}
+
+	partials := make([]*HashAgg, len(a.Ctxs))
+	errs := make([]error, len(a.Ctxs))
+	var wg sync.WaitGroup
+	for w := range a.Ctxs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wa := &HashAgg{
+				Child:     a.child(w),
+				GroupCols: a.GroupCols,
+				Aggs:      a.Aggs,
+				Expected:  a.Expected,
+			}
+			errs[w] = wa.Open(a.Ctxs[w])
+			partials[w] = wa
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Gather barrier: merge worker partials into the master table. The
+	// scan of each partial is charged to the gather worker — it reads the
+	// producers' workspaces, which is the cross-core traffic a shared L2
+	// absorbs.
+	for _, wa := range partials {
+		wa.ht.Scan(ctx.Rec, func(_ uint64, p []byte) bool {
+			payload, at := m.findOrInsertGroup(ctx.Rec, p[:m.groupW])
+			mergeAccums(cs, a.Aggs, payload[m.groupW:], p[m.groupW:])
+			ctx.Rec.StoreRange(at+mem.Addr(m.groupW), m.slotW)
+			return true
+		})
+	}
+	return nil
+}
+
+// Next implements Op.
+func (a *ParallelAgg) Next(ctx *Ctx) ([]byte, bool, error) { return a.gather().Next(ctx) }
+
+// Close implements Op.
+func (a *ParallelAgg) Close(ctx *Ctx) {
+	if a.master != nil {
+		a.master.Close(ctx)
+	}
+}
+
+// prow is a partitioned build row: its bytes and simulated address.
+type prow struct {
+	b  []byte
+	at mem.Addr
+}
+
+// ParallelHashJoin joins Probe ⋈ Build on integer key equality with the
+// build side hash-partitioned across workers: workers first scan build
+// morsels, scattering each row into its key partition; after a barrier,
+// worker p builds the hash table of partition p in its own workspace;
+// probe workers then claim probe morsels and probe exactly one partition
+// per row (the tables are read-only by then, so probing is lock-free).
+// Output rows are Probe ++ Build columns, gathered through an Exchange in
+// arrival order.
+type ParallelHashJoin struct {
+	BuildSrc func(w int) Op // build-side per-worker subtree
+	ProbeSrc func(w int) Op // probe-side per-worker subtree
+	BuildCol int            // key column in the build schema
+	ProbeCol int            // key column in the probe schema
+	Type     JoinType
+	Ctxs     []*Ctx
+
+	out           Schema
+	buildChildren []Op
+	probeChildren []Op
+	parts         []*HashTable
+	ex            *Exchange
+	code          mem.CodeSeg
+}
+
+func (j *ParallelHashJoin) buildChild(w int) Op {
+	return memoChild(&j.buildChildren, len(j.Ctxs), w, j.BuildSrc)
+}
+
+func (j *ParallelHashJoin) probeChild(w int) Op {
+	return memoChild(&j.probeChildren, len(j.Ctxs), w, j.ProbeSrc)
+}
+
+// Schema implements Op.
+func (j *ParallelHashJoin) Schema() Schema {
+	if j.out == nil {
+		j.out = j.probeChild(0).Schema().Concat(j.buildChild(0).Schema())
+	}
+	return j.out
+}
+
+// partition maps a join key to a partition. It uses the hash's high bits
+// so partition choice stays independent of the bucket index (low bits)
+// within each partition's table.
+func (j *ParallelHashJoin) partition(key uint64) int {
+	return int((mix(key) >> 32) % uint64(len(j.Ctxs)))
+}
+
+// Open implements Op: partition phase, barrier, build phase, then the
+// probe workers start producing.
+func (j *ParallelHashJoin) Open(ctx *Ctx) error {
+	if len(j.Ctxs) == 0 {
+		return fmt.Errorf("engine: parallel join with no worker contexts")
+	}
+	j.Schema()
+	j.code = ctx.DB.Codes.Register("op:pjoin", 5120)
+	nw := len(j.Ctxs)
+	for w := 0; w < nw; w++ {
+		j.buildChild(w)
+		j.probeChild(w)
+	}
+	bSchema := j.buildChild(0).Schema()
+	bOff := bSchema.Offsets()[j.BuildCol]
+	bWidth := bSchema.RowWidth()
+
+	// Phase 1 — partition: worker w scatters its build rows into per-
+	// worker, per-partition buffers in its own workspace (no locks).
+	scatter := make([][][]prow, nw)
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx := j.Ctxs[w]
+			scatter[w] = make([][]prow, nw)
+			errs[w] = Run(wctx, j.buildChild(w), func(row []byte) error {
+				wctx.Rec.Exec(j.code, 60)
+				p := j.partition(uint64(RowInt(row, bOff)))
+				at := wctx.Work.Alloc(len(row), 8)
+				b := wctx.Work.Bytes(at, len(row))
+				copy(b, row)
+				wctx.Rec.StoreRange(at, len(row))
+				scatter[w][p] = append(scatter[w][p], prow{b: b, at: at})
+				return nil
+			})
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2 — build: worker p assembles partition p's hash table from
+	// every scatter buffer targeting it.
+	j.parts = make([]*HashTable, nw)
+	for p := 0; p < nw; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			wctx := j.Ctxs[p]
+			n := 0
+			for w := 0; w < nw; w++ {
+				n += len(scatter[w][p])
+			}
+			ht := NewHashTable(wctx, n+1, bWidth)
+			for w := 0; w < nw; w++ {
+				for _, r := range scatter[w][p] {
+					wctx.Rec.Exec(j.code, 45)
+					wctx.Rec.LoadRange(r.at, len(r.b))
+					ht.Insert(wctx.Rec, uint64(RowInt(r.b, bOff)), r.b)
+				}
+			}
+			j.parts[p] = ht
+		}(p)
+	}
+	wg.Wait()
+
+	// Phase 3 — probe, gathered through an exchange.
+	j.ex = &Exchange{
+		Ctxs:  j.Ctxs,
+		Build: func(w int) Op { return &probeOp{join: j, inner: j.probeChild(w)} },
+	}
+	return j.ex.Open(ctx)
+}
+
+// Next implements Op.
+func (j *ParallelHashJoin) Next(ctx *Ctx) ([]byte, bool, error) { return j.ex.Next(ctx) }
+
+// Close implements Op.
+func (j *ParallelHashJoin) Close(ctx *Ctx) {
+	if j.ex != nil {
+		j.ex.Close(ctx)
+	}
+	j.parts = nil
+}
+
+// probeOp streams one worker's probe rows against the shared (read-only)
+// partition tables through the probeCore state machine HashJoin also
+// uses; only the lookup — partition table instead of a single hash
+// table — differs.
+type probeOp struct {
+	join  *ParallelHashJoin
+	inner Op
+
+	keyOff int
+	pc     probeCore
+}
+
+// Schema implements Op.
+func (p *probeOp) Schema() Schema { return p.join.Schema() }
+
+// Open implements Op.
+func (p *probeOp) Open(ctx *Ctx) error {
+	p.pc.init(p.join.Schema().RowWidth(), p.inner.Schema().RowWidth())
+	p.keyOff = p.inner.Schema().Offsets()[p.join.ProbeCol]
+	return p.inner.Open(ctx)
+}
+
+// Close implements Op.
+func (p *probeOp) Close(ctx *Ctx) { p.inner.Close(ctx) }
+
+// Next implements Op.
+func (p *probeOp) Next(ctx *Ctx) ([]byte, bool, error) {
+	j := p.join
+	return p.pc.next(ctx, p.inner, p.keyOff, j.Type, j.code,
+		func(rec *trace.Recorder, key uint64, collect func([]byte)) {
+			j.parts[j.partition(key)].Iter(rec, key, func(payload []byte, _ mem.Addr) bool {
+				collect(payload)
+				return true
+			})
+		})
+}

@@ -48,6 +48,13 @@ func Collect(ctx *Ctx, op Op) ([][]Value, error) {
 	return out, err
 }
 
+// PageRange restricts a scan to the heap pages [Lo, Hi) in scan order.
+// Morsel-driven workers set one range per morsel so a table is covered
+// exactly once across workers.
+type PageRange struct {
+	Lo, Hi int
+}
+
 // SeqScan scans a table, applying pushed-down predicates and projecting
 // cols (nil = all columns). Under PAX it reads predicate columns first and
 // the remaining projected columns only for qualifying tuples — the
@@ -59,7 +66,11 @@ type SeqScan struct {
 	// StartPage rotates the scan origin (circular shared scans): the scan
 	// still covers every page once, beginning at StartPage and wrapping.
 	// Concurrent scans at staggered origins share the leader's L2 wake.
+	// Ignored when Range is set.
 	StartPage int
+	// Range restricts the scan to a page range (morsel execution); nil
+	// scans the whole heap.
+	Range *PageRange
 
 	out     Schema
 	outOffs []int
@@ -108,21 +119,36 @@ func (s *SeqScan) nextPage(ctx *Ctx) (bool, error) {
 		s.ref = nil
 	}
 	n := s.Table.Heap.NumPages()
-	if s.page >= n {
+	lo, hi := 0, n
+	if s.Range != nil {
+		if s.Range.Lo > lo {
+			lo = s.Range.Lo
+		}
+		if s.Range.Hi < hi {
+			hi = s.Range.Hi
+		}
+	}
+	if s.page >= hi-lo {
 		return false, nil
 	}
-	ref, err := ctx.DB.Pool.Get(ctx.Rec, s.Table.Heap.PageAt((s.page+s.StartPage)%n))
+	idx := lo + s.page
+	if s.Range == nil {
+		idx = (s.page + s.StartPage) % n
+	}
+	ref, err := ctx.DB.Pool.Get(ctx.Rec, s.Table.Heap.PageAt(idx))
 	if err != nil {
 		return false, err
 	}
 	s.ref = ref
 	s.page++
 	s.slot = 0
+	s.Table.Heap.RLatch()
 	if s.Table.Heap.Layout() == storage.NSM {
 		s.nslots = storage.AsSlotted(ref.Data, ref.Addr).NumSlots()
 	} else {
 		s.nslots = storage.AsPAX(ref.Data, ref.Addr, s.Table.Schema.Widths()).N()
 	}
+	s.Table.Heap.RUnlatch()
 	return true, nil
 }
 
@@ -139,17 +165,26 @@ func (s *SeqScan) Next(ctx *Ctx) ([]byte, bool, error) {
 		slot := s.slot
 		s.slot++
 		ctx.Rec.Exec(s.code, 70+evalCost*len(s.Preds))
+		// Tuple decode happens under the table's content latch; the row
+		// handed downstream is a copy in s.buf, valid past the latch.
+		// Per-tuple latching costs one uncontended RWMutex op per slot —
+		// well under the per-tuple tracing cost — and keeps the latch
+		// hold time too short to stall writers on hot OLTP tables.
+		s.Table.Heap.RLatch()
 		if s.Table.Heap.Layout() == storage.NSM {
 			row := storage.AsSlotted(s.ref.Data, s.ref.Addr).Tuple(ctx.Rec, slot)
-			if row == nil {
+			pass := row != nil && s.evalNSM(row)
+			if pass {
+				s.projectNSM(row)
+			}
+			s.Table.Heap.RUnlatch()
+			if !pass {
 				continue
 			}
-			if !s.evalNSM(row) {
-				continue
-			}
-			return s.projectNSM(row), true, nil
+			return s.buf, true, nil
 		}
 		row, ok := s.evalAndLoadPAX(ctx, slot)
+		s.Table.Heap.RUnlatch()
 		if !ok {
 			continue
 		}
@@ -166,9 +201,12 @@ func (s *SeqScan) evalNSM(row []byte) bool {
 	return true
 }
 
-func (s *SeqScan) projectNSM(row []byte) []byte {
+// projectNSM snapshots the projected columns of row into s.buf (callers
+// hold the content latch; the copy is what outlives it).
+func (s *SeqScan) projectNSM(row []byte) {
 	if s.Cols == nil {
-		return row
+		copy(s.buf, row)
+		return
 	}
 	off := 0
 	for _, c := range s.Cols {
@@ -176,7 +214,6 @@ func (s *SeqScan) projectNSM(row []byte) []byte {
 		copy(s.buf[off:off+w], row[s.Table.Offs[c]:s.Table.Offs[c]+w])
 		off += w
 	}
-	return s.buf
 }
 
 // evalAndLoadPAX evaluates predicates reading only their minipages, then

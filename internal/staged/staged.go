@@ -12,10 +12,12 @@
 //     and packets are sized to fit the L1D, so the consumer reads what the
 //     producer just wrote at L1 cost.
 //
-//   - RunParallel: each stage is its own software thread (its own trace
-//     stream), placeable on a different core. Stage code locality is even
-//     better, and stages run concurrently — but packets now travel between
-//     cores through the shared L2, trading data locality for parallelism.
+//   - RunParallel: packets are driven through the engine's work-stealing
+//     worker pool. One worker produces packets from the source; the rest
+//     each run the whole stage chain on the packets they claim, every
+//     worker with its own hardware context (its own trace stream) and so
+//     its own core. Packets travel between cores through the shared L2,
+//     trading data locality for true intra-query parallelism.
 //
 // Comparing monolithic Volcano execution against these two modes
 // regenerates the paper's "opportunities" discussion quantitatively.
@@ -23,6 +25,7 @@ package staged
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/mem"
@@ -83,11 +86,13 @@ func (p *Packet) Row(rec *trace.Recorder, i int) []byte {
 // rows. Implementations trace their own instruction and data costs.
 type Transform func(ctx *engine.Ctx, row []byte, emit func([]byte))
 
-// Stage is a middle pipeline stage.
+// Stage is a middle pipeline stage. Fn is a factory: each worker
+// instantiates its own Transform, so transforms may carry private scratch
+// buffers without any cross-worker sharing.
 type Stage struct {
 	Name string
 	Out  engine.Schema // output row schema
-	Fn   Transform
+	Fn   func() Transform
 }
 
 // FilterStage builds a stage dropping rows that fail the conjunction.
@@ -97,14 +102,16 @@ func FilterStage(db *engine.DB, in engine.Schema, preds []engine.Pred) Stage {
 	return Stage{
 		Name: "filter",
 		Out:  in,
-		Fn: func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
-			ctx.Rec.Exec(code, 10+12*len(preds))
-			for _, p := range preds {
-				if !p.Eval(in, offs, row) {
-					return
+		Fn: func() Transform {
+			return func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
+				ctx.Rec.Exec(code, 10+12*len(preds))
+				for _, p := range preds {
+					if !p.Eval(in, offs, row) {
+						return
+					}
 				}
+				emit(row)
 			}
-			emit(row)
 		},
 	}
 }
@@ -114,19 +121,21 @@ func ProjectStage(db *engine.DB, in engine.Schema, cols []int) Stage {
 	code := db.Codes.Register("stage:project", 1024)
 	offs := in.Offsets()
 	out := in.Project(cols)
-	buf := make([]byte, out.RowWidth())
 	return Stage{
 		Name: "project",
 		Out:  out,
-		Fn: func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
-			ctx.Rec.Exec(code, 4*len(cols))
-			off := 0
-			for _, c := range cols {
-				w := in[c].Width
-				copy(buf[off:off+w], row[offs[c]:offs[c]+w])
-				off += w
+		Fn: func() Transform {
+			buf := make([]byte, out.RowWidth())
+			return func(ctx *engine.Ctx, row []byte, emit func([]byte)) {
+				ctx.Rec.Exec(code, 4*len(cols))
+				off := 0
+				for _, c := range cols {
+					w := in[c].Width
+					copy(buf[off:off+w], row[offs[c]:offs[c]+w])
+					off += w
+				}
+				emit(buf)
 			}
-			emit(buf)
 		},
 	}
 }
@@ -246,11 +255,13 @@ func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
 	}
 	defer pl.Source.Close(ctx)
 
-	// One reusable packet per pipeline edge.
+	// One reusable packet per pipeline edge, one transform per stage.
 	pkts := make([]*Packet, len(pl.Stages)+1)
 	pkts[0] = NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
+	fns := make([]Transform, len(pl.Stages))
 	for i, st := range pl.Stages {
 		pkts[i+1] = NewPacket(ctx.Work, pl.batch(st.Out.RowWidth()), st.Out.RowWidth())
+		fns[i] = st.Fn()
 	}
 
 	for {
@@ -271,12 +282,12 @@ func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
 			return pl.Sink.Rows(), nil
 		}
 		cur := head
-		for i, st := range pl.Stages {
+		for i := range pl.Stages {
 			out := pkts[i+1]
 			out.Reset()
 			for r := 0; r < cur.N(); r++ {
 				row := cur.Row(ctx.Rec, r)
-				st.Fn(ctx, row, func(o []byte) { out.Append(ctx.Rec, o) })
+				fns[i](ctx, row, func(o []byte) { out.Append(ctx.Rec, o) })
 			}
 			cur = out
 		}
@@ -286,54 +297,65 @@ func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
 	}
 }
 
-// RunParallel executes source, stages, and sink each as its own worker
-// goroutine with its own execution context (and so its own trace stream).
-// ctxs must have len(Stages)+2 entries: source, stages..., sink. Packets
-// flow through bounded queues with a free-list per edge, so packet
-// addresses recycle just as in affinity mode — but the consumer runs on
-// another core, so reads are L2 traffic there.
+// RunParallel executes the pipeline on the engine's work-stealing worker
+// pool with one execution context (and so one trace stream, one hardware
+// context) per worker. ctxs must have len(Stages)+2 entries, the same
+// placement contract as before: ctxs[0] produces packets from the source
+// and deals them to the consumer workers ctxs[1:], each of which claims
+// packets from the pool — stealing from overloaded peers — and drives
+// every stage and the sink on the rows it claimed. Packets recycle
+// through a free list, so their addresses stay stable; consumers read
+// what the source wrote on another core, which is the shared-L2 traffic
+// the paper's staging discussion trades for parallelism.
 func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 	want := len(pl.Stages) + 2
 	if len(ctxs) != want {
 		return 0, fmt.Errorf("staged: %d contexts for %d workers", len(ctxs), want)
 	}
-	type edge struct {
-		data chan *Packet
-		free chan *Packet
-	}
-	schemas := make([]engine.Schema, len(pl.Stages)+1)
-	schemas[0] = pl.Source.Schema()
-	for i, st := range pl.Stages {
-		schemas[i+1] = st.Out
-	}
-	const ring = 4
-	edges := make([]edge, len(schemas))
-	for i, s := range schemas {
-		edges[i] = edge{data: make(chan *Packet, ring), free: make(chan *Packet, ring)}
-		// Packets live in the producing worker's workspace.
-		for k := 0; k < ring; k++ {
-			edges[i].free <- NewPacket(ctxs[i].Work, pl.batch(s.RowWidth()), s.RowWidth())
-		}
-	}
+	consumers := want - 1
+	srcSchema := pl.Source.Schema()
+	rowW := srcSchema.RowWidth()
 
-	errc := make(chan error, want)
+	// Packets live in the source worker's workspace and recycle through
+	// the free list (bounding both memory and trace footprint). Two per
+	// consumer keeps every consumer busy while the source refills.
+	ring := 2 * consumers
+	free := make(chan *Packet, ring)
+	for k := 0; k < ring; k++ {
+		free <- NewPacket(ctxs[0].Work, pl.batch(rowW), rowW)
+	}
+	pool := engine.NewWorkPool[*Packet](consumers)
 
-	// Source worker.
+	// The sink is shared state: absorption serializes under one lock,
+	// traced by whichever consumer absorbed the packet.
+	var sinkMu sync.Mutex
+
+	// Only the source can fail: stage transforms and sinks have no error
+	// path, so consumers never report errors.
+	var srcErr error
+	var wg sync.WaitGroup
+
+	// Source worker: fill packets, deal them round-robin (stealing
+	// rebalances whenever consumers run at different speeds).
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
+		defer pool.Close()
 		ctx := ctxs[0]
-		defer close(edges[0].data)
 		if err := pl.Source.Open(ctx); err != nil {
-			errc <- err
+			srcErr = err
 			return
 		}
 		defer pl.Source.Close(ctx)
+		next := 0
 		for {
-			pkt := <-edges[0].free
+			pkt := <-free
 			pkt.Reset()
 			for pkt.N() < pkt.Cap() {
 				row, ok, err := pl.Source.Next(ctx)
 				if err != nil {
-					errc <- err
+					srcErr = err
+					free <- pkt
 					return
 				}
 				if !ok {
@@ -342,74 +364,52 @@ func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 				pkt.Append(ctx.Rec, row)
 			}
 			if pkt.N() == 0 {
-				edges[0].free <- pkt
-				errc <- nil
+				free <- pkt
 				return
 			}
-			edges[0].data <- pkt
+			pool.Push(next, pkt)
+			next = (next + 1) % consumers
 		}
 	}()
 
-	// Middle stage workers.
-	for i := range pl.Stages {
-		go func(i int) {
-			ctx := ctxs[i+1]
-			st := pl.Stages[i]
-			in, out := edges[i], edges[i+1]
-			defer close(out.data)
-			cur := <-out.free
-			cur.Reset()
-			flush := func() {
-				if cur.N() > 0 {
-					out.data <- cur
-					cur = <-out.free
-					cur.Reset()
-				}
+	// Consumer workers: claim packets, run the full stage chain per row,
+	// absorb into the sink. Each worker instantiates its own transforms.
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := ctxs[c+1]
+			fns := make([]Transform, len(pl.Stages))
+			for i, st := range pl.Stages {
+				fns[i] = st.Fn()
 			}
-			for pkt := range in.data {
+			var feed func(i int, row []byte)
+			feed = func(i int, row []byte) {
+				if i == len(fns) {
+					sinkMu.Lock()
+					pl.Sink.Absorb(ctx, row)
+					sinkMu.Unlock()
+					return
+				}
+				fns[i](ctx, row, func(o []byte) { feed(i+1, o) })
+			}
+			for {
+				pkt, ok := pool.Take(c)
+				if !ok {
+					return
+				}
 				for r := 0; r < pkt.N(); r++ {
-					row := pkt.Row(ctx.Rec, r)
-					st.Fn(ctx, row, func(o []byte) {
-						if !cur.Append(ctx.Rec, o) {
-							out.data <- cur
-							cur = <-out.free
-							cur.Reset()
-							cur.Append(ctx.Rec, o)
-						}
-					})
+					feed(0, pkt.Row(ctx.Rec, r))
 				}
 				pkt.Reset()
-				in.free <- pkt
+				free <- pkt
 			}
-			flush()
-			errc <- nil
-		}(i)
+		}(c)
 	}
 
-	// Sink worker.
-	sinkDone := make(chan int, 1)
-	go func() {
-		ctx := ctxs[len(ctxs)-1]
-		last := edges[len(edges)-1]
-		for pkt := range last.data {
-			for r := 0; r < pkt.N(); r++ {
-				pl.Sink.Absorb(ctx, pkt.Row(ctx.Rec, r))
-			}
-			pkt.Reset()
-			last.free <- pkt
-		}
-		errc <- nil
-		sinkDone <- pl.Sink.Rows()
-	}()
-
-	var firstErr error
-	for i := 0; i < want; i++ {
-		if err := <-errc; err != nil && firstErr == nil {
-			firstErr = err
-		}
+	wg.Wait()
+	if srcErr != nil {
+		return 0, srcErr
 	}
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	return <-sinkDone, nil
+	return pl.Sink.Rows(), nil
 }

@@ -354,8 +354,13 @@ func (t *BTree) Seek(rec *trace.Recorder, k int64) (*Cursor, error) {
 }
 
 // Next returns the cursor's current entry and advances, or ok=false at
-// the end of the tree.
+// the end of the tree. Each step holds the tree's read lock, so steps
+// never observe a leaf mid-split; between steps a concurrent insert may
+// shift entries within a leaf, which scans of the simulated workloads
+// tolerate (they read a consistent prefix, not a serializable snapshot).
 func (c *Cursor) Next(rec *trace.Recorder) (k int64, v uint64, ok bool, err error) {
+	c.tree.mu.RLock()
+	defer c.tree.mu.RUnlock()
 	for {
 		if c.pid == InvalidPage {
 			return 0, 0, false, nil

@@ -105,6 +105,32 @@ func (bp *BufferPool) tableEntryAddr(pid PageID) mem.Addr {
 	return bp.tableAddr + mem.Addr(int(pid)%bp.tableCap*pageTableEntry)
 }
 
+// growTable doubles the page-table metadata region when page allocation
+// outgrows it. Long-running OLTP workloads allocate pages monotonically
+// (evicted pages spill to disk but keep their IDs), so the table must be
+// able to grow with the database rather than fail at a fixed capacity.
+// The old region is abandoned inside the arena (bump allocation cannot
+// free); the resident entries are re-written at their new addresses,
+// which traces the rehash traffic a real engine would incur. mu held.
+func (bp *BufferPool) growTable(rec *trace.Recorder) error {
+	newCap := bp.tableCap * 2
+	need := newCap * pageTableEntry
+	if free := bp.arena.Size() - bp.arena.Used(); free < need+mem.LineSize {
+		return fmt.Errorf("storage: page table full (%d pages) and arena exhausted (%d bytes free)",
+			bp.tableCap, free)
+	}
+	bp.tableAddr = bp.arena.Alloc(need, mem.LineSize)
+	bp.tableCap = newCap
+	// Replay the resident entries in frame order (not map order, which
+	// would make the trace nondeterministic across identical runs).
+	for fr := 0; fr < bp.frames; fr++ {
+		if pid := bp.framePage[fr]; pid != InvalidPage {
+			rec.Store(bp.tableEntryAddr(pid))
+		}
+	}
+	return nil
+}
+
 // NewPage allocates a fresh page, pinned.
 func (bp *BufferPool) NewPage(rec *trace.Recorder) (*PageRef, error) {
 	rec.Exec(bp.code, 70)
@@ -113,7 +139,10 @@ func (bp *BufferPool) NewPage(rec *trace.Recorder) (*PageRef, error) {
 	bp.nextPage++
 	pid := bp.nextPage
 	if int(pid) >= bp.tableCap {
-		return nil, fmt.Errorf("storage: page table full (%d pages)", bp.tableCap)
+		if err := bp.growTable(rec); err != nil {
+			bp.nextPage--
+			return nil, err
+		}
 	}
 	fr, err := bp.grabFrame(rec)
 	if err != nil {
@@ -129,9 +158,12 @@ func (bp *BufferPool) NewPage(rec *trace.Recorder) (*PageRef, error) {
 // Get pins page pid, reading it back from simulated disk if evicted.
 func (bp *BufferPool) Get(rec *trace.Recorder, pid PageID) (*PageRef, error) {
 	rec.Exec(bp.code, 55)
-	rec.Load(bp.tableEntryAddr(pid), true) // page-table lookup, pointer-dependent
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	// Page-table lookup, pointer-dependent. Under mu: growTable moves
+	// tableAddr/tableCap, so the entry address must not be computed from
+	// an unsynchronized read of them.
+	rec.Load(bp.tableEntryAddr(pid), true)
 	if pid == InvalidPage || pid > bp.nextPage {
 		return nil, fmt.Errorf("storage: no such page %d", pid)
 	}

@@ -100,6 +100,15 @@ func (h *HeapFile) PageAt(i int) PageID {
 	return h.pages[i]
 }
 
+// RLatch guards direct page-content reads (scans decoding tuples from a
+// pinned page) against concurrent in-place writers: appends and updates
+// hold the write side of the same table-granular latch. Callers must not
+// retain references into page bytes past RUnlatch.
+func (h *HeapFile) RLatch() { h.mu.RLock() }
+
+// RUnlatch releases RLatch.
+func (h *HeapFile) RUnlatch() { h.mu.RUnlock() }
+
 // Insert appends one NSM tuple (the concatenated fixed-width row) and
 // returns its RID.
 func (h *HeapFile) Insert(rec *trace.Recorder, tuple []byte) (RID, error) {
@@ -183,12 +192,15 @@ func (h *HeapFile) FetchNSM(rec *trace.Recorder, rid RID) ([]byte, error) {
 		return nil, err
 	}
 	defer ref.Release()
+	h.mu.RLock()
 	t := AsSlotted(ref.Data, ref.Addr).Tuple(rec, int(rid.Slot))
 	if t == nil {
+		h.mu.RUnlock()
 		return nil, fmt.Errorf("storage: rid %v deleted", rid)
 	}
 	out := make([]byte, len(t))
 	copy(out, t)
+	h.mu.RUnlock()
 	return out, nil
 }
 
@@ -199,7 +211,9 @@ func (h *HeapFile) UpdateNSM(rec *trace.Recorder, rid RID, tuple []byte) error {
 		return err
 	}
 	defer ref.Release()
+	h.mu.Lock()
 	AsSlotted(ref.Data, ref.Addr).Update(rec, int(rid.Slot), tuple)
+	h.mu.Unlock()
 	return nil
 }
 

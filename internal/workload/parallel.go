@@ -1,0 +1,129 @@
+// Morsel-driven parallel variants of the DSS query analogs: the same
+// plans as Q1/Q6 — identical predicates, transforms, and aggregates —
+// executed by the engine's work-stealing worker pool with one execution
+// context per simulated hardware context. These are the workloads that
+// let the camp comparisons exercise true intra-query parallelism instead
+// of inter-query concurrency alone.
+
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Q1Parallel computes Q1's result with the morsel-driven executor: each
+// worker scans stolen page ranges of lineitem into a private partial
+// aggregate; the partials merge at the gather barrier. ctxs[0] doubles as
+// the gather context. Group keys and counts match Q1 exactly; float sums
+// agree up to addition order.
+func (h *TPCH) Q1Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("workload: Q1Parallel with no worker contexts")
+	}
+	preds, mapped, fn, aggs := h.q1Pieces(p)
+	pool := engine.NewMorselPool(len(ctxs), h.lineitem.Heap.NumPages(), 0)
+	plan := &engine.ParallelAgg{
+		Ctxs: ctxs,
+		Build: func(w int) engine.Op {
+			return &engine.Map{
+				Child: &engine.MorselScan{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
+				Out:   mapped,
+				Fn:    fn,
+				Cost:  18,
+			}
+		},
+		GroupCols: []int{0, 1},
+		Aggs:      aggs,
+		Expected:  8,
+	}
+	return engine.Collect(ctxs[0], &engine.Sort{Child: plan, Col: 0})
+}
+
+// Q6Parallel computes Q6's result with the morsel-driven executor.
+func (h *TPCH) Q6Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("workload: Q6Parallel with no worker contexts")
+	}
+	preds, mapped, fn, aggs := h.q6Pieces(p)
+	pool := engine.NewMorselPool(len(ctxs), h.lineitem.Heap.NumPages(), 0)
+	plan := &engine.ParallelAgg{
+		Ctxs: ctxs,
+		Build: func(w int) engine.Op {
+			return &engine.Map{
+				Child: &engine.MorselScan{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
+				Out:   mapped,
+				Fn:    fn,
+				Cost:  12,
+			}
+		},
+		GroupCols: []int{0},
+		Aggs:      aggs,
+		Expected:  2,
+	}
+	return engine.Collect(ctxs[0], plan)
+}
+
+// OrdersPerCustomer runs the Q13 join core — customer left-outer-join its
+// non-special orders — with the serial hash join, returning the output
+// row count. It is the reference for the parallel form below.
+func (h *TPCH) OrdersPerCustomer(ctx *engine.Ctx) (int, error) {
+	os := h.orders.Schema
+	join := &engine.HashJoin{
+		Left: &engine.SeqScan{Table: h.customer, Cols: []int{0}},
+		Right: &engine.SeqScan{
+			Table: h.orders,
+			Preds: []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+		},
+		LeftCol: 0, RightCol: os.Col("o_custkey"),
+		Type: engine.LeftOuter,
+	}
+	n := 0
+	err := engine.Run(ctx, join, func([]byte) error { n++; return nil })
+	return n, err
+}
+
+// OrdersPerCustomerParallel is OrdersPerCustomer on the partitioned
+// parallel hash join: workers scatter the filtered orders into key
+// partitions, build one hash table per partition, then probe with stolen
+// customer morsels. The output row count is identical to the serial join.
+func (h *TPCH) OrdersPerCustomerParallel(ctxs []*engine.Ctx) (int, error) {
+	if len(ctxs) == 0 {
+		return 0, fmt.Errorf("workload: parallel join with no worker contexts")
+	}
+	os := h.orders.Schema
+	probePool := engine.NewMorselPool(len(ctxs), h.customer.Heap.NumPages(), 0)
+	buildPool := engine.NewMorselPool(len(ctxs), h.orders.Heap.NumPages(), 0)
+	join := &engine.ParallelHashJoin{
+		Ctxs: ctxs,
+		ProbeSrc: func(w int) engine.Op {
+			return &engine.MorselScan{Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w}
+		},
+		BuildSrc: func(w int) engine.Op {
+			return &engine.MorselScan{
+				Table:  h.orders,
+				Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+				Pool:   buildPool,
+				Worker: w,
+			}
+		},
+		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
+		Type: engine.LeftOuter,
+	}
+	n := 0
+	err := engine.Run(ctxs[0], join, func([]byte) error { n++; return nil })
+	return n, err
+}
+
+// RunQueryParallel executes the parallel variant of query q (1 or 6 have
+// morsel-parallel plans) across the worker contexts.
+func (h *TPCH) RunQueryParallel(ctxs []*engine.Ctx, q int, p QueryParams) ([][]engine.Value, error) {
+	switch q {
+	case 1:
+		return h.Q1Parallel(ctxs, p)
+	case 6:
+		return h.Q6Parallel(ctxs, p)
+	}
+	return nil, fmt.Errorf("workload: no parallel variant of query %d (have 1, 6)", q)
+}

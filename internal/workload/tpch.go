@@ -195,12 +195,13 @@ func RandomParams(rng *rand.Rand) QueryParams {
 	}
 }
 
-// Q1 is the scan-dominated pricing-summary analog: scan lineitem below a
-// ship date, group by (returnflag, linestatus), and compute the standard
-// sums and averages.
-func (h *TPCH) Q1(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+// q1Pieces returns the plan fragments Q1 and Q1Parallel share: the scan
+// predicates, the Map output schema and row transform, and the aggregate
+// specs. The transform is stateless (it writes only its out argument), so
+// one value is safe across workers, each inside its own Map instance.
+func (h *TPCH) q1Pieces(p QueryParams) (preds []engine.Pred, mapped engine.Schema, fn func(in, out []byte), aggs []engine.AggSpec) {
 	ls := h.lineitem.Schema
-	mapped := engine.Schema{
+	mapped = engine.Schema{
 		engine.Char("l_returnflag", 4), engine.Char("l_linestatus", 4),
 		engine.Float("qty"), engine.Float("price"), engine.Float("disc_price"),
 		engine.Float("discount"),
@@ -210,69 +211,89 @@ func (h *TPCH) Q1(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 	discOff := ls.Offsets()[ls.Col("l_discount")]
 	rfOff := ls.Offsets()[ls.Col("l_returnflag")]
 	lsOff := ls.Offsets()[ls.Col("l_linestatus")]
+	preds = []engine.Pred{engine.PredInt(ls.Col("l_shipdate"), engine.LE, p.Date)}
+	fn = func(in, out []byte) {
+		copy(out[0:4], in[rfOff:rfOff+4])
+		copy(out[4:8], in[lsOff:lsOff+4])
+		qty := engine.RowFloat(in, qtyOff)
+		price := engine.RowFloat(in, priceOff)
+		disc := engine.RowFloat(in, discOff)
+		engine.PutRowFloat(out, 8, qty)
+		engine.PutRowFloat(out, 16, price)
+		engine.PutRowFloat(out, 24, price*(1-disc))
+		engine.PutRowFloat(out, 32, disc)
+	}
+	aggs = []engine.AggSpec{
+		{Func: engine.Sum, Col: 2, Name: "sum_qty"},
+		{Func: engine.Sum, Col: 3, Name: "sum_base_price"},
+		{Func: engine.Sum, Col: 4, Name: "sum_disc_price"},
+		{Func: engine.Avg, Col: 2, Name: "avg_qty"},
+		{Func: engine.Avg, Col: 3, Name: "avg_price"},
+		{Func: engine.Avg, Col: 5, Name: "avg_disc"},
+		{Func: engine.Count, Name: "count_order"},
+	}
+	return preds, mapped, fn, aggs
+}
 
+// Q1 is the scan-dominated pricing-summary analog: scan lineitem below a
+// ship date, group by (returnflag, linestatus), and compute the standard
+// sums and averages.
+func (h *TPCH) Q1(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	preds, mapped, fn, aggs := h.q1Pieces(p)
 	plan := &engine.HashAgg{
 		Child: &engine.Map{
 			Child: &engine.SeqScan{
 				Table:     h.lineitem,
-				Preds:     []engine.Pred{engine.PredInt(ls.Col("l_shipdate"), engine.LE, p.Date)},
+				Preds:     preds,
 				StartPage: h.phasePage(h.lineitem, p.Phase),
 			},
-			Out: mapped,
-			Fn: func(in, out []byte) {
-				copy(out[0:4], in[rfOff:rfOff+4])
-				copy(out[4:8], in[lsOff:lsOff+4])
-				qty := engine.RowFloat(in, qtyOff)
-				price := engine.RowFloat(in, priceOff)
-				disc := engine.RowFloat(in, discOff)
-				engine.PutRowFloat(out, 8, qty)
-				engine.PutRowFloat(out, 16, price)
-				engine.PutRowFloat(out, 24, price*(1-disc))
-				engine.PutRowFloat(out, 32, disc)
-			},
+			Out:  mapped,
+			Fn:   fn,
 			Cost: 18,
 		},
 		GroupCols: []int{0, 1},
-		Aggs: []engine.AggSpec{
-			{Func: engine.Sum, Col: 2, Name: "sum_qty"},
-			{Func: engine.Sum, Col: 3, Name: "sum_base_price"},
-			{Func: engine.Sum, Col: 4, Name: "sum_disc_price"},
-			{Func: engine.Avg, Col: 2, Name: "avg_qty"},
-			{Func: engine.Avg, Col: 3, Name: "avg_price"},
-			{Func: engine.Avg, Col: 5, Name: "avg_disc"},
-			{Func: engine.Count, Name: "count_order"},
-		},
-		Expected: 8,
+		Aggs:      aggs,
+		Expected:  8,
 	}
 	return engine.Collect(ctx, &engine.Sort{Child: plan, Col: 0})
+}
+
+// q6Pieces returns the plan fragments Q6 and Q6Parallel share.
+func (h *TPCH) q6Pieces(p QueryParams) (preds []engine.Pred, mapped engine.Schema, fn func(in, out []byte), aggs []engine.AggSpec) {
+	ls := h.lineitem.Schema
+	priceOff := ls.Offsets()[ls.Col("l_extendedprice")]
+	discOff := ls.Offsets()[ls.Col("l_discount")]
+	preds = []engine.Pred{
+		engine.PredIntBetween(ls.Col("l_shipdate"), p.Date-365, p.Date),
+		engine.PredFloatBetween(ls.Col("l_discount"), p.Discount-0.01, p.Discount+0.01),
+		engine.PredFloat(ls.Col("l_quantity"), engine.LT, p.Quantity),
+	}
+	mapped = engine.Schema{engine.Int("one"), engine.Float("revenue")}
+	fn = func(in, out []byte) {
+		engine.PutRowInt(out, 0, 1)
+		engine.PutRowFloat(out, 8, engine.RowFloat(in, priceOff)*engine.RowFloat(in, discOff))
+	}
+	aggs = []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "revenue"}}
+	return preds, mapped, fn, aggs
 }
 
 // Q6 is the selective-scan forecasting-revenue analog: a tight filter on
 // date, discount, and quantity, summing extendedprice*discount.
 func (h *TPCH) Q6(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
-	ls := h.lineitem.Schema
-	priceOff := ls.Offsets()[ls.Col("l_extendedprice")]
-	discOff := ls.Offsets()[ls.Col("l_discount")]
+	preds, mapped, fn, aggs := h.q6Pieces(p)
 	plan := &engine.HashAgg{
 		Child: &engine.Map{
 			Child: &engine.SeqScan{
-				Table: h.lineitem,
-				Preds: []engine.Pred{
-					engine.PredIntBetween(ls.Col("l_shipdate"), p.Date-365, p.Date),
-					engine.PredFloatBetween(ls.Col("l_discount"), p.Discount-0.01, p.Discount+0.01),
-					engine.PredFloat(ls.Col("l_quantity"), engine.LT, p.Quantity),
-				},
+				Table:     h.lineitem,
+				Preds:     preds,
 				StartPage: h.phasePage(h.lineitem, p.Phase),
 			},
-			Out: engine.Schema{engine.Int("one"), engine.Float("revenue")},
-			Fn: func(in, out []byte) {
-				engine.PutRowInt(out, 0, 1)
-				engine.PutRowFloat(out, 8, engine.RowFloat(in, priceOff)*engine.RowFloat(in, discOff))
-			},
+			Out:  mapped,
+			Fn:   fn,
 			Cost: 12,
 		},
 		GroupCols: []int{0},
-		Aggs:      []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "revenue"}},
+		Aggs:      aggs,
 		Expected:  2,
 	}
 	return engine.Collect(ctx, plan)
