@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt
+.PHONY: all build test race bench bench-share lint fmt
 
 all: build lint test
 
@@ -18,6 +18,10 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Shared vs unshared aggregate-throughput smoke (8 simulated clients).
+bench-share:
+	$(GO) test -run '^$$' -bench '^BenchmarkSharedScan$$' -benchtime=1x .
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -363,6 +363,35 @@ func BenchmarkParallelJoin(b *testing.B) {
 	b.ReportMetric(speedup, "join-4w/1w-speedup")
 }
 
+// BenchmarkSharedScan measures cross-query work sharing: 8 concurrent
+// clients run the selective-scan analog (Q6, private parameters each) on
+// one simulated 4-core FC chip, unshared (8 private scans) versus shared
+// (one circular shared scan + per-client filters). The reported ratio is
+// aggregate throughput shared over unshared — the acceptance bar is >= 2x.
+func BenchmarkSharedScan(b *testing.B) {
+	var un, sh core.SharedDSSResult
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cell := core.DefaultCell(sim.FatCamp, core.DSS, true)
+		cell.WarmRefs = 50000
+		var err error
+		un, sh, ratio, err = runner().SharedSpeedup(cell, 6, 8, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if un.Rows == 0 || sh.Rows == 0 {
+			b.Fatal("shared-scan benchmark produced no rows")
+		}
+		if ratio < 2 {
+			b.Fatalf("shared mode only %.2fx unshared aggregate throughput, acceptance bar is 2x (cycles %d vs %d)",
+				ratio, un.Cycles, sh.Cycles)
+		}
+	}
+	b.ReportMetric(ratio, "shared/unshared-throughput-x")
+	b.ReportMetric(sh.Throughput(), "shared-q/Mcycle")
+	b.ReportMetric(un.Throughput(), "unshared-q/Mcycle")
+}
+
 // BenchmarkSimCycleRate measures raw simulator speed (host ns per
 // simulated cycle) on a saturated LC chip.
 func BenchmarkSimCycleRate(b *testing.B) {

@@ -8,6 +8,7 @@
 //	cmpsim -camp fc -workload dss -unsaturated -query 6
 //	cmpsim -camp fc -workload oltp -smp -l2mb 4   # Figure 7's SMP node
 //	cmpsim -camp fc -workload dss -workers 4 -query 1   # morsel-parallel Q1
+//	cmpsim -camp fc -workload dss -clients 8 -share     # cross-query work sharing
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	smp := flag.Bool("smp", false, "private L2 per core (SMP) instead of shared (CMP)")
 	query := flag.Int("query", 6, "DSS query analog for unsaturated runs (1, 6, 13, 16)")
 	workers := flag.Int("workers", 0, "run one DSS query on the morsel-driven parallel executor with N workers (1 and 6; 13 runs the parallel-join core)")
+	shareFlag := flag.Bool("share", false, "compare -clients concurrent DSS clients with and without cross-query work sharing (shared circular scans + result reuse); -query picks 1, 6, 13, or 0 for the mix")
 	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
 	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
 	scale := flag.String("scale", "full", "workload scale: full or test")
@@ -72,6 +74,22 @@ func main() {
 		cell.Clients = *clients
 	}
 
+	if *shareFlag {
+		if wk != core.DSS {
+			fmt.Fprintln(os.Stderr, "-share requires -workload dss (cross-query work sharing)")
+			os.Exit(2)
+		}
+		k := *clients
+		if k <= 0 {
+			k = 8
+		}
+		if !flagWasSet("warm") {
+			cell.WarmRefs = 50000
+		}
+		runShare(core.NewRunner(sc), cell, *query, k)
+		return
+	}
+
 	if *workers > 0 {
 		if wk != core.DSS {
 			fmt.Fprintln(os.Stderr, "-workers requires -workload dss (intra-query parallelism)")
@@ -80,13 +98,7 @@ func main() {
 		// The saturated -warm default would consume a whole test-scale
 		// query during functional warming; parallel runs measure to
 		// completion, so default to a light warm unless -warm was given.
-		warmSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "warm" {
-				warmSet = true
-			}
-		})
-		if !warmSet {
+		if !flagWasSet("warm") {
 			cell.WarmRefs = 50000
 		}
 		runParallel(core.NewRunner(sc), cell, *query, *workers)
@@ -152,6 +164,46 @@ func runParallel(r *core.Runner, cell core.Cell, query, workers int) {
 			p.Workers, p.Cycles, p.Rows, p.Result.IPC())
 	}
 	fmt.Printf("  speedup %dw over 1w: %.2fx\n", workers, speedup)
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runShare measures K concurrent DSS clients with and without the
+// cross-query work-sharing subsystem on identical chip geometry and
+// prints aggregate throughput for both, plus the sharing internals.
+func runShare(r *core.Runner, cell core.Cell, query, clients int) {
+	un, sh, ratio, err := r.SharedSpeedup(cell, query, clients, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	qname := fmt.Sprintf("q%d", query)
+	if query == 0 {
+		qname = "q1/q6/q13 mix"
+	}
+	fmt.Printf("cross-query work sharing, %s, %d clients on %v (%d cores, %d MB L2):\n",
+		qname, clients, cell.Camp, cell.Cores, cell.L2Size>>20)
+	for _, res := range []core.SharedDSSResult{un, sh} {
+		mode := "unshared (private scans)"
+		if res.Shared {
+			mode = "shared   (circular scans)"
+		}
+		fmt.Printf("  %s %12d cycles  %7.3f queries/Mcycle  (IPC %.3f, %d rows)\n",
+			mode, res.Cycles, res.Throughput(), res.Result.IPC(), res.Rows)
+	}
+	fmt.Printf("  aggregate throughput gain: %.2fx\n", ratio)
+	fmt.Printf("  sharing: %d attaches, %d rotations, %d producer runs, %d pages scanned, %d batches\n",
+		sh.Scans.Attaches, sh.Scans.Rotations, sh.Scans.ProducerRuns, sh.Scans.PagesScanned, sh.Scans.Batches)
+	fmt.Printf("  result cache: %d hits, %d misses\n", sh.Cache.Hits, sh.Cache.Misses)
 }
 
 func pct(a, b uint64) float64 {

@@ -2,6 +2,11 @@
 // it loads the TPC-C-like and TPC-H-like databases, runs transactions and
 // the four query analogs, and prints results — demonstrating that the
 // engine underneath the characterization is a real, correct engine.
+//
+// -workers N runs the scan-heavy analogs on the morsel-driven parallel
+// executor; -share routes queries through the cross-query work-sharing
+// subsystem (circular shared scans + result reuse) and, with -clients K,
+// compares shared against unshared multi-client throughput.
 package main
 
 import (
@@ -18,15 +23,18 @@ import (
 func main() {
 	txns := flag.Int("txns", 2000, "TPC-C-like transactions to run")
 	lineitems := flag.Int("lineitems", 100000, "TPC-H-like lineitem rows")
+	workers := flag.Int("workers", 1, "morsel-parallel workers for the DSS analogs (Q1/Q6)")
+	shareFlag := flag.Bool("share", false, "run DSS analogs through the work-sharing subsystem (shared circular scans + result reuse)")
+	clients := flag.Int("clients", 8, "concurrent clients for the -share throughput comparison")
 	flag.Parse()
 
-	if err := run(*txns, *lineitems); err != nil {
+	if err := run(*txns, *lineitems, *workers, *shareFlag, *clients); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(txns, lineitems int) error {
+func run(txns, lineitems, workers int, shared bool, clients int) error {
 	fmt.Println("== OLTP: TPC-C-like ==")
 	start := time.Now()
 	w, err := workload.BuildTPCC(workload.TPCCConfig{Warehouses: 2, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20})
@@ -58,17 +66,63 @@ func run(txns, lineitems int) error {
 	}
 	fmt.Printf("loaded %d lineitem rows in %s\n", lineitems, time.Since(start).Truncate(time.Millisecond))
 
+	var env *workload.ShareEnv
+	if shared {
+		env = h.NewShareEnv()
+	}
+	var pctxs []*engine.Ctx
+	if workers > 1 {
+		for i := 0; i < workers; i++ {
+			pctxs = append(pctxs, h.DB.NewCtx(nil, 64+i, 48<<20))
+		}
+	}
+
 	qctx := h.DB.NewCtx(nil, 1, 96<<20)
 	params := workload.RandomParams(rng)
 	for _, q := range workload.Queries {
 		qctx.Work.Reset()
+		for _, pc := range pctxs {
+			pc.Work.Reset()
+		}
 		start = time.Now()
-		rows, err := h.RunQuery(qctx, q, params)
+		var rows [][]engine.Value
+		mode := "serial"
+		switch {
+		case shared && (q == 1 || q == 6 || q == 13):
+			mode = "shared-scan"
+			rows, err = h.RunQueryShared(qctx, q, params, env)
+		case workers > 1 && (q == 1 || q == 6):
+			mode = fmt.Sprintf("parallel x%d", workers)
+			rows, err = h.RunQueryParallel(pctxs, q, params)
+		default:
+			rows, err = h.RunQuery(qctx, q, params)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nQ%d analog: %d result rows in %s\n", q, len(rows), time.Since(start).Truncate(time.Millisecond))
+		fmt.Printf("\nQ%d analog (%s): %d result rows in %s\n", q, mode, len(rows), time.Since(start).Truncate(time.Millisecond))
 		printRows(rows, 5)
+	}
+
+	if shared && clients > 1 {
+		fmt.Printf("\n== Work sharing: %d concurrent clients, Q1/Q6/Q13 mix ==\n", clients)
+		un, err := h.RunConcurrentDSS(clients, 2, nil, 7)
+		if err != nil {
+			return err
+		}
+		sh, err := h.RunConcurrentDSS(clients, 2, h.NewShareEnv(), 7)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("unshared: %d queries in %s (%.1f q/s)\n",
+			un.Queries, un.Elapsed.Truncate(time.Millisecond), un.Throughput())
+		fmt.Printf("shared:   %d queries in %s (%.1f q/s)\n",
+			sh.Queries, sh.Elapsed.Truncate(time.Millisecond), sh.Throughput())
+		if sh.Elapsed > 0 {
+			fmt.Printf("host-time gain: %.2fx\n", un.Elapsed.Seconds()/sh.Elapsed.Seconds())
+		}
+		fmt.Printf("sharing: %d rotations over %d attaches, %d pages scanned; cache %d hits / %d misses\n",
+			sh.Scans.Rotations, sh.Scans.Attaches, sh.Scans.PagesScanned, sh.Cache.Hits, sh.Cache.Misses)
 	}
 	return nil
 }

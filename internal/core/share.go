@@ -1,0 +1,229 @@
+// Cross-query work-sharing experiments: K concurrent DSS clients on one
+// simulated chip, with and without the share registry. Unshared, every
+// client runs a private scan of the hot table — K passes over the data
+// contending for the cache hierarchy. Shared, the clients attach to one
+// circular shared scan whose producer workers occupy their own hardware
+// contexts, and each client only filters the common batches. The cycle
+// ratio between the two modes is the paper's "aggressive data sharing
+// across queries" opportunity, measured.
+
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/share"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// sharedProducerWorkers is the number of traced scan workers feeding each
+// shared table's producer in simulated runs.
+const sharedProducerWorkers = 2
+
+// SharedDSSResult is one multi-client measurement.
+type SharedDSSResult struct {
+	Camp    sim.Camp
+	Query   int // 0 = the Q1/Q6/Q13 mix
+	Clients int
+	Shared  bool
+	// Cycles is the completion cycle of the slowest client: all K queries
+	// are done by then, so Clients/Cycles is aggregate throughput.
+	Cycles uint64
+	Result sim.Result
+	Rows   int // result rows summed over clients
+	Scans  share.Stats
+	Cache  share.CacheStats
+}
+
+// Throughput returns queries completed per million simulated cycles.
+func (r SharedDSSResult) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Clients) / float64(r.Cycles) * 1e6
+}
+
+// sharedTables returns the tables whose scans query q routes through the
+// registry (the tables that need producer threads on the chip).
+func sharedTables(q int) []string {
+	switch q {
+	case 0:
+		return []string{"lineitem", "orders"}
+	case 13:
+		return []string{"orders"}
+	default:
+		return []string{"lineitem"}
+	}
+}
+
+// RunSharedDSS runs clients concurrent DSS clients to completion on a
+// fresh chip described by cell, each firing one query — q of 1, 6, 13, or
+// 0 for the Q1/Q6/Q13 mix — with private predicate parameters. With
+// shared set, scans ride circular shared scans (producer workers on their
+// own chip threads) and aggregates the result-reuse cache; unshared,
+// every client runs the private serial plan at the staggered phases
+// multi-client DSS clients use today. The chip geometry is identical in
+// both modes, so the cycle ratio isolates the work-sharing effect.
+func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64) (SharedDSSResult, error) {
+	if clients <= 0 {
+		return SharedDSSResult{}, fmt.Errorf("core: shared DSS with %d clients", clients)
+	}
+	if q != 0 && q != 1 && q != 6 && q != 13 {
+		return SharedDSSResult{}, fmt.Errorf("core: shared DSS query %d (have 1, 6, 13, or 0 for the mix)", q)
+	}
+	h, err := r.TPCH()
+	if err != nil {
+		return SharedDSSResult{}, err
+	}
+	chip := sim.NewChip(cell.SimConfig())
+
+	// Client threads first (thread ids 0..clients-1), producers after, so
+	// ThreadDone[0:clients] are the query completion times.
+	ctxs := make([]*engine.Ctx, clients)
+	recs := make([]*trace.Recorder, clients)
+	streams := make([]*trace.Stream, 0, clients+2*sharedProducerWorkers)
+	for i := 0; i < clients; i++ {
+		rec, s := trace.Pipe()
+		recs[i], streams = rec, append(streams, s)
+		chip.AddThread(s)
+		ctxs[i] = h.DB.NewCtx(rec, 64+i, 64<<20)
+	}
+
+	var env *workload.ShareEnv
+	var prodRecs []*trace.Recorder
+	if shared {
+		prodCtxs := make(map[string][]*engine.Ctx)
+		slot := 64 + clients
+		for _, tbl := range sharedTables(q) {
+			ws := make([]*engine.Ctx, sharedProducerWorkers)
+			for w := range ws {
+				rec, s := trace.Pipe()
+				prodRecs, streams = append(prodRecs, rec), append(streams, s)
+				chip.AddThread(s)
+				ws[w] = h.DB.NewCtx(rec, slot, 64<<20)
+				slot++
+			}
+			prodCtxs[tbl] = ws
+		}
+		env = h.NewShareEnvWith(share.Config{
+			ProducerWorkers: sharedProducerWorkers,
+			NewProducerCtx: func(table string, worker int) *engine.Ctx {
+				if ws := prodCtxs[table]; worker < len(ws) {
+					return ws[worker]
+				}
+				return nil // registry falls back to an untraced context
+			},
+		}, share.NewResultCache(128))
+	}
+
+	queryOf := func(i int) int {
+		if q == 0 {
+			return workload.SharedQueries[i%len(workload.SharedQueries)]
+		}
+		return q
+	}
+
+	rows := make([]int, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var cwg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			cwg.Add(1)
+			go func(i int) {
+				defer cwg.Done()
+				defer recs[i].Close()
+				p := workload.RandomParams(rand.New(rand.NewSource(seed + int64(i))))
+				var res [][]engine.Value
+				var err error
+				if shared {
+					res, err = h.RunQueryShared(ctxs[i], queryOf(i), p, env)
+				} else {
+					p.Phase = float64(i%16) / 80
+					res, err = h.RunQuery(ctxs[i], queryOf(i), p)
+				}
+				rows[i], errs[i] = len(res), err
+			}(i)
+		}
+		cwg.Wait()
+		if env != nil {
+			env.Reg.WaitIdle()
+		}
+		for _, rec := range prodRecs {
+			rec.Close()
+		}
+	}()
+
+	warm := cell.WarmRefs
+	if warm <= 0 {
+		warm = 50000
+	}
+	chip.Warm(warm)
+	simRes := chip.Run(1 << 34)
+	for _, s := range streams {
+		s.Stop()
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+	}
+	wg.Wait()
+
+	out := SharedDSSResult{Camp: cell.Camp, Query: q, Clients: clients, Shared: shared, Result: simRes}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			return out, fmt.Errorf("core: shared DSS client %d: %w", i, errs[i])
+		}
+		out.Rows += rows[i]
+		if d := simRes.ThreadDone[i]; d > out.Cycles {
+			out.Cycles = d
+		}
+	}
+	if out.Cycles == 0 {
+		out.Cycles = simRes.Cycles
+	}
+	if env != nil {
+		out.Scans = env.Reg.Stats()
+		out.Cache = env.Cache.Stats()
+	}
+	return out, nil
+}
+
+// SharedSpeedup measures q at clients concurrent clients in both modes on
+// identical chip geometry and returns (unshared, shared, ratio): the
+// aggregate-throughput gain of cross-query work sharing. Each mode is
+// measured twice and the faster run kept, like ParallelSpeedup, to shed
+// host scheduling noise.
+func (r *Runner) SharedSpeedup(cell Cell, q, clients int, seed int64) (SharedDSSResult, SharedDSSResult, float64, error) {
+	measure := func(shared bool) (SharedDSSResult, error) {
+		best, err := r.RunSharedDSS(cell, q, clients, shared, seed)
+		if err != nil {
+			return best, err
+		}
+		again, err := r.RunSharedDSS(cell, q, clients, shared, seed)
+		if err != nil {
+			return best, err
+		}
+		if again.Cycles < best.Cycles {
+			best = again
+		}
+		return best, nil
+	}
+	un, err := measure(false)
+	if err != nil {
+		return un, SharedDSSResult{}, 0, err
+	}
+	sh, err := measure(true)
+	if err != nil {
+		return un, sh, 0, err
+	}
+	return un, sh, float64(un.Cycles) / float64(sh.Cycles), nil
+}

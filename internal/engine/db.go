@@ -191,6 +191,12 @@ func (t *Table) InsertRow(rec *trace.Recorder, row []byte) (storage.RID, error) 
 	return rid, nil
 }
 
+// Version returns the table's write-version counter (see
+// storage.HeapFile.Version): the result-reuse cache keys entries by it so
+// a write — including one inside a transaction that later commits — can
+// never be masked by a stale cached aggregate.
+func (t *Table) Version() uint64 { return t.Heap.Version() }
+
 // Fetch reads the encoded row at rid (NSM tables).
 func (t *Table) Fetch(rec *trace.Recorder, rid storage.RID) ([]byte, error) {
 	return t.Heap.FetchNSM(rec, rid)

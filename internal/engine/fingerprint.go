@@ -1,0 +1,124 @@
+// Plan fingerprinting: a stable hash over a plan tree's shape and
+// parameters, used as the key of the cross-query result-reuse cache
+// (together with the versions of the tables the plan reads). Two plans
+// with equal fingerprints compute the same logical result against the
+// same table versions.
+
+package engine
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+)
+
+// PlanFingerprint hashes op's tree: operator types, predicate constants,
+// column lists, and every other exported scalar field, recursing through
+// child operators. Table references hash as the table name. Function
+// fields (Map transforms) and batch sources are skipped — in this engine
+// a transform's behaviour is determined by the operator's hashed scalar
+// configuration, so the skip loses nothing; plans built outside that
+// convention should not share a result cache.
+//
+// Scan origins (SeqScan.StartPage) are deliberately excluded: a circular
+// scan's start point permutes float addition order but not the logical
+// result, and including it would defeat cross-client reuse of aggregate
+// results.
+func PlanFingerprint(op Op) uint64 {
+	h := fnvOffset
+	fingerprintValue(reflect.ValueOf(op), &h)
+	return h
+}
+
+const (
+	fnvOffset = uint64(1469598103934665603)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func mixBytes(h *uint64, b []byte) {
+	for _, c := range b {
+		*h ^= uint64(c)
+		*h *= fnvPrime
+	}
+}
+
+func mixString(h *uint64, s string) {
+	mixBytes(h, []byte(s))
+	mixBytes(h, []byte{0xff})
+}
+
+func mixUint64(h *uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	mixBytes(h, b[:])
+}
+
+var (
+	opType    = reflect.TypeOf((*Op)(nil)).Elem()
+	tableType = reflect.TypeOf((*Table)(nil))
+)
+
+func fingerprintValue(v reflect.Value, h *uint64) {
+	if !v.IsValid() {
+		mixString(h, "<zero>")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if v.IsNil() {
+			mixString(h, "<nil>")
+			return
+		}
+		if v.Type() == tableType {
+			// A table's identity, not its contents: data currency is the
+			// version counter's job, carried separately in the cache key.
+			mixString(h, "table:"+v.Interface().(*Table).Name)
+			return
+		}
+		if v.Kind() == reflect.Interface && !v.Type().Implements(opType) {
+			// Non-operator interfaces (e.g. a shared scan's BatchSource)
+			// carry runtime wiring, not plan shape.
+			mixString(h, "<iface>")
+			return
+		}
+		fingerprintValue(v.Elem(), h)
+	case reflect.Struct:
+		mixString(h, v.Type().String())
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" { // unexported: runtime state, not plan shape
+				continue
+			}
+			if f.Name == "StartPage" { // scan origin: result-neutral, see doc
+				continue
+			}
+			mixString(h, f.Name)
+			fingerprintValue(v.Field(i), h)
+		}
+	case reflect.Slice, reflect.Array:
+		mixString(h, "[]")
+		mixUint64(h, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			fingerprintValue(v.Index(i), h)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		mixUint64(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		mixUint64(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		mixUint64(h, math.Float64bits(v.Float()))
+	case reflect.Bool:
+		if v.Bool() {
+			mixUint64(h, 1)
+		} else {
+			mixUint64(h, 0)
+		}
+	case reflect.String:
+		mixString(h, v.String())
+	default:
+		// Funcs, chans, maps: behaviour is captured by the hashed scalar
+		// configuration of the operator that owns them.
+		mixString(h, "<"+v.Kind().String()+">")
+	}
+}

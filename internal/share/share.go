@@ -1,0 +1,604 @@
+// Package share implements cross-query work sharing, the inter-query half
+// of the paper's Section 6 opportunities (QPipe-style): when many
+// concurrent clients scan the same table, the server should make one pass
+// over the data and let every query ride it, instead of N private scans
+// thrashing the cache hierarchy independently.
+//
+// Two services:
+//
+//   - ScanShare registry: concurrent queries over one table attach to a
+//     single in-flight *circular shared scan*. A group of producer workers
+//     claims morsels (page ranges) of the table, decodes them into row
+//     batches in a shared arena, and a coordinator delivers the batches to
+//     every attached consumer in circular page order. Late arrivals join
+//     mid-scan at the next morsel boundary, wrap around the end of the
+//     table, and detach after exactly one full rotation — so each query
+//     sees every page once, in the order of a SeqScan starting at its
+//     attach page. The scan's position persists across idle periods, and
+//     the producer runs only while consumers are attached.
+//
+//   - Result-reuse cache: completed aggregate results memoized under
+//     (tables read, table write-versions, plan fingerprint). Any write to
+//     a table — including inside a transaction that later commits — bumps
+//     its version counter in storage, so a stale aggregate can never be
+//     served.
+//
+// Fairness and flow control: batches recycle through a fixed ring, and
+// delivery blocks on the slowest attached consumer, so a circular scan is
+// paced by its convoy — the steady state of saturated DSS systems the
+// paper describes — while detached or failed consumers release their
+// batches promptly and never wedge the producer.
+package share
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/storage"
+)
+
+// Config tunes a Registry. The zero value is usable.
+type Config struct {
+	// MorselPages is the batch granularity in heap pages (default
+	// engine.DefaultMorselPages). Consumers attach and detach only at
+	// morsel boundaries, which keeps per-consumer row order identical to a
+	// SeqScan from the attach page.
+	MorselPages int
+	// ProducerWorkers is the number of parallel scan workers feeding each
+	// table's shared scan (default 2): the PR-1 morsel machinery on the
+	// producer side, so one logical scan can saturate several cores while
+	// consumers only filter.
+	ProducerWorkers int
+	// RingBatches is the number of recycled batch buffers per table group
+	// (default ProducerWorkers+6). It bounds both memory and how far the
+	// scan can run ahead of the slowest consumer.
+	RingBatches int
+	// ReaderLag is each consumer's buffered-batch allowance (default 2).
+	ReaderLag int
+	// NewProducerCtx supplies execution contexts for a table's producer
+	// workers (worker = 0..ProducerWorkers-1). Simulated runs bind these
+	// to chip threads; the default is an untraced context in a private
+	// workspace slot.
+	NewProducerCtx func(table string, worker int) *engine.Ctx
+}
+
+func (c Config) withDefaults() Config {
+	if c.MorselPages <= 0 {
+		c.MorselPages = engine.DefaultMorselPages
+	}
+	if c.ProducerWorkers <= 0 {
+		c.ProducerWorkers = 2
+	}
+	if c.RingBatches <= 0 {
+		c.RingBatches = c.ProducerWorkers + 6
+	}
+	if c.ReaderLag <= 0 {
+		c.ReaderLag = 2
+	}
+	return c
+}
+
+// Batch buffers live in a dedicated slice of the workspace region, far
+// above any per-worker context slot, so shared batches have stable
+// simulated addresses without colliding with query workspaces.
+const batchRegionBase = mem.WorkBase + 0x40_0000_0000
+
+// defaultProducerSlot spaces default producer workspaces far above the
+// worker slots experiment drivers hand out to clients.
+const defaultProducerSlot = 4096
+
+// Stats counts registry activity (all fields monotonically increasing).
+type Stats struct {
+	Attaches     uint64 // consumers attached
+	Rotations    uint64 // full rotations completed by consumers
+	ProducerRuns uint64 // producer incarnations (idle -> scanning)
+	Batches      uint64 // batches delivered (counted once, not per consumer)
+	PagesScanned uint64 // heap pages decoded by producers
+}
+
+// Registry tracks the in-flight circular shared scan of each table.
+type Registry struct {
+	db  *engine.DB
+	cfg Config
+
+	mu      sync.Mutex
+	idle    *sync.Cond
+	groups  map[string]*group
+	running int // producer incarnations in flight
+
+	attaches     atomic.Uint64
+	rotations    atomic.Uint64
+	producerRuns atomic.Uint64
+	batches      atomic.Uint64
+	pagesScanned atomic.Uint64
+	prodSlots    atomic.Uint64 // default producer-context slot allocator
+}
+
+// NewRegistry creates a scan-share registry over db.
+func NewRegistry(db *engine.DB, cfg Config) *Registry {
+	r := &Registry{db: db, cfg: cfg.withDefaults(), groups: make(map[string]*group)}
+	r.idle = sync.NewCond(&r.mu)
+	return r
+}
+
+// Stats returns a snapshot of the registry's counters.
+func (r *Registry) Stats() Stats {
+	return Stats{
+		Attaches:     r.attaches.Load(),
+		Rotations:    r.rotations.Load(),
+		ProducerRuns: r.producerRuns.Load(),
+		Batches:      r.batches.Load(),
+		PagesScanned: r.pagesScanned.Load(),
+	}
+}
+
+// Attach joins the circular shared scan over t, starting its producer if
+// none is in flight. The returned Reader delivers one full rotation of
+// the table from the next morsel boundary and implements
+// engine.BatchSource, so it plugs directly into an engine.SharedScan.
+func (r *Registry) Attach(t *engine.Table) *Reader {
+	r.attaches.Add(1)
+	if t.Heap.NumPages() == 0 {
+		// Empty table: a complete, empty rotation.
+		rd := &Reader{ch: make(chan *batch), done: make(chan struct{})}
+		close(rd.ch)
+		return rd
+	}
+	r.mu.Lock()
+	g := r.groups[t.Name]
+	if g == nil {
+		g = newGroup(r, t, len(r.groups))
+		r.groups[t.Name] = g
+	}
+	r.mu.Unlock()
+	return g.attach()
+}
+
+// WaitIdle blocks until no producer incarnation is running. Simulated
+// drivers call it after their clients finish and before closing the
+// producers' trace recorders.
+func (r *Registry) WaitIdle() {
+	r.mu.Lock()
+	for r.running > 0 {
+		r.idle.Wait()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Registry) producerStarted() {
+	r.mu.Lock()
+	r.running++
+	r.mu.Unlock()
+	r.producerRuns.Add(1)
+}
+
+func (r *Registry) producerDone() {
+	r.mu.Lock()
+	r.running--
+	r.idle.Broadcast()
+	r.mu.Unlock()
+}
+
+// defaultProducerCtx builds an untraced context in a private high slot.
+func (r *Registry) defaultProducerCtx() *engine.Ctx {
+	slot := defaultProducerSlot + int(r.prodSlots.Add(1)) - 1
+	return r.db.NewCtx(nil, slot, 4<<20)
+}
+
+// batch is one morsel's worth of decoded rows in the group's shared
+// arena. refs counts outstanding holders (the coordinator while
+// delivering, plus every consumer it was delivered to); the last release
+// recycles the buffer.
+type batch struct {
+	g    *group
+	buf  []byte
+	addr mem.Addr
+	n    int // rows
+	lo   int // first heap page covered
+	hi   int // one past the last page covered
+	refs atomic.Int32
+}
+
+func (b *batch) release() {
+	if b.refs.Add(-1) == 0 {
+		b.g.free <- b
+	}
+}
+
+// job is one morsel assignment in a lap's circular schedule.
+type job struct {
+	seq    int
+	lo, hi int
+}
+
+// scanDone is a worker's completion report.
+type scanDone struct {
+	seq int
+	b   *batch
+	err error
+}
+
+// group is one table's shared-scan state.
+type group struct {
+	reg   *Registry
+	table *engine.Table
+	rowW  int
+	free  chan *batch
+
+	mu      sync.Mutex
+	pending []*Reader
+	active  []*Reader
+	running bool
+	pos     int // next page the scan will deliver (a morsel boundary)
+	workers []*engine.Ctx
+}
+
+func newGroup(reg *Registry, t *engine.Table, idx int) *group {
+	cfg := reg.cfg
+	rowW := t.Schema.RowWidth()
+	capRows := cfg.MorselPages * (storage.PageSize / rowW)
+	if capRows == 0 {
+		capRows = 1
+	}
+	batchBytes := capRows * rowW
+	arenaBytes := cfg.RingBatches*((batchBytes+mem.LineSize-1)&^(mem.LineSize-1)) + mem.LineSize
+	arena := mem.NewArena(batchRegionBase+mem.Addr(idx)*(64<<20), arenaBytes)
+	g := &group{
+		reg:   reg,
+		table: t,
+		rowW:  rowW,
+		free:  make(chan *batch, cfg.RingBatches),
+	}
+	for i := 0; i < cfg.RingBatches; i++ {
+		at := arena.Alloc(batchBytes, mem.LineSize)
+		g.free <- &batch{g: g, buf: arena.Bytes(at, batchBytes), addr: at}
+	}
+	return g
+}
+
+// attach registers a reader and ensures a producer incarnation is
+// running. The reader is integrated into the rotation at the next batch
+// boundary the coordinator reaches.
+func (g *group) attach() *Reader {
+	rd := &Reader{
+		g:    g,
+		ch:   make(chan *batch, g.reg.cfg.ReaderLag),
+		done: make(chan struct{}),
+	}
+	rd.start.Store(-1)
+	g.mu.Lock()
+	g.pending = append(g.pending, rd)
+	if !g.running {
+		g.running = true
+		g.reg.producerStarted()
+		go g.produce()
+	}
+	g.mu.Unlock()
+	return rd
+}
+
+// workerCtxs lazily builds the producer workers' execution contexts; they
+// persist across incarnations (in simulated runs each is a chip thread).
+func (g *group) workerCtxs() []*engine.Ctx {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.workers == nil {
+		cfg := g.reg.cfg
+		g.workers = make([]*engine.Ctx, cfg.ProducerWorkers)
+		for w := range g.workers {
+			if cfg.NewProducerCtx != nil {
+				g.workers[w] = cfg.NewProducerCtx(g.table.Name, w)
+			}
+			if g.workers[w] == nil {
+				g.workers[w] = g.reg.defaultProducerCtx()
+			}
+		}
+	}
+	return g.workers
+}
+
+// produce is one producer incarnation: it runs laps while consumers are
+// attached and exits — releasing the incarnation — when none remain.
+func (g *group) produce() {
+	defer g.reg.producerDone()
+	for {
+		g.runLap()
+		g.mu.Lock()
+		if len(g.pending) == 0 && len(g.active) == 0 {
+			g.running = false
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Unlock()
+	}
+}
+
+// runLap drives the circular scan from g.pos until no consumers remain
+// (or a scan error): workers claim morsels in circular order and fill
+// batches concurrently; the coordinator reorders completions by sequence
+// number and delivers them in page order, integrating newly attached
+// readers and closing readers whose rotation has wrapped.
+func (g *group) runLap() {
+	cfg := g.reg.cfg
+	ws := g.workerCtxs()
+	ring := cap(g.free)
+	jobs := make(chan job, len(ws))
+	donec := make(chan scanDone, ring+len(ws))
+	var wwg sync.WaitGroup
+	for _, ctx := range ws {
+		wwg.Add(1)
+		go g.scanWorker(ctx, jobs, donec, &wwg)
+	}
+
+	issued, completed, delivered := 0, 0, 0
+	inflight := make(map[int]*batch)
+	jobPage := make(map[int]int)
+	nextPage := g.pos
+	var scanErr error
+
+	for scanErr == nil {
+		// Keep up to ring morsels in flight ahead of delivery. Page count
+		// is re-read per job so pages appended between laps are covered;
+		// wrap happens at the count current when the head reaches the end.
+		for issued-delivered < ring {
+			n := g.table.Heap.NumPages()
+			if n == 0 {
+				break
+			}
+			lo := nextPage
+			if lo >= n {
+				lo = 0
+			}
+			hi := lo + cfg.MorselPages
+			if hi > n {
+				hi = n
+			}
+			pushed := false
+			select {
+			case jobs <- job{seq: issued, lo: lo, hi: hi}:
+				pushed = true
+			default:
+			}
+			if !pushed {
+				break
+			}
+			jobPage[issued] = lo
+			issued++
+			if hi >= n {
+				nextPage = 0
+			} else {
+				nextPage = hi
+			}
+		}
+		if issued == delivered {
+			// Nothing schedulable — the table has no pages (Attach screens
+			// this; defensive): complete every reader with an empty rotation.
+			g.failReaders(nil)
+			break
+		}
+		// Collect completions until the next in-order batch arrives.
+		for inflight[delivered] == nil {
+			d := <-donec
+			completed++
+			if d.err != nil {
+				scanErr = d.err
+				d.b.refs.Store(1)
+				d.b.release()
+				break
+			}
+			inflight[d.seq] = d.b
+		}
+		if scanErr != nil {
+			break
+		}
+		b := inflight[delivered]
+		delete(inflight, delivered)
+		delete(jobPage, delivered)
+		delivered++
+		g.reg.batches.Add(1)
+		g.reg.pagesScanned.Add(uint64(b.hi - b.lo))
+		if !g.deliver(b) {
+			break
+		}
+	}
+
+	// On error, fail the attached readers before draining: their closed
+	// channels make consumers release held batches, which the still-running
+	// workers may need to finish their claimed morsels. (Readers attaching
+	// after this sweep land in pending and are served by the next lap.)
+	if scanErr != nil {
+		g.failReaders(scanErr)
+	}
+	// Drain: let workers finish claimed morsels, discard their output, and
+	// rewind the persistent position to the first undelivered page.
+	close(jobs)
+	for completed < issued {
+		d := <-donec
+		completed++
+		if d.b != nil {
+			d.b.refs.Store(1)
+			d.b.release()
+		}
+	}
+	wwg.Wait()
+	for _, b := range inflight {
+		b.refs.Store(1)
+		b.release()
+	}
+	if p, ok := jobPage[delivered]; ok {
+		g.pos = p
+	} else {
+		n := g.table.Heap.NumPages()
+		if n > 0 {
+			g.pos = nextPage % n
+		}
+	}
+}
+
+// scanWorker claims morsels and decodes them into free batches. The
+// worker's own SeqScan traces the page reads; the batch fill traces the
+// stores that make the rows visible to consumers on other cores.
+func (g *group) scanWorker(ctx *engine.Ctx, jobs <-chan job, donec chan<- scanDone, wwg *sync.WaitGroup) {
+	defer wwg.Done()
+	for j := range jobs {
+		b := <-g.free
+		err := g.fill(ctx, b, j)
+		donec <- scanDone{seq: j.seq, b: b, err: err}
+	}
+}
+
+func (g *group) fill(ctx *engine.Ctx, b *batch, j job) error {
+	b.lo, b.hi, b.n = j.lo, j.hi, 0
+	s := &engine.SeqScan{Table: g.table, Range: &engine.PageRange{Lo: j.lo, Hi: j.hi}}
+	if err := s.Open(ctx); err != nil {
+		return err
+	}
+	defer s.Close(ctx)
+	for {
+		row, ok, err := s.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		off := b.n * g.rowW
+		if off+g.rowW > len(b.buf) {
+			return fmt.Errorf("share: batch overflow on %q pages [%d,%d)", g.table.Name, j.lo, j.hi)
+		}
+		copy(b.buf[off:off+g.rowW], row)
+		ctx.Rec.StoreRange(b.addr+mem.Addr(off), g.rowW)
+		b.n++
+	}
+}
+
+// deliver hands b to every attached reader, integrating pending readers
+// first (their rotation starts at this batch) and closing readers whose
+// rotation has come back around to its start page. It reports whether any
+// consumer remains attached or pending.
+func (g *group) deliver(b *batch) bool {
+	g.mu.Lock()
+	for _, rd := range g.pending {
+		g.active = append(g.active, rd)
+	}
+	g.pending = nil
+	active := append([]*Reader(nil), g.active...)
+	g.mu.Unlock()
+
+	// One producer hold plus one per delivery attempt keeps the batch
+	// alive until the slowest consumer releases it.
+	b.refs.Store(1)
+	keep := active[:0]
+	for _, rd := range active {
+		if rd.start.Load() < 0 {
+			rd.start.Store(int64(b.lo))
+		} else if int(rd.start.Load()) == b.lo && rd.got > 0 {
+			// Full rotation: the head is back at the reader's start page.
+			close(rd.ch)
+			g.reg.rotations.Add(1)
+			continue
+		}
+		b.refs.Add(1)
+		select {
+		case rd.ch <- b:
+			rd.got++
+			keep = append(keep, rd)
+		case <-rd.done:
+			// Consumer abandoned mid-rotation: detach it.
+			b.release()
+			close(rd.ch)
+		}
+	}
+
+	g.mu.Lock()
+	g.active = append(g.active[:0], keep...)
+	remain := len(g.active) > 0 || len(g.pending) > 0
+	g.mu.Unlock()
+	b.release()
+	return remain
+}
+
+// failReaders aborts every attached and pending reader with err.
+func (g *group) failReaders(err error) {
+	g.mu.Lock()
+	readers := append(append([]*Reader(nil), g.active...), g.pending...)
+	g.active, g.pending = nil, nil
+	g.mu.Unlock()
+	for _, rd := range readers {
+		rd.err = err
+		close(rd.ch)
+	}
+}
+
+// Reader is one consumer's view of a circular shared scan: the batches of
+// exactly one rotation, in circular page order from its attach point. It
+// implements engine.BatchSource.
+type Reader struct {
+	g    *group
+	ch   chan *batch
+	done chan struct{}
+	cur  *batch
+	err  error
+
+	// start is the rotation's first page (-1 until the coordinator
+	// integrates the reader); got counts delivered batches and is touched
+	// only by the coordinator.
+	start atomic.Int64
+	got   int
+
+	closeOnce sync.Once
+}
+
+// NextBatch implements engine.BatchSource. It releases the previously
+// returned batch.
+func (r *Reader) NextBatch() ([]byte, mem.Addr, int, bool) {
+	if r.cur != nil {
+		r.cur.release()
+		r.cur = nil
+	}
+	b, ok := <-r.ch
+	if !ok {
+		return nil, 0, 0, false
+	}
+	r.cur = b
+	return b.buf[:b.n*r.g.rowW], b.addr, b.n, true
+}
+
+// Err implements engine.BatchSource: it reports a producer-side failure,
+// valid once NextBatch has returned ok=false.
+func (r *Reader) Err() error { return r.err }
+
+// StartPage returns the heap page at which this reader's rotation began
+// (its row order equals a SeqScan with that StartPage). It is valid once
+// the first batch has been received — in particular after the rotation
+// completes. A reader over an empty table reports 0.
+func (r *Reader) StartPage() int {
+	if v := r.start.Load(); v > 0 {
+		return int(v)
+	}
+	return 0
+}
+
+// Close implements engine.BatchSource: it detaches from the scan,
+// releasing the current and any still-queued batches. Safe to call
+// whether or not the rotation completed.
+func (r *Reader) Close() {
+	r.closeOnce.Do(func() {
+		if r.cur != nil {
+			r.cur.release()
+			r.cur = nil
+		}
+		close(r.done)
+		// Drain asynchronously: queued batches recycle immediately, and
+		// the goroutine exits when the coordinator closes the channel
+		// (it always does — on detach, rotation end, or failure).
+		go func() {
+			for b := range r.ch {
+				b.release()
+			}
+		}()
+	})
+}

@@ -1,0 +1,21 @@
+// Routing staged scan stages through the cross-query work-sharing
+// registry: instead of each pipeline opening a private SeqScan source,
+// concurrent pipelines over the same table attach to its circular shared
+// scan, so N staged queries cost one producer pass — composing the
+// paper's two Section 6 opportunities (staged execution and aggressive
+// cross-query sharing).
+
+package staged
+
+import (
+	"repro/internal/engine"
+	"repro/internal/share"
+)
+
+// SharedSource attaches to t's circular shared scan in reg and returns a
+// pipeline source operator over one full rotation, filtered by preds and
+// projected to cols (nil = all columns). Use it as Pipeline.Source in
+// place of a SeqScan; the source is one-shot, like the pipeline runs.
+func SharedSource(reg *share.Registry, t *engine.Table, preds []engine.Pred, cols []int) engine.Op {
+	return &engine.SharedScan{Table: t, Preds: preds, Cols: cols, Source: reg.Attach(t)}
+}

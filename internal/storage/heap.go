@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -49,6 +50,14 @@ type HeapFile struct {
 	pages  []PageID
 	rows   int
 	code   mem.CodeSeg
+
+	// version counts writes to the file (inserts and in-place updates).
+	// Readers that memoize derived results — the cross-query result-reuse
+	// cache — key them by this counter, so any write, including one inside
+	// a transaction that later commits, invalidates them. Bumping at write
+	// time rather than commit time is conservative: an aborted write costs
+	// a recomputation, never a stale result.
+	version atomic.Uint64
 }
 
 // NewHeapFile creates an empty heap file for tuples with the given column
@@ -85,6 +94,11 @@ func (h *HeapFile) Rows() int {
 	defer h.mu.RUnlock()
 	return h.rows
 }
+
+// Version returns the file's write-version counter: it increases on every
+// insert and in-place update. Equal versions guarantee identical contents;
+// cached derived results must be keyed by it.
+func (h *HeapFile) Version() uint64 { return h.version.Load() }
 
 // NumPages returns the page count.
 func (h *HeapFile) NumPages() int {
@@ -129,6 +143,7 @@ func (h *HeapFile) Insert(rec *trace.Recorder, tuple []byte) (RID, error) {
 		if slot, ok := AsSlotted(ref.Data, ref.Addr).Insert(rec, tuple); ok {
 			ref.Release()
 			h.rows++
+			h.version.Add(1)
 			return RID{Page: ref.ID, Slot: uint32(slot)}, nil
 		}
 		ref.Release()
@@ -146,6 +161,7 @@ func (h *HeapFile) Insert(rec *trace.Recorder, tuple []byte) (RID, error) {
 		return RID{}, fmt.Errorf("storage: tuple does not fit an empty page")
 	}
 	h.rows++
+	h.version.Add(1)
 	return RID{Page: ref.ID, Slot: uint32(slot)}, nil
 }
 
@@ -165,6 +181,7 @@ func (h *HeapFile) InsertFields(rec *trace.Recorder, fields [][]byte) (RID, erro
 		if slot, ok := AsPAX(ref.Data, ref.Addr, h.widths).Append(rec, fields); ok {
 			ref.Release()
 			h.rows++
+			h.version.Add(1)
 			return RID{Page: ref.ID, Slot: uint32(slot)}, nil
 		}
 		ref.Release()
@@ -182,6 +199,7 @@ func (h *HeapFile) InsertFields(rec *trace.Recorder, fields [][]byte) (RID, erro
 		return RID{}, fmt.Errorf("storage: tuple does not fit an empty PAX page")
 	}
 	h.rows++
+	h.version.Add(1)
 	return RID{Page: ref.ID, Slot: uint32(slot)}, nil
 }
 
@@ -214,6 +232,7 @@ func (h *HeapFile) UpdateNSM(rec *trace.Recorder, rid RID, tuple []byte) error {
 	h.mu.Lock()
 	AsSlotted(ref.Data, ref.Addr).Update(rec, int(rid.Slot), tuple)
 	h.mu.Unlock()
+	h.version.Add(1)
 	return nil
 }
 

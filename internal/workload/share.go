@@ -1,0 +1,297 @@
+// Cross-query work sharing for the DSS analogs: shared-scan variants of
+// Q1/Q6/Q13 that attach to the registry's circular scans instead of
+// running private SeqScans, result reuse for their aggregate outputs, and
+// a multi-client driver firing mixes of the three from K concurrent
+// clients — the saturated many-users regime the paper's Section 6 says
+// staged, work-shared engines should serve with one pass over the data.
+
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/share"
+)
+
+// SharedQueries lists the analogs with shared-scan plans (the Q1/Q6/Q13
+// mix the concurrent driver fires).
+var SharedQueries = []int{1, 6, 13}
+
+// ShareEnv bundles the work-sharing services of one server instance.
+type ShareEnv struct {
+	Reg   *share.Registry
+	Cache *share.ResultCache
+}
+
+// NewShareEnv builds a default registry and result cache over the DSS
+// database.
+func (h *TPCH) NewShareEnv() *ShareEnv {
+	return &ShareEnv{
+		Reg:   share.NewRegistry(h.DB, share.Config{}),
+		Cache: share.NewResultCache(128),
+	}
+}
+
+// NewShareEnvWith builds an environment with an explicit registry
+// configuration (simulated drivers bind producer contexts to chip
+// threads) and optional result cache.
+func (h *TPCH) NewShareEnvWith(cfg share.Config, cache *share.ResultCache) *ShareEnv {
+	return &ShareEnv{Reg: share.NewRegistry(h.DB, cfg), Cache: cache}
+}
+
+// Q1Shared computes Q1 through the circular shared scan of lineitem. The
+// returned start page is the rotation's origin: the row order — and so
+// the result, bit for bit — equals serial Q1 with StartPage pinned there.
+func (h *TPCH) Q1Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
+	preds, mapped, fn, aggs := h.q1Pieces(p)
+	rd := reg.Attach(h.lineitem)
+	plan := &engine.HashAgg{
+		Child: &engine.Map{
+			Child: &engine.SharedScan{Table: h.lineitem, Preds: preds, Source: rd},
+			Out:   mapped,
+			Fn:    fn,
+			Cost:  18,
+		},
+		GroupCols: []int{0, 1},
+		Aggs:      aggs,
+		Expected:  8,
+	}
+	rows, err := engine.Collect(ctx, &engine.Sort{Child: plan, Col: 0})
+	return rows, rd.StartPage(), err
+}
+
+// Q6Shared computes Q6 through the circular shared scan of lineitem.
+func (h *TPCH) Q6Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
+	preds, mapped, fn, aggs := h.q6Pieces(p)
+	rd := reg.Attach(h.lineitem)
+	plan := &engine.HashAgg{
+		Child: &engine.Map{
+			Child: &engine.SharedScan{Table: h.lineitem, Preds: preds, Source: rd},
+			Out:   mapped,
+			Fn:    fn,
+			Cost:  12,
+		},
+		GroupCols: []int{0},
+		Aggs:      aggs,
+		Expected:  2,
+	}
+	rows, err := engine.Collect(ctx, plan)
+	return rows, rd.StartPage(), err
+}
+
+// Q13Shared computes Q13 with the orders scan — the build side that every
+// concurrent Q13 repeats — routed through the shared registry; the small
+// customer probe side stays private.
+func (h *TPCH) Q13Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
+	os := h.orders.Schema
+	rd := reg.Attach(h.orders)
+	join := &engine.HashJoin{
+		Left: &engine.SeqScan{Table: h.customer, Cols: []int{0}},
+		Right: &engine.SharedScan{
+			Table:  h.orders,
+			Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+			Source: rd,
+		},
+		LeftCol: 0, RightCol: os.Col("o_custkey"),
+		Type: engine.LeftOuter,
+	}
+	rows, err := engine.Collect(ctx, h.q13Tail(join))
+	return rows, rd.StartPage(), err
+}
+
+// q13Tail builds Q13's post-join pipeline (shared by the serial and
+// shared-scan variants): tag matches, count orders per customer, then
+// count customers per order-count.
+func (h *TPCH) q13Tail(join engine.Op) engine.Op {
+	mapped := &engine.Map{
+		Child: join,
+		Out:   engine.Schema{engine.Int("custkey"), engine.Int("matched")},
+		Fn: func(in, out []byte) {
+			engine.PutRowInt(out, 0, engine.RowInt(in, 0))
+			matched := int64(0)
+			if engine.RowFloat(in, 8+16) > 0 {
+				matched = 1
+			}
+			engine.PutRowInt(out, 8, matched)
+		},
+		Cost: 10,
+	}
+	perCustomer := &engine.HashAgg{
+		Child:     mapped,
+		GroupCols: []int{0},
+		Aggs:      []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "c_count"}},
+		Expected:  h.nCustomers,
+	}
+	distribution := &engine.HashAgg{
+		Child:     perCustomer,
+		GroupCols: []int{1},
+		Aggs:      []engine.AggSpec{{Func: engine.Count, Name: "custdist"}},
+		Expected:  64,
+	}
+	return &engine.Sort{Child: distribution, Col: 1, Desc: true}
+}
+
+// resultKey builds the reuse-cache key for query q with parameters p: the
+// fingerprint of the canonical (origin-free) plan plus the current write
+// versions of every table the plan reads. The versions are read before
+// execution, so a write racing the query can only cause a miss later,
+// never a stale hit.
+func (h *TPCH) resultKey(q int, p QueryParams) (share.ResultKey, error) {
+	switch q {
+	case 1:
+		preds, mapped, _, aggs := h.q1Pieces(p)
+		plan := &engine.HashAgg{
+			Child:     &engine.Map{Child: &engine.SeqScan{Table: h.lineitem, Preds: preds}, Out: mapped, Cost: 18},
+			GroupCols: []int{0, 1}, Aggs: aggs, Expected: 8,
+		}
+		return share.ResultKey{
+			Tables:   "lineitem",
+			Versions: share.Versions(h.lineitem.Version()),
+			Plan:     engine.PlanFingerprint(&engine.Sort{Child: plan, Col: 0}),
+		}, nil
+	case 6:
+		preds, mapped, _, aggs := h.q6Pieces(p)
+		plan := &engine.HashAgg{
+			Child:     &engine.Map{Child: &engine.SeqScan{Table: h.lineitem, Preds: preds}, Out: mapped, Cost: 12},
+			GroupCols: []int{0}, Aggs: aggs, Expected: 2,
+		}
+		return share.ResultKey{
+			Tables:   "lineitem",
+			Versions: share.Versions(h.lineitem.Version()),
+			Plan:     engine.PlanFingerprint(plan),
+		}, nil
+	case 13:
+		os := h.orders.Schema
+		join := &engine.HashJoin{
+			Left: &engine.SeqScan{Table: h.customer, Cols: []int{0}},
+			Right: &engine.SeqScan{
+				Table: h.orders,
+				Preds: []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+			},
+			LeftCol: 0, RightCol: os.Col("o_custkey"),
+			Type: engine.LeftOuter,
+		}
+		return share.ResultKey{
+			Tables:   "customer,orders",
+			Versions: share.Versions(h.customer.Version(), h.orders.Version()),
+			Plan:     engine.PlanFingerprint(h.q13Tail(join)),
+		}, nil
+	}
+	return share.ResultKey{}, fmt.Errorf("workload: no shared variant of query %d (have %v)", q, SharedQueries)
+}
+
+// RunQueryShared executes query q (1, 6, or 13) through the work-sharing
+// subsystem: a result-cache hit returns the memoized rows; otherwise the
+// scan rides the table's circular shared scan and the aggregate result is
+// memoized under the pre-execution table versions. A nil env (or nil
+// env.Reg) falls back to the private serial plan.
+func (h *TPCH) RunQueryShared(ctx *engine.Ctx, q int, p QueryParams, env *ShareEnv) ([][]engine.Value, error) {
+	if env == nil || env.Reg == nil {
+		return h.RunQuery(ctx, q, p)
+	}
+	var key share.ResultKey
+	if env.Cache != nil {
+		var err error
+		key, err = h.resultKey(q, p)
+		if err != nil {
+			return nil, err
+		}
+		if rows, ok := env.Cache.Get(key); ok {
+			// A hit costs a key probe and a copy-out of the small result.
+			code := ctx.DB.Codes.Register("share:cachehit", 1024)
+			ctx.Rec.Exec(code, 150+4*len(rows))
+			return rows, nil
+		}
+	}
+	var rows [][]engine.Value
+	var err error
+	switch q {
+	case 1:
+		rows, _, err = h.Q1Shared(ctx, p, env.Reg)
+	case 6:
+		rows, _, err = h.Q6Shared(ctx, p, env.Reg)
+	case 13:
+		rows, _, err = h.Q13Shared(ctx, p, env.Reg)
+	default:
+		return nil, fmt.Errorf("workload: no shared variant of query %d (have %v)", q, SharedQueries)
+	}
+	if err == nil && env.Cache != nil {
+		env.Cache.Put(key, rows)
+	}
+	return rows, err
+}
+
+// ConcurrentDSSResult summarizes one multi-client run.
+type ConcurrentDSSResult struct {
+	Clients int
+	Queries int // completed queries across all clients
+	Elapsed time.Duration
+	Cache   share.CacheStats
+	Scans   share.Stats
+}
+
+// Throughput returns queries per second of host time.
+func (r ConcurrentDSSResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// RunConcurrentDSS fires rounds queries from each of clients concurrent
+// clients, drawing from the Q1/Q6/Q13 mix with private predicate
+// parameters. With env non-nil, scans ride the shared registry and
+// aggregates the result cache; with env nil every client runs the
+// private serial plans — the unshared baseline. It runs natively (no
+// simulation); simulated comparisons live in core.RunSharedDSS.
+func (h *TPCH) RunConcurrentDSS(clients, rounds int, env *ShareEnv, seed int64) (ConcurrentDSSResult, error) {
+	if clients <= 0 || rounds <= 0 {
+		return ConcurrentDSSResult{}, fmt.Errorf("workload: concurrent DSS with %d clients x %d rounds", clients, rounds)
+	}
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := h.DB.NewCtx(nil, i, 16<<20)
+			prng := rand.New(rand.NewSource(seed + int64(i)))
+			for r := 0; r < rounds; r++ {
+				q := SharedQueries[(i+r)%len(SharedQueries)]
+				p := RandomParams(prng)
+				ctx.Work.Reset()
+				var err error
+				if env != nil {
+					_, err = h.RunQueryShared(ctx, q, p, env)
+				} else {
+					p.Phase = float64(i%16) / 80 // the unshared clients' staggered convention
+					_, err = h.RunQuery(ctx, q, p)
+				}
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res := ConcurrentDSSResult{Clients: clients, Queries: clients * rounds, Elapsed: time.Since(start)}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	if env != nil {
+		env.Reg.WaitIdle()
+		res.Scans = env.Reg.Stats()
+		if env.Cache != nil {
+			res.Cache = env.Cache.Stats()
+		}
+	}
+	return res, nil
+}

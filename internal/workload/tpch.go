@@ -183,6 +183,11 @@ type QueryParams struct {
 	// Phase rotates scan origins (circular shared scans), in [0, 1);
 	// concurrent clients use staggered phases.
 	Phase float64
+	// StartPage, when positive, pins the scan origin to heap page
+	// StartPage-1 (1-based so the zero value means "unset" and page 0
+	// remains representable), overriding Phase. Shared-scan equivalence
+	// tests use it to replay a rotation's row order serially.
+	StartPage int
 }
 
 // RandomParams draws predicate parameters.
@@ -245,7 +250,7 @@ func (h *TPCH) Q1(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 			Child: &engine.SeqScan{
 				Table:     h.lineitem,
 				Preds:     preds,
-				StartPage: h.phasePage(h.lineitem, p.Phase),
+				StartPage: h.scanOrigin(h.lineitem, p),
 			},
 			Out:  mapped,
 			Fn:   fn,
@@ -286,7 +291,7 @@ func (h *TPCH) Q6(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 			Child: &engine.SeqScan{
 				Table:     h.lineitem,
 				Preds:     preds,
-				StartPage: h.phasePage(h.lineitem, p.Phase),
+				StartPage: h.scanOrigin(h.lineitem, p),
 			},
 			Out:  mapped,
 			Fn:   fn,
@@ -309,40 +314,16 @@ func (h *TPCH) Q13(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 		Right: &engine.SeqScan{
 			Table:     h.orders,
 			Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
-			StartPage: h.phasePage(h.orders, p.Phase),
+			StartPage: h.scanOrigin(h.orders, p),
 		},
 		LeftCol: 0, RightCol: os.Col("o_custkey"),
 		Type: engine.LeftOuter,
 	}
-	// A matched join row carries a real order; unmatched (outer) rows are
-	// zero-filled. o_totalprice > 0 distinguishes them (join layout:
-	// custkey@0, then the orders row with totalprice at 8+16).
-	mapped := &engine.Map{
-		Child: join,
-		Out:   engine.Schema{engine.Int("custkey"), engine.Int("matched")},
-		Fn: func(in, out []byte) {
-			engine.PutRowInt(out, 0, engine.RowInt(in, 0))
-			matched := int64(0)
-			if engine.RowFloat(in, 8+16) > 0 {
-				matched = 1
-			}
-			engine.PutRowInt(out, 8, matched)
-		},
-		Cost: 10,
-	}
-	perCustomer := &engine.HashAgg{
-		Child:     mapped,
-		GroupCols: []int{0},
-		Aggs:      []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "c_count"}},
-		Expected:  h.nCustomers,
-	}
-	distribution := &engine.HashAgg{
-		Child:     perCustomer,
-		GroupCols: []int{1},
-		Aggs:      []engine.AggSpec{{Func: engine.Count, Name: "custdist"}},
-		Expected:  64,
-	}
-	return engine.Collect(ctx, &engine.Sort{Child: distribution, Col: 1, Desc: true})
+	// The post-join pipeline (match tagging and the two aggregations) is
+	// shared with Q13Shared — see q13Tail in share.go. A matched join row
+	// carries a real order; unmatched (outer) rows are zero-filled, and
+	// o_totalprice > 0 distinguishes them.
+	return engine.Collect(ctx, h.q13Tail(join))
 }
 
 // Q16 is the join-dominated supplier-relationship analog: partsupp joined
@@ -354,7 +335,7 @@ func (h *TPCH) Q16(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 	join := &engine.HashJoin{
 		Left: &engine.SeqScan{
 			Table: h.partsupp, Cols: []int{0, 1},
-			StartPage: h.phasePage(h.partsupp, p.Phase),
+			StartPage: h.scanOrigin(h.partsupp, p),
 		},
 		Right: &engine.SeqScan{
 			Table: h.part,
@@ -388,6 +369,15 @@ func (h *TPCH) phasePage(t *engine.Table, phase float64) int {
 		return 0
 	}
 	return int(phase * float64(n))
+}
+
+// scanOrigin resolves a query's scan origin on t: an explicit StartPage
+// (1-based) wins, otherwise the phase fraction.
+func (h *TPCH) scanOrigin(t *engine.Table, p QueryParams) int {
+	if p.StartPage > 0 {
+		return p.StartPage - 1
+	}
+	return h.phasePage(t, p.Phase)
 }
 
 // RunQuery executes query q (1, 6, 13, 16) and returns its result rows.
