@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-share lint fmt
+.PHONY: all build test race bench bench-share bench-vec bench-json lint fmt
 
 all: build lint test
 
@@ -22,6 +22,17 @@ bench:
 # Shared vs unshared aggregate-throughput smoke (8 simulated clients).
 bench-share:
 	$(GO) test -run '^$$' -bench '^BenchmarkSharedScan$$' -benchtime=1x .
+
+# Vectorized-executor smoke: gates Q6 scan throughput at >= 1.5x the
+# row-at-a-time path on the simulated 4-core FC chip.
+bench-vec:
+	$(GO) test -run '^$$' -bench '^BenchmarkVectorized$$' -benchtime=1x .
+
+# Machine-readable perf trajectory: rows/sec + simulated vectorized/row
+# speedups for scan, aggregate, and join into BENCH_pr3.json (archived
+# as a CI artifact so later PRs can diff executor performance).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

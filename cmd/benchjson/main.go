@@ -1,0 +1,128 @@
+// Command benchjson writes the machine-readable performance trajectory
+// of the vectorized executor to a JSON file (default BENCH_pr3.json):
+// native rows/sec of the vectorized vs row-at-a-time scan path, plus
+// simulated vectorized-over-row speedups for the scan (Q6), aggregate
+// (Q1), and join (Q13) analogs on a 4-core FC chip. CI archives the file
+// as an artifact so later PRs can diff executor performance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// simEntry is one simulated vectorized-vs-row measurement.
+type simEntry struct {
+	Query       int     `json:"query"`
+	RowCycles   uint64  `json:"row_cycles"`
+	VecCycles   uint64  `json:"vec_cycles"`
+	RowInstr    uint64  `json:"row_instructions"`
+	VecInstr    uint64  `json:"vec_instructions"`
+	SpeedupX    float64 `json:"speedup_x"`
+	ResultRows  int     `json:"result_rows"`
+	Description string  `json:"description"`
+}
+
+// nativeEntry is one host-time scan-throughput measurement.
+type nativeEntry struct {
+	Path       string  `json:"path"`
+	Rows       int     `json:"rows_scanned"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// report is the file's schema. Version bumps when fields change meaning.
+type report struct {
+	Version   int           `json:"version"`
+	PR        string        `json:"pr"`
+	Scale     string        `json:"scale"`
+	Native    []nativeEntry `json:"native_q6"`
+	Simulated []simEntry    `json:"simulated"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output file")
+	flag.Parse()
+
+	r := core.NewRunner(core.TestScale())
+	rep := report{Version: 1, PR: "pr3-vectorized-core", Scale: "test"}
+
+	// Native: host-time Q6 on both executors (best of 3 runs each).
+	h, err := r.TPCH()
+	if err != nil {
+		fatal(err)
+	}
+	ctx := h.DB.NewCtx(nil, 90, 96<<20)
+	p := workload.RandomParams(rand.New(rand.NewSource(7)))
+	for _, path := range []string{"row", "vectorized"} {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			ctx.Work.Reset()
+			start := time.Now()
+			var err error
+			if path == "row" {
+				_, err = h.Q6Row(ctx, p)
+			} else {
+				_, err = h.Q6(ctx, p)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		rows := r.ScaleCfg.TPCH.Lineitems
+		rep.Native = append(rep.Native, nativeEntry{
+			Path: path, Rows: rows, ElapsedSec: best.Seconds(),
+			RowsPerSec: float64(rows) / best.Seconds(),
+		})
+	}
+
+	// Simulated: vectorized-over-row cycle speedups for scan/agg/join.
+	descs := map[int]string{6: "scan (Q6)", 1: "aggregate (Q1)", 13: "join (Q13)"}
+	cell := core.DefaultCell(sim.FatCamp, core.DSS, true)
+	cell.WarmRefs = 5000
+	for _, q := range []int{6, 1, 13} {
+		row, vec, speedup, err := r.VectorizedSpeedup(cell, q, 7)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Simulated = append(rep.Simulated, simEntry{
+			Query:     q,
+			RowCycles: row.Cycles, VecCycles: vec.Cycles,
+			RowInstr: row.Result.Instructions, VecInstr: vec.Result.Instructions,
+			SpeedupX: speedup, ResultRows: vec.Rows,
+			Description: descs[q],
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, e := range rep.Simulated {
+		fmt.Printf("  %-15s %6.2fx simulated speedup (%d -> %d cycles)\n", e.Description, e.SpeedupX, e.RowCycles, e.VecCycles)
+	}
+	for _, e := range rep.Native {
+		fmt.Printf("  native q6 %-11s %12.0f rows/sec\n", e.Path, e.RowsPerSec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

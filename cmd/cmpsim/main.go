@@ -32,6 +32,7 @@ func main() {
 	query := flag.Int("query", 6, "DSS query analog for unsaturated runs (1, 6, 13, 16)")
 	workers := flag.Int("workers", 0, "run one DSS query on the morsel-driven parallel executor with N workers (1 and 6; 13 runs the parallel-join core)")
 	shareFlag := flag.Bool("share", false, "compare -clients concurrent DSS clients with and without cross-query work sharing (shared circular scans + result reuse); -query picks 1, 6, 13, or 0 for the mix")
+	vecFlag := flag.Bool("vec", false, "compare one serial DSS query on the vectorized executor against the row-at-a-time reference path (identical chip geometry); -query picks 1, 6, or 13")
 	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
 	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
 	scale := flag.String("scale", "full", "workload scale: full or test")
@@ -73,6 +74,28 @@ func main() {
 	if *clients > 0 {
 		cell.Clients = *clients
 	}
+	// Unsaturated DSS runs measure one query to completion; the saturated
+	// warming default would consume a whole vectorized test-scale query
+	// before measurement starts. OLTP unsaturated runs keep the heavy
+	// default (their transaction stream is effectively unbounded).
+	if *unsat && wk == core.DSS && !flagWasSet("warm") {
+		cell.WarmRefs = 50000
+		if *scale == "test" {
+			cell.WarmRefs = 20000
+		}
+	}
+
+	if *vecFlag {
+		if wk != core.DSS {
+			fmt.Fprintln(os.Stderr, "-vec requires -workload dss (vectorized query execution)")
+			os.Exit(2)
+		}
+		if !flagWasSet("warm") {
+			cell.WarmRefs = 5000
+		}
+		runVec(core.NewRunner(sc), cell, *query)
+		return
+	}
 
 	if *shareFlag {
 		if wk != core.DSS {
@@ -84,7 +107,10 @@ func main() {
 			k = 8
 		}
 		if !flagWasSet("warm") {
-			cell.WarmRefs = 50000
+			// Shared consumers' traces are short (they skip the decode);
+			// a heavy warm would consume a larger fraction of the shared
+			// side than of the private side and bias the comparison.
+			cell.WarmRefs = 20000
 		}
 		runShare(core.NewRunner(sc), cell, *query, k)
 		return
@@ -164,6 +190,28 @@ func runParallel(r *core.Runner, cell core.Cell, query, workers int) {
 			p.Workers, p.Cycles, p.Rows, p.Result.IPC())
 	}
 	fmt.Printf("  speedup %dw over 1w: %.2fx\n", workers, speedup)
+}
+
+// runVec measures one serial query on the row-at-a-time reference
+// operators and on the vectorized executor, on identical chip geometry,
+// printing cycles for both and the vectorized speedup.
+func runVec(r *core.Runner, cell core.Cell, query int) {
+	row, vec, speedup, err := r.VectorizedSpeedup(cell, query, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("vectorized executor, q%d on %v (%d cores, %d MB L2):\n",
+		query, cell.Camp, cell.Cores, cell.L2Size>>20)
+	for _, res := range []core.VecDSSResult{row, vec} {
+		mode := "row-at-a-time (Volcano)"
+		if res.Vectorized {
+			mode = "vectorized   (blocks) "
+		}
+		fmt.Printf("  %s %12d cycles  (%d rows, IPC %.3f, %d instr)\n",
+			mode, res.Cycles, res.Rows, res.Result.IPC(), res.Result.Instructions)
+	}
+	fmt.Printf("  vectorized speedup: %.2fx\n", speedup)
 }
 
 // flagWasSet reports whether the named flag was given on the command line.

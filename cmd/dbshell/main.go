@@ -26,15 +26,16 @@ func main() {
 	workers := flag.Int("workers", 1, "morsel-parallel workers for the DSS analogs (Q1/Q6)")
 	shareFlag := flag.Bool("share", false, "run DSS analogs through the work-sharing subsystem (shared circular scans + result reuse)")
 	clients := flag.Int("clients", 8, "concurrent clients for the -share throughput comparison")
+	rowFlag := flag.Bool("row", false, "run serial DSS analogs on the row-at-a-time reference operators instead of the vectorized executor")
 	flag.Parse()
 
-	if err := run(*txns, *lineitems, *workers, *shareFlag, *clients); err != nil {
+	if err := run(*txns, *lineitems, *workers, *shareFlag, *clients, *rowFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(txns, lineitems, workers int, shared bool, clients int) error {
+func run(txns, lineitems, workers int, shared bool, clients int, rowPlans bool) error {
 	fmt.Println("== OLTP: TPC-C-like ==")
 	start := time.Now()
 	w, err := workload.BuildTPCC(workload.TPCCConfig{Warehouses: 2, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20})
@@ -86,7 +87,7 @@ func run(txns, lineitems, workers int, shared bool, clients int) error {
 		}
 		start = time.Now()
 		var rows [][]engine.Value
-		mode := "serial"
+		mode := "serial-vectorized"
 		switch {
 		case shared && (q == 1 || q == 6 || q == 13):
 			mode = "shared-scan"
@@ -94,6 +95,9 @@ func run(txns, lineitems, workers int, shared bool, clients int) error {
 		case workers > 1 && (q == 1 || q == 6):
 			mode = fmt.Sprintf("parallel x%d", workers)
 			rows, err = h.RunQueryParallel(pctxs, q, params)
+		case rowPlans:
+			mode = "serial-row"
+			rows, err = h.RunQueryRow(qctx, q, params)
 		default:
 			rows, err = h.RunQuery(qctx, q, params)
 		}

@@ -65,6 +65,12 @@ type Cell struct {
 	WindowCycles uint64 // measured window (saturated)
 	UnsatQuery   int    // DSS unsaturated: which query analog to run
 	UnsatTxns    int    // OLTP unsaturated: transactions to time
+
+	// RowPlans pins DSS clients to the row-at-a-time reference operators
+	// instead of the vectorized executor: validation cells whose analytic
+	// models assume per-tuple blocking access, and the row side of
+	// vectorized-speedup comparisons, set it.
+	RowPlans bool
 }
 
 // DefaultCell fills a cell with the paper's baseline parameters.

@@ -59,7 +59,11 @@ func (r *Runner) RunParallelDSS(cell Cell, q, workers int, seed int64) (Parallel
 	recs := make([]*trace.Recorder, workers)
 	streams := make([]*trace.Stream, workers)
 	for w := 0; w < workers; w++ {
-		rec, s := trace.Pipe()
+		// Tight pipes: which worker claims which morsel must be decided
+		// at simulated pace, not by which goroutine the host happens to
+		// schedule first — the vectorized executor's traces are short
+		// enough that the default pipe slack would cover a whole query.
+		rec, s := trace.PipeSized(256, 2)
 		recs[w], streams[w] = rec, s
 		chip.AddThread(s)
 		ctxs[w] = h.DB.NewCtx(rec, 64+w, 64<<20)

@@ -9,11 +9,12 @@ import (
 // parCell is the fixed chip geometry the parallel tests share (4-core FC
 // CMP), so worker-count comparisons measure executor scaling only. The
 // saturated default of 400k warming refs would consume a test-scale
-// query before measurement starts; 50k warms the caches and leaves the
-// run observable.
+// query before measurement starts — and the vectorized executor emits
+// several times fewer refs per query than the old row-at-a-time scans —
+// so 5k warms the caches while leaving every worker's share observable.
 func parCell() Cell {
 	c := DefaultCell(sim.FatCamp, DSS, true)
-	c.WarmRefs = 50000
+	c.WarmRefs = 5000
 	return c
 }
 

@@ -132,15 +132,19 @@ func (r *Runner) Run(c Cell) (CellResult, error) {
 			chip.AddThread(s)
 			wg.Add(1)
 			if c.Saturated {
+				client := h.Client
+				if c.RowPlans {
+					client = h.ClientRow
+				}
 				go func(i int, rec *trace.Recorder) {
 					defer wg.Done()
-					n, err := h.Client(rec, i, clientSeed(DSS, i), 0)
+					n, err := client(rec, i, clientSeed(DSS, i), 0)
 					dones[i] = clientDone{work: n, err: err}
 				}(i, rec)
 			} else {
 				go func(i int, rec *trace.Recorder) {
 					defer wg.Done()
-					err := h.RunOnce(rec, i, c.UnsatQuery, clientSeed(DSS, i))
+					err := h.RunOnce(rec, i, c.UnsatQuery, clientSeed(DSS, i), c.RowPlans)
 					dones[i] = clientDone{work: 1, err: err}
 				}(i, rec)
 			}

@@ -32,8 +32,15 @@ func TestSharedDSSModes(t *testing.T) {
 	if un.Cycles == 0 || sh.Cycles == 0 {
 		t.Fatal("zero-cycle measurement")
 	}
+	// Before PR 3 the gate here was 1.5x: shared consumers ran a
+	// vectorized filter while private scans decoded row-at-a-time, so
+	// most of the "sharing" win was really a vectorization win. Now that
+	// every scan is vectorized, the private baseline is ~5x faster and
+	// sharing's remaining edge — one decode pass plus store-free
+	// consumers — is ~1.15x at this cache-resident test scale. Gate that
+	// sharing never loses.
 	ratio := float64(un.Cycles) / float64(sh.Cycles)
-	if ratio < 1.5 {
+	if ratio < 1.05 {
 		t.Fatalf("shared mode only %.2fx unshared aggregate throughput (cycles %d vs %d)",
 			ratio, un.Cycles, sh.Cycles)
 	}

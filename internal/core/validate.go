@@ -32,11 +32,16 @@ type ValidationResult struct {
 // a blocking-core configuration (one context per LC core), for which a
 // closed-form CPI model exists: every instruction costs 1/width, every
 // miss stalls for its full service latency, every mispredict costs the
-// pipeline refill.
+// pipeline refill. The clients run the row-at-a-time reference plans —
+// their per-tuple dependent accesses are exactly the fully-blocking
+// stream the closed form assumes; the vectorized executor's ranged,
+// independent loads overlap in the simulator and would need an MLP term
+// the model deliberately does not have.
 func (r *Runner) Figure3() (ValidationResult, error) {
 	cell := DefaultCell(sim.LeanCamp, DSS, true)
 	cell.CtxPerCore = 1
 	cell.Clients = 4 // one per core: every core busy, no overlap to model
+	cell.RowPlans = true
 	res, err := r.Run(cell)
 	if err != nil {
 		return ValidationResult{}, err

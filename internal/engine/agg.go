@@ -142,6 +142,13 @@ func (a *HashAgg) findOrInsertGroup(rec *trace.Recorder, gkey []byte) ([]byte, m
 // first sight. gkey is caller-provided scratch of groupW bytes.
 func (a *HashAgg) absorb(ctx *Ctx, cs Schema, gkey, row []byte) {
 	ctx.Rec.Exec(a.code, 65)
+	a.absorbRow(ctx, cs, gkey, row)
+}
+
+// absorbRow is absorb without the per-row iterator cost: the vectorized
+// aggregate charges its (cheaper) per-row instructions at block
+// granularity and shares the exact accumulator logic through this path.
+func (a *HashAgg) absorbRow(ctx *Ctx, cs Schema, gkey, row []byte) {
 	a.groupBytes(cs, row, gkey)
 	payload, at := a.findOrInsertGroup(ctx.Rec, gkey)
 	a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))

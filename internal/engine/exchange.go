@@ -33,6 +33,17 @@ func memoChild(children *[]Op, n, w int, build func(int) Op) Op {
 	return (*children)[w]
 }
 
+// memoChildVec is memoChild for vectorized subtrees.
+func memoChildVec(children *[]VecOp, n, w int, build func(int) VecOp) VecOp {
+	if *children == nil {
+		*children = make([]VecOp, n)
+	}
+	if (*children)[w] == nil {
+		(*children)[w] = build(w)
+	}
+	return (*children)[w]
+}
+
 // Exchange runs one copy of a child subtree per Ctx concurrently and
 // merges their output rows into a single stream, in arbitrary arrival
 // order. Build must return a fresh subtree each call (subtrees typically
@@ -150,27 +161,43 @@ func (e *Exchange) Close(ctx *Ctx) {
 // integer aggregates are bit-identical for every worker count; float
 // aggregates vary only by addition order.
 type ParallelAgg struct {
-	Build func(w int) Op
-	Ctxs  []*Ctx
+	// Build returns worker w's row subtree; BuildVec its vectorized
+	// subtree. Set exactly one — BuildVec is the preferred path (workers
+	// absorb block-at-a-time through the same machinery as HashAggVec).
+	Build    func(w int) Op
+	BuildVec func(w int) VecOp
+	Ctxs     []*Ctx
 
 	GroupCols []int
 	Aggs      []AggSpec
 	Expected  int
 
-	master   *HashAgg
-	children []Op
+	master      *HashAgg
+	children    []Op
+	vecChildren []VecOp
 }
 
-// child builds (once) and returns worker w's subtree.
+// child builds (once) and returns worker w's row subtree.
 func (a *ParallelAgg) child(w int) Op {
 	return memoChild(&a.children, len(a.Ctxs), w, a.Build)
+}
+
+// childVec builds (once) and returns worker w's vectorized subtree.
+func (a *ParallelAgg) childVec(w int) VecOp {
+	return memoChildVec(&a.vecChildren, len(a.Ctxs), w, a.BuildVec)
 }
 
 // gather returns the master aggregate that the merged partials fill.
 func (a *ParallelAgg) gather() *HashAgg {
 	if a.master == nil {
+		var c Op
+		if a.Build != nil {
+			c = a.child(0)
+		} else {
+			c = &RowAdapter{Vec: a.childVec(0)}
+		}
 		a.master = &HashAgg{
-			Child:     a.child(0),
+			Child:     c,
 			GroupCols: a.GroupCols,
 			Aggs:      a.Aggs,
 			Expected:  a.Expected,
@@ -188,10 +215,17 @@ func (a *ParallelAgg) Open(ctx *Ctx) error {
 	if len(a.Ctxs) == 0 {
 		return fmt.Errorf("engine: parallel agg with no worker contexts")
 	}
+	if (a.Build == nil) == (a.BuildVec == nil) {
+		return fmt.Errorf("engine: parallel agg needs exactly one of Build and BuildVec")
+	}
 	m := a.gather()
 	cs := m.prepare(ctx)
 	for w := range a.Ctxs {
-		a.child(w)
+		if a.Build != nil {
+			a.child(w)
+		} else {
+			a.childVec(w)
+		}
 	}
 
 	partials := make([]*HashAgg, len(a.Ctxs))
@@ -201,6 +235,17 @@ func (a *ParallelAgg) Open(ctx *Ctx) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if a.BuildVec != nil {
+				va := &HashAggVec{
+					Child:     a.childVec(w),
+					GroupCols: a.GroupCols,
+					Aggs:      a.Aggs,
+					Expected:  a.Expected,
+				}
+				errs[w] = va.Open(a.Ctxs[w])
+				partials[w] = va.agg()
+				return
+			}
 			wa := &HashAgg{
 				Child:     a.child(w),
 				GroupCols: a.GroupCols,
@@ -258,27 +303,51 @@ type prow struct {
 // Output rows are Probe ++ Build columns, gathered through an Exchange in
 // arrival order.
 type ParallelHashJoin struct {
-	BuildSrc func(w int) Op // build-side per-worker subtree
-	ProbeSrc func(w int) Op // probe-side per-worker subtree
-	BuildCol int            // key column in the build schema
-	ProbeCol int            // key column in the probe schema
-	Type     JoinType
-	Ctxs     []*Ctx
+	// Row-subtree factories (legacy) or vectorized factories (preferred);
+	// set exactly one of each pair. Vectorized build sides scatter whole
+	// blocks into the key partitions; vectorized probe sides stream
+	// through a RowAdapter into the shared probe state machine.
+	BuildSrc    func(w int) Op
+	ProbeSrc    func(w int) Op
+	BuildSrcVec func(w int) VecOp
+	ProbeSrcVec func(w int) VecOp
+	BuildCol    int // key column in the build schema
+	ProbeCol    int // key column in the probe schema
+	Type        JoinType
+	Ctxs        []*Ctx
 
-	out           Schema
-	buildChildren []Op
-	probeChildren []Op
-	parts         []*HashTable
-	ex            *Exchange
-	code          mem.CodeSeg
+	out              Schema
+	buildChildren    []Op
+	probeChildren    []Op
+	buildVecChildren []VecOp
+	parts            []*HashTable
+	ex               *Exchange
+	code             mem.CodeSeg
 }
 
+// buildVecChild builds (once) worker w's vectorized build subtree.
+func (j *ParallelHashJoin) buildVecChild(w int) VecOp {
+	return memoChildVec(&j.buildVecChildren, len(j.Ctxs), w, j.BuildSrcVec)
+}
+
+// buildChild builds (once) worker w's build subtree (row view).
 func (j *ParallelHashJoin) buildChild(w int) Op {
-	return memoChild(&j.buildChildren, len(j.Ctxs), w, j.BuildSrc)
+	return memoChild(&j.buildChildren, len(j.Ctxs), w, func(w int) Op {
+		if j.BuildSrc != nil {
+			return j.BuildSrc(w)
+		}
+		return &RowAdapter{Vec: j.buildVecChild(w)}
+	})
 }
 
+// probeChild builds (once) worker w's probe subtree (row view).
 func (j *ParallelHashJoin) probeChild(w int) Op {
-	return memoChild(&j.probeChildren, len(j.Ctxs), w, j.ProbeSrc)
+	return memoChild(&j.probeChildren, len(j.Ctxs), w, func(w int) Op {
+		if j.ProbeSrc != nil {
+			return j.ProbeSrc(w)
+		}
+		return &RowAdapter{Vec: j.ProbeSrcVec(w)}
+	})
 }
 
 // Schema implements Op.
@@ -302,19 +371,37 @@ func (j *ParallelHashJoin) Open(ctx *Ctx) error {
 	if len(j.Ctxs) == 0 {
 		return fmt.Errorf("engine: parallel join with no worker contexts")
 	}
+	if (j.BuildSrc == nil) == (j.BuildSrcVec == nil) {
+		return fmt.Errorf("engine: parallel join needs exactly one of BuildSrc and BuildSrcVec")
+	}
+	if (j.ProbeSrc == nil) == (j.ProbeSrcVec == nil) {
+		return fmt.Errorf("engine: parallel join needs exactly one of ProbeSrc and ProbeSrcVec")
+	}
 	j.Schema()
 	j.code = ctx.DB.Codes.Register("op:pjoin", 5120)
 	nw := len(j.Ctxs)
+	vecBuild := j.BuildSrcVec != nil
 	for w := 0; w < nw; w++ {
-		j.buildChild(w)
+		if vecBuild {
+			j.buildVecChild(w)
+		} else {
+			j.buildChild(w)
+		}
 		j.probeChild(w)
 	}
-	bSchema := j.buildChild(0).Schema()
+	var bSchema Schema
+	if vecBuild {
+		bSchema = j.buildVecChild(0).Schema()
+	} else {
+		bSchema = j.buildChild(0).Schema()
+	}
 	bOff := bSchema.Offsets()[j.BuildCol]
 	bWidth := bSchema.RowWidth()
 
 	// Phase 1 — partition: worker w scatters its build rows into per-
-	// worker, per-partition buffers in its own workspace (no locks).
+	// worker, per-partition buffers in its own workspace (no locks). A
+	// vectorized build side scatters block-at-a-time, charging the loop
+	// once per block instead of once per row.
 	scatter := make([][][]prow, nw)
 	errs := make([]error, nw)
 	var wg sync.WaitGroup
@@ -324,14 +411,28 @@ func (j *ParallelHashJoin) Open(ctx *Ctx) error {
 			defer wg.Done()
 			wctx := j.Ctxs[w]
 			scatter[w] = make([][]prow, nw)
-			errs[w] = Run(wctx, j.buildChild(w), func(row []byte) error {
-				wctx.Rec.Exec(j.code, 60)
+			scatterRow := func(row []byte) {
 				p := j.partition(uint64(RowInt(row, bOff)))
 				at := wctx.Work.Alloc(len(row), 8)
 				b := wctx.Work.Bytes(at, len(row))
 				copy(b, row)
 				wctx.Rec.StoreRange(at, len(row))
 				scatter[w][p] = append(scatter[w][p], prow{b: b, at: at})
+			}
+			if vecBuild {
+				errs[w] = RunVec(wctx, j.buildVecChild(w), func(blk *Block) error {
+					wctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecBuildCost)
+					blk.TraceRows(wctx.Rec)
+					for i := 0; i < blk.N(); i++ {
+						scatterRow(blk.RowAt(i))
+					}
+					return nil
+				})
+				return
+			}
+			errs[w] = Run(wctx, j.buildChild(w), func(row []byte) error {
+				wctx.Rec.Exec(j.code, 60)
+				scatterRow(row)
 				return nil
 			})
 		}(w)

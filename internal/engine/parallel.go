@@ -151,10 +151,10 @@ func (p *MorselPool) Next(w int) (Morsel, bool) {
 	return p.pool.Take(w)
 }
 
-// MorselScan is SeqScan's morsel-driven form: the workers sharing one
-// MorselPool collectively cover the table exactly once, each worker
-// scanning whatever page ranges it claims. One MorselScan instance
-// belongs to one worker; its Ctx provides that worker's trace stream.
+// MorselScan is the morsel-driven scan's legacy row-at-a-time face: a
+// thin RowAdapter over MorselScanVec (vec.go), kept so existing Volcano
+// consumers and tests keep working. The decode itself is the vectorized
+// core — there is exactly one scan implementation.
 type MorselScan struct {
 	Table  *Table
 	Preds  []Pred
@@ -162,63 +162,34 @@ type MorselScan struct {
 	Pool   *MorselPool
 	Worker int
 
-	inner  *SeqScan
-	active bool
+	ad RowAdapter
+}
+
+// vec lazily builds the adapted vectorized scan.
+func (s *MorselScan) vec() *RowAdapter {
+	if s.ad.Vec == nil {
+		s.ad.Vec = &MorselScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols, Pool: s.Pool, Worker: s.Worker}
+	}
+	return &s.ad
 }
 
 // Schema implements Op.
-func (s *MorselScan) Schema() Schema {
-	if s.inner == nil {
-		s.inner = &SeqScan{Table: s.Table, Preds: s.Preds, Cols: s.Cols}
-	}
-	return s.inner.Schema()
-}
+func (s *MorselScan) Schema() Schema { return s.vec().Schema() }
 
 // Open implements Op.
-func (s *MorselScan) Open(ctx *Ctx) error {
-	s.Schema()
-	s.active = false
-	return nil
-}
+func (s *MorselScan) Open(ctx *Ctx) error { return s.vec().Open(ctx) }
 
 // Close implements Op.
-func (s *MorselScan) Close(ctx *Ctx) {
-	if s.active {
-		s.inner.Close(ctx)
-		s.active = false
-	}
-}
+func (s *MorselScan) Close(ctx *Ctx) { s.vec().Close(ctx) }
 
 // Next implements Op: it drains the current morsel, then claims the next.
-func (s *MorselScan) Next(ctx *Ctx) ([]byte, bool, error) {
-	for {
-		if !s.active {
-			m, ok := s.Pool.Next(s.Worker)
-			if !ok {
-				return nil, false, nil
-			}
-			s.inner.Range = &PageRange{Lo: m.Lo, Hi: m.Hi}
-			if err := s.inner.Open(ctx); err != nil {
-				return nil, false, err
-			}
-			s.active = true
-		}
-		row, ok, err := s.inner.Next(ctx)
-		if err != nil {
-			return nil, false, err
-		}
-		if ok {
-			return row, true, nil
-		}
-		s.inner.Close(ctx)
-		s.active = false
-	}
-}
+func (s *MorselScan) Next(ctx *Ctx) ([]byte, bool, error) { return s.vec().Next(ctx) }
 
 // ParallelScan scans t with one worker goroutine per ctx, covering the
-// heap exactly once via a shared morsel pool. fn is invoked concurrently
-// from the workers (w identifies the caller); it must be safe for that.
-// morselPages <= 0 uses DefaultMorselPages.
+// heap exactly once via a shared morsel pool; each worker drives a
+// vectorized morsel scan and hands fn its blocks row by row. fn is
+// invoked concurrently from the workers (w identifies the caller); it
+// must be safe for that. morselPages <= 0 uses DefaultMorselPages.
 func ParallelScan(ctxs []*Ctx, t *Table, preds []Pred, cols []int, morselPages int, fn func(w int, row []byte) error) error {
 	if len(ctxs) == 0 {
 		return fmt.Errorf("engine: parallel scan with no worker contexts")
@@ -230,8 +201,15 @@ func ParallelScan(ctxs []*Ctx, t *Table, preds []Pred, cols []int, morselPages i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ms := &MorselScan{Table: t, Preds: preds, Cols: cols, Pool: pool, Worker: w}
-			errs[w] = Run(ctxs[w], ms, func(row []byte) error { return fn(w, row) })
+			ms := &MorselScanVec{Table: t, Preds: preds, Cols: cols, Pool: pool, Worker: w}
+			errs[w] = RunVec(ctxs[w], ms, func(blk *Block) error {
+				for i := 0; i < blk.N(); i++ {
+					if err := fn(w, blk.RowAt(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -1,11 +1,13 @@
 // SharedScan: the consumer side of cross-query work sharing. A circular
 // shared scan (the share package's registry) runs one producer pass over a
-// table and fans identical row batches out to every attached query; each
+// table and fans identical row blocks out to every attached query; each
 // query's SharedScan applies its own predicates and projection to the
-// shared batches. Consumers therefore pay a tight vectorized filter loop
-// per batch instead of a full page-decode pipeline per tuple — the QPipe
-// work-sharing opportunity the paper's Section 6 argues CMP database
-// servers must exploit.
+// shared blocks. The batch currency is engine.Block — the same type every
+// other execution mode uses — so shared batches flow into vectorized
+// plans with no re-materialization at the layer boundary. Consumers pay a
+// tight vectorized filter loop per block instead of a full page-decode
+// pipeline per tuple — the QPipe work-sharing opportunity the paper's
+// Section 6 argues CMP database servers must exploit.
 
 package engine
 
@@ -15,31 +17,31 @@ import (
 	"repro/internal/mem"
 )
 
-// BatchSource supplies the row batches of one rotation of a circular
+// BatchSource supplies the row blocks of one rotation of a circular
 // shared scan. It is implemented by the share package's Reader; the
 // interface lives here so the engine does not depend on the registry.
 //
-// A source is one-shot: NextBatch walks exactly one full rotation of the
+// A source is one-shot: NextBlock walks exactly one full rotation of the
 // table (from wherever the consumer attached, wrapping around) and then
-// reports ok=false. The returned buffer holds nrows contiguous rows in
-// the table's NSM row encoding, living at simulated address addr; it is
-// valid until the following NextBatch or Close call.
+// reports ok=false. The returned block holds rows in the table's NSM row
+// encoding with heap-page provenance in Pages; it is valid until the
+// following NextBlock or Close call.
 type BatchSource interface {
-	NextBatch() (rows []byte, addr mem.Addr, nrows int, ok bool)
-	// Err reports a producer-side scan failure; valid once NextBatch has
+	NextBlock() (*Block, bool)
+	// Err reports a producer-side scan failure; valid once NextBlock has
 	// returned ok=false.
 	Err() error
 	// Close detaches from the shared scan, releasing any undelivered
-	// batches. It must be called exactly once, and is safe whether or not
-	// the rotation completed.
+	// blocks. It is idempotent, and safe whether or not the rotation
+	// completed.
 	Close()
 }
 
-// Per-batch-row instruction costs of the vectorized consumer loop: a
+// Per-block-row instruction costs of the vectorized consumer loop: a
 // shared-scan consumer touches rows the producer already decoded, so its
 // per-row work is a branch-light filter over contiguous memory, far
-// cheaper than SeqScan's per-tuple page decode (70 instructions plus
-// latching) — that asymmetry is where cross-query sharing wins.
+// cheaper than a private scan's per-tuple page decode — that asymmetry is
+// where cross-query sharing wins.
 const (
 	sharedRowCost     = 4 // per row: load/advance/branch of the filter loop
 	sharedPredCost    = 4 // per row per predicate: vectorized compare
@@ -47,29 +49,62 @@ const (
 )
 
 // SharedScan reads a table through an in-flight circular shared scan
-// instead of a private SeqScan: Source delivers every row of the table
+// instead of a private scan: Source delivers every row of the table
 // exactly once (one full rotation from the attach point), and the
-// operator filters with Preds and projects Cols per query. Row order is
-// the circular page order from the rotation's start page — identical to a
-// SeqScan with StartPage set to that page — so results match unshared
-// execution bit for bit when compared at the same origin.
+// operator filters with Preds and projects Cols per query, emitting its
+// own blocks. Row order is the circular page order from the rotation's
+// start page — identical to a scan with StartPage set to that page — so
+// results match unshared execution bit for bit when compared at the same
+// origin. It implements VecOp; wrap it in a RowAdapter for row-at-a-time
+// consumers.
 type SharedScan struct {
 	Table  *Table
 	Preds  []Pred
 	Cols   []int // projected columns; nil for all
 	Source BatchSource
 
-	out     Schema
-	buf     []byte
-	rowW    int
-	cur     []byte
-	curAddr mem.Addr
-	curN    int
-	curIdx  int
-	code    mem.CodeSeg
+	out  Schema
+	blk  *Block
+	code mem.CodeSeg
 }
 
-// Schema implements Op.
+// NextBlock implements VecOp: it filters and projects the next shared
+// block of the rotation into the operator's own output block.
+func (s *SharedScan) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	for {
+		in, ok := s.Source.NextBlock()
+		if !ok {
+			return nil, false, s.Source.Err()
+		}
+		n := in.N()
+		// The whole batch is read sequentially by the vectorized filter;
+		// charge its loads and per-row filter instructions at the block
+		// boundary (the consumer's reads of another core's freshly written
+		// block are the shared-L2 traffic that replaces a private scan of
+		// the base table).
+		ctx.Rec.Exec(s.code, 24+n*(sharedRowCost+sharedPredCost*len(s.Preds)))
+		in.TraceRows(ctx.Rec)
+		if s.blk == nil || s.blk.Cap() < in.Cap() {
+			s.blk = NewBlock(ctx.Work, in.Cap(), s.out.RowWidth())
+		}
+		s.blk.Reset()
+		s.blk.Pages = in.Pages
+		for i := 0; i < n; i++ {
+			row := in.RowAt(i)
+			if predsPass(s.Preds, s.Table.Schema, s.Table.Offs, row) {
+				projectInto(s.blk, row, s.Table.Schema, s.Table.Offs, s.Cols)
+			}
+		}
+		if s.blk.N() == 0 {
+			continue
+		}
+		ctx.Rec.Exec(s.code, s.blk.N()*sharedProjectCost)
+		s.blk.TraceAppended(ctx.Rec, 0)
+		return s.blk, true, nil
+	}
+}
+
+// Schema implements VecOp.
 func (s *SharedScan) Schema() Schema {
 	if s.out == nil {
 		if s.Cols == nil {
@@ -81,70 +116,21 @@ func (s *SharedScan) Schema() Schema {
 	return s.out
 }
 
-// Open implements Op. A SharedScan is one-shot: its source's rotation
+// Open implements VecOp. A SharedScan is one-shot: its source's rotation
 // cannot be replayed, so Open must be called at most once.
 func (s *SharedScan) Open(ctx *Ctx) error {
 	if s.Source == nil {
 		return fmt.Errorf("engine: shared scan of %q without a source", s.Table.Name)
 	}
 	s.Schema()
-	s.rowW = s.Table.Schema.RowWidth()
-	s.buf = make([]byte, s.out.RowWidth())
 	s.code = ctx.DB.Codes.Register("op:sharedscan", 1536)
-	s.cur, s.curN, s.curIdx = nil, 0, 0
 	return nil
 }
 
-// Close implements Op: it detaches from the shared scan.
+// Close implements VecOp: it detaches from the shared scan (idempotent).
 func (s *SharedScan) Close(ctx *Ctx) {
 	if s.Source != nil {
 		s.Source.Close()
 		s.Source = nil
-	}
-}
-
-// Next implements Op: it filters and projects the current batch, pulling
-// the next batch from the rotation when the current one drains.
-func (s *SharedScan) Next(ctx *Ctx) ([]byte, bool, error) {
-	for {
-		if s.curIdx >= s.curN {
-			rows, addr, n, ok := s.Source.NextBatch()
-			if !ok {
-				return nil, false, s.Source.Err()
-			}
-			s.cur, s.curAddr, s.curN, s.curIdx = rows, addr, n, 0
-			// The whole batch is read sequentially by the vectorized
-			// filter; charge its loads and per-row filter instructions at
-			// the batch boundary (the consumer's reads of another core's
-			// freshly written batch are the shared-L2 traffic that
-			// replaces a private scan of the base table).
-			ctx.Rec.Exec(s.code, 24+n*(sharedRowCost+sharedPredCost*len(s.Preds)))
-			ctx.Rec.LoadRange(addr, n*s.rowW)
-			continue
-		}
-		row := s.cur[s.curIdx*s.rowW : (s.curIdx+1)*s.rowW]
-		s.curIdx++
-		pass := true
-		for _, p := range s.Preds {
-			if !p.Eval(s.Table.Schema, s.Table.Offs, row) {
-				pass = false
-				break
-			}
-		}
-		if !pass {
-			continue
-		}
-		ctx.Rec.Exec(s.code, sharedProjectCost)
-		if s.Cols == nil {
-			copy(s.buf, row)
-		} else {
-			off := 0
-			for _, c := range s.Cols {
-				w := s.Table.Schema[c].Width
-				copy(s.buf[off:off+w], row[s.Table.Offs[c]:s.Table.Offs[c]+w])
-				off += w
-			}
-		}
-		return s.buf, true, nil
 	}
 }

@@ -1,0 +1,1108 @@
+// Vectorized batch execution core: one Block row-batch type and one VecOp
+// operator interface shared by every execution mode the engine offers —
+// serial plans, morsel-driven parallel plans, staged packet pipelines, and
+// circular shared scans. Operators amortize iterator overhead over a
+// block of rows (MonetDB/X100-style block-at-a-time processing): per-row
+// virtual calls, per-tuple trace records, and per-tuple latching collapse
+// into one tight loop plus a handful of ranged trace events per block,
+// which is the L1/L2-resident, stall-free execution the paper argues CMP
+// database servers need.
+//
+// The legacy Volcano Op API stays alive through RowAdapter (VecOp → Op)
+// and VecAdapter (Op → VecOp), so row-at-a-time operators remain usable
+// as both a compatibility surface and the reference implementation the
+// vectorized paths are tested against.
+
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Per-row instruction costs of the vectorized loops. They mirror the
+// shared-scan consumer constants: a batch loop touches contiguous memory
+// with branch-light per-row work, far cheaper than the ~70-instruction
+// per-tuple decode of the row-at-a-time operators.
+const (
+	vecRowCost   = 4  // per row: load/advance/branch of the batch loop
+	vecPredCost  = 4  // per row per predicate: vectorized compare
+	vecProjCost  = 8  // per qualifying row: projection copy
+	vecAggCost   = 24 // per row: group hash+probe, amortized over the batch
+	vecBuildCost = 24 // per join build row: partition/insert bookkeeping
+	vecProbeCost = 30 // per join probe row: key hash + chain setup
+	vecBlockCost = 18 // per block: loop setup and bookkeeping
+)
+
+// Block is an arena-backed batch of fixed-width rows — THE batch currency
+// of the engine. Vectorized operators hand blocks down the plan, staged
+// pipelines use them as packets, and circular shared scans deliver them
+// to every attached consumer, so no layer boundary re-materializes rows.
+// Blocks live at stable simulated addresses and optionally recycle
+// through a ring (SetHome) with a reference count for multi-consumer
+// delivery.
+type Block struct {
+	// Pages is the heap-page provenance [Lo, Hi) of a scan-filled block
+	// (zero for blocks produced by non-scan operators). Shared-scan
+	// coordinators key rotation bookkeeping on it.
+	Pages PageRange
+
+	buf  []byte
+	addr mem.Addr
+	rowW int
+	cap  int
+	n    int
+	refs atomic.Int32
+	home chan *Block
+}
+
+// NewBlock allocates a block of capRows rows of rowW bytes from work.
+func NewBlock(work *mem.Arena, capRows, rowW int) *Block {
+	if capRows <= 0 || rowW <= 0 {
+		panic(fmt.Sprintf("engine: bad block geometry %d x %d", capRows, rowW))
+	}
+	a := work.Alloc(capRows*rowW, mem.LineSize)
+	return &Block{buf: work.Bytes(a, capRows*rowW), addr: a, rowW: rowW, cap: capRows}
+}
+
+// Reset empties the block for reuse; a reused block keeps its simulated
+// address, which is what makes recycled batches cache-resident.
+func (b *Block) Reset() { b.n = 0; b.Pages = PageRange{} }
+
+// N returns the row count.
+func (b *Block) N() int { return b.n }
+
+// Cap returns the row capacity.
+func (b *Block) Cap() int { return b.cap }
+
+// RowWidth returns the width of each row in bytes.
+func (b *Block) RowWidth() int { return b.rowW }
+
+// Addr returns the simulated address of row 0.
+func (b *Block) Addr() mem.Addr { return b.addr }
+
+// Rows returns the host view of the occupied row bytes.
+func (b *Block) Rows() []byte { return b.buf[:b.n*b.rowW] }
+
+// RowAt returns row i without tracing; vectorized loops charge their
+// reads at block granularity instead.
+func (b *Block) RowAt(i int) []byte {
+	off := i * b.rowW
+	return b.buf[off : off+b.rowW]
+}
+
+// Append copies row in, tracing the store (the staged-packet API). It
+// reports false when the block is full.
+func (b *Block) Append(rec *trace.Recorder, row []byte) bool {
+	if b.n == b.cap {
+		return false
+	}
+	off := b.n * b.rowW
+	copy(b.buf[off:off+b.rowW], row)
+	rec.StoreRange(b.addr+mem.Addr(off), b.rowW)
+	b.n++
+	return true
+}
+
+// Row returns row i, tracing the load (the staged-packet API).
+func (b *Block) Row(rec *trace.Recorder, i int) []byte {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("engine: block row %d of %d", i, b.n))
+	}
+	off := i * b.rowW
+	rec.LoadRange(b.addr+mem.Addr(off), b.rowW)
+	return b.buf[off : off+b.rowW]
+}
+
+// Push copies row in without tracing; vectorized producers trace the
+// appended region once per batch with TraceAppended. It reports false
+// when the block is full.
+func (b *Block) Push(row []byte) bool {
+	if b.n == b.cap {
+		return false
+	}
+	copy(b.slot(), row)
+	return true
+}
+
+// slot reserves and returns the next row's bytes (callers fill it in
+// place; vec operators project columns directly into the slot).
+func (b *Block) slot() []byte {
+	off := b.n * b.rowW
+	b.n++
+	return b.buf[off : off+b.rowW]
+}
+
+// TraceAppended traces the stores of rows [from, N) as ranged writes —
+// one batch event for the whole append run.
+func (b *Block) TraceAppended(rec *trace.Recorder, from int) {
+	if b.n > from {
+		rec.StoreRange(b.addr+mem.Addr(from*b.rowW), (b.n-from)*b.rowW)
+	}
+}
+
+// TraceRows traces the read of every occupied row as one ranged load
+// (a consumer touching another operator's — or core's — batch).
+func (b *Block) TraceRows(rec *trace.Recorder) {
+	if b.n > 0 {
+		rec.LoadRange(b.addr, b.n*b.rowW)
+	}
+}
+
+// CopyFrom bulk-copies rows [from, ...) of src into b until b is full or
+// src is exhausted, tracing one ranged store. It returns the number of
+// rows copied; staged pipelines use it to fan a source block out into
+// ring packets with one memcpy instead of per-row appends.
+func (b *Block) CopyFrom(rec *trace.Recorder, src *Block, from int) int {
+	if b.rowW != src.rowW {
+		panic(fmt.Sprintf("engine: block copy across row widths %d -> %d", src.rowW, b.rowW))
+	}
+	k := src.n - from
+	if room := b.cap - b.n; k > room {
+		k = room
+	}
+	if k <= 0 {
+		return 0
+	}
+	dst := b.buf[b.n*b.rowW:]
+	copy(dst[:k*b.rowW], src.buf[from*src.rowW:(from+k)*src.rowW])
+	rec.StoreRange(b.addr+mem.Addr(b.n*b.rowW), k*b.rowW)
+	b.n += k
+	return k
+}
+
+// SetHome attaches the recycle ring the block returns to when its
+// reference count drops to zero.
+func (b *Block) SetHome(home chan *Block) { b.home = home }
+
+// ResetRefs sets the reference count (a producer claiming a free block).
+func (b *Block) ResetRefs(n int32) { b.refs.Store(n) }
+
+// Retain adds one reference (a consumer the block will be delivered to).
+func (b *Block) Retain() { b.refs.Add(1) }
+
+// Release drops one reference; the last release recycles the block to
+// its home ring, if any.
+func (b *Block) Release() {
+	if b.refs.Add(-1) == 0 && b.home != nil {
+		b.home <- b
+	}
+}
+
+// defaultBlockRows sizes operator blocks: hint wins when positive,
+// otherwise enough rows to fill half a 64 KB L1D, and never less than one
+// full heap page of rows (page-at-a-time scan fills must always fit).
+func defaultBlockRows(rowW, hint int) int {
+	b := hint
+	if b <= 0 {
+		b = (32 << 10) / rowW
+		if b < 8 {
+			b = 8
+		}
+	}
+	if pr := storage.PageSize / rowW; b < pr {
+		b = pr
+	}
+	return b
+}
+
+// VecOp is the vectorized operator interface: the one operator stack
+// behind serial, morsel-parallel, staged, and shared execution.
+type VecOp interface {
+	Schema() Schema
+	Open(ctx *Ctx) error
+	// NextBlock returns the operator's next batch, which always holds at
+	// least one row. The block is owned by the operator and its contents
+	// are valid until the following NextBlock or Close call.
+	NextBlock(ctx *Ctx) (*Block, bool, error)
+	Close(ctx *Ctx)
+}
+
+// RunVec drains v, invoking fn on each block.
+func RunVec(ctx *Ctx, v VecOp, fn func(blk *Block) error) error {
+	if err := v.Open(ctx); err != nil {
+		return err
+	}
+	defer v.Close(ctx)
+	for {
+		blk, ok, err := v.NextBlock(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if fn != nil {
+			if err := fn(blk); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// CollectVec drains v through a RowAdapter and decodes every row.
+func CollectVec(ctx *Ctx, v VecOp) ([][]Value, error) {
+	return Collect(ctx, &RowAdapter{Vec: v})
+}
+
+// RowAdapter presents a VecOp through the legacy Volcano Op API: rows of
+// the current block are handed out one at a time. It keeps every
+// row-at-a-time consumer — tests, sorts, sinks — working unchanged on
+// top of the vectorized core.
+type RowAdapter struct {
+	Vec VecOp
+
+	blk  *Block
+	idx  int
+	code mem.CodeSeg
+}
+
+// Schema implements Op.
+func (a *RowAdapter) Schema() Schema { return a.Vec.Schema() }
+
+// Open implements Op.
+func (a *RowAdapter) Open(ctx *Ctx) error {
+	a.blk, a.idx = nil, 0
+	a.code = ctx.DB.Codes.Register("op:rowadapter", 512)
+	return a.Vec.Open(ctx)
+}
+
+// Close implements Op.
+func (a *RowAdapter) Close(ctx *Ctx) {
+	a.Vec.Close(ctx)
+	a.blk = nil
+}
+
+// Next implements Op. The returned row aliases the current block and is
+// valid until the block is exhausted (the producer reuses it only after
+// the adapter asks for the next one).
+func (a *RowAdapter) Next(ctx *Ctx) ([]byte, bool, error) {
+	for a.blk == nil || a.idx >= a.blk.N() {
+		blk, ok, err := a.Vec.NextBlock(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		a.blk, a.idx = blk, 0
+		ctx.Rec.Exec(a.code, 8+2*blk.N())
+	}
+	row := a.blk.RowAt(a.idx)
+	a.idx++
+	return row, true, nil
+}
+
+// VecAdapter presents a legacy Op as a VecOp by batching its rows into a
+// block; it lets row-only sources (index scans, sorts) feed vectorized
+// consumers.
+type VecAdapter struct {
+	Child Op
+	// BlockRows caps rows per block (0 = the L1-sized default).
+	BlockRows int
+
+	blk  *Block
+	code mem.CodeSeg
+}
+
+// Schema implements VecOp.
+func (a *VecAdapter) Schema() Schema { return a.Child.Schema() }
+
+// Open implements VecOp.
+func (a *VecAdapter) Open(ctx *Ctx) error {
+	rowW := a.Child.Schema().RowWidth()
+	if a.blk == nil {
+		a.blk = NewBlock(ctx.Work, defaultBlockRows(rowW, a.BlockRows), rowW)
+	}
+	a.code = ctx.DB.Codes.Register("op:vecadapter", 512)
+	return a.Child.Open(ctx)
+}
+
+// Close implements VecOp.
+func (a *VecAdapter) Close(ctx *Ctx) { a.Child.Close(ctx) }
+
+// NextBlock implements VecOp.
+func (a *VecAdapter) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	a.blk.Reset()
+	for a.blk.N() < a.blk.Cap() {
+		row, ok, err := a.Child.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		a.blk.Push(row)
+	}
+	if a.blk.N() == 0 {
+		return nil, false, nil
+	}
+	ctx.Rec.Exec(a.code, vecBlockCost+2*a.blk.N())
+	a.blk.TraceAppended(ctx.Rec, 0)
+	return a.blk, true, nil
+}
+
+// ScanVec is the vectorized table scan: pages are decoded a block at a
+// time with batched trace events, predicates run in a tight loop over
+// host memory, and under PAX each predicate is evaluated column-at-a-time
+// over the minipage (a true column loop) with only qualifying tuples
+// gathered. It supports the same Range/StartPage contract as SeqScan, so
+// morsel drivers and circular shared scans reuse it unchanged.
+type ScanVec struct {
+	Table *Table
+	Preds []Pred
+	Cols  []int // projected columns; nil for all
+	// StartPage rotates the scan origin (circular shared scans); ignored
+	// when Range is set.
+	StartPage int
+	// Range restricts the scan to a page range (morsel execution).
+	Range *PageRange
+	// BlockRows caps rows per emitted block (0 = the L1-sized default,
+	// never below one page of rows).
+	BlockRows int
+
+	out      Schema
+	blk      *Block
+	page     int // pages consumed within the range
+	pageCap  int // max tuples one heap page can hold
+	code     mem.CodeSeg
+	predCols []Schema // single-column schema per pred (PAX column eval)
+	preds0   []Pred   // preds rebased to column 0 (PAX column eval)
+	selbuf   []int
+}
+
+// Schema implements VecOp.
+func (s *ScanVec) Schema() Schema {
+	if s.out == nil {
+		if s.Cols == nil {
+			s.out = s.Table.Schema
+		} else {
+			s.out = s.Table.Schema.Project(s.Cols)
+		}
+	}
+	return s.out
+}
+
+// Open implements VecOp. Reopening after Close rewinds the scan; the
+// block is allocated once and reused across reopen cycles (morsel
+// drivers reopen per claimed range).
+func (s *ScanVec) Open(ctx *Ctx) error {
+	s.Schema()
+	s.page = 0
+	if s.Table.Heap.Layout() == storage.NSM {
+		// Safe upper bound (each tuple also consumes a 4-byte slot, so a
+		// page can never hold PageSize/rowW tuples).
+		s.pageCap = storage.PageSize / s.Table.Schema.RowWidth()
+	} else {
+		s.pageCap = storage.PAXCapacity(s.Table.Schema.Widths())
+	}
+	if s.predCols == nil {
+		s.predCols = make([]Schema, len(s.Preds))
+		s.preds0 = make([]Pred, len(s.Preds))
+		for i, p := range s.Preds {
+			s.predCols[i] = Schema{s.Table.Schema[p.Col]}
+			q := p
+			q.Col = 0
+			s.preds0[i] = q
+		}
+	}
+	s.code = ctx.DB.Codes.Register("op:scanvec", 2048)
+	return nil
+}
+
+// Close implements VecOp (idempotent; a reopen rewinds the scan).
+func (s *ScanVec) Close(ctx *Ctx) {}
+
+// pageBounds returns the scan's page window [lo, hi) and the heap size.
+func (s *ScanVec) pageBounds() (lo, hi, n int) {
+	n = s.Table.Heap.NumPages()
+	lo, hi = 0, n
+	if s.Range != nil {
+		if s.Range.Lo > lo {
+			lo = s.Range.Lo
+		}
+		if s.Range.Hi < hi {
+			hi = s.Range.Hi
+		}
+	}
+	return lo, hi, n
+}
+
+// remaining reports whether unscanned pages remain.
+func (s *ScanVec) remaining() bool {
+	lo, hi, _ := s.pageBounds()
+	return s.page < hi-lo
+}
+
+// nextPageIdx returns the heap index of the next page to scan, honouring
+// Range (morsels) or StartPage (circular origins).
+func (s *ScanVec) nextPageIdx() (int, bool) {
+	lo, hi, n := s.pageBounds()
+	if s.page >= hi-lo {
+		return 0, false
+	}
+	idx := lo + s.page
+	if s.Range == nil && n > 0 {
+		idx = (s.page + s.StartPage) % n
+	}
+	s.page++
+	return idx, true
+}
+
+// FillBlock appends scanned rows to blk, page at a time, until blk lacks
+// room for another full page of tuples or the scan's range is exhausted.
+// It reports false once the range is exhausted. For Range-restricted
+// scans (morsels — always contiguous) blk.Pages tracks the page span
+// decoded in this call; a circular StartPage scan can wrap mid-block, so
+// its blocks carry no provenance.
+func (s *ScanVec) FillBlock(ctx *Ctx, blk *Block) (bool, error) {
+	for blk.Cap()-blk.N() >= s.pageCap {
+		idx, ok := s.nextPageIdx()
+		if !ok {
+			return false, nil
+		}
+		if err := s.scanPage(ctx, idx, blk); err != nil {
+			return false, err
+		}
+		if s.Range == nil {
+			continue
+		}
+		if blk.Pages.Lo == blk.Pages.Hi {
+			blk.Pages = PageRange{Lo: idx, Hi: idx + 1}
+		} else if idx >= blk.Pages.Hi {
+			blk.Pages.Hi = idx + 1
+		}
+	}
+	return s.remaining(), nil
+}
+
+// scanPage decodes one heap page into blk with batched tracing: the page
+// bytes load as ranged events, predicates evaluate in a tight loop, and
+// the block stores trace once per page.
+func (s *ScanVec) scanPage(ctx *Ctx, idx int, blk *Block) error {
+	ref, err := ctx.DB.Pool.Get(ctx.Rec, s.Table.Heap.PageAt(idx))
+	if err != nil {
+		return err
+	}
+	defer ref.Release()
+	h := s.Table.Heap
+	h.RLatch()
+	defer h.RUnlatch()
+
+	before := blk.N()
+	nrows, evals := 0, 0
+	if h.Layout() == storage.NSM {
+		sp := storage.AsSlotted(ref.Data, ref.Addr)
+		sp.ScanTuples(ctx.Rec, func(_ int, tuple []byte) {
+			nrows++
+			for _, p := range s.Preds {
+				evals++
+				if !p.Eval(s.Table.Schema, s.Table.Offs, tuple) {
+					return
+				}
+			}
+			projectInto(blk, tuple, s.Table.Schema, s.Table.Offs, s.Cols)
+		})
+	} else {
+		nrows, evals = s.scanPAXPage(ctx, ref, blk)
+	}
+	nq := blk.N() - before
+	ctx.Rec.Exec(s.code, vecBlockCost+nrows*vecRowCost+evals*vecPredCost+nq*vecProjCost)
+	blk.TraceAppended(ctx.Rec, before)
+	return nil
+}
+
+// scanPAXPage evaluates predicates column-at-a-time over the minipages
+// (the first predicate streams its whole column; later predicates touch
+// only surviving candidates) and gathers projected columns of qualifying
+// tuples. It returns the page's tuple count and predicate evaluations.
+func (s *ScanVec) scanPAXPage(ctx *Ctx, ref *storage.PageRef, blk *Block) (nrows, evals int) {
+	px := storage.AsPAX(ref.Data, ref.Addr, s.Table.Schema.Widths())
+	n := px.N()
+	if n == 0 {
+		return 0, 0
+	}
+	sel := s.selbuf[:0]
+	for pi := range s.Preds {
+		col := s.Preds[pi].Col
+		w := s.Table.Schema[col].Width
+		mini := px.ColumnBytes(col)
+		if pi == 0 {
+			// First predicate: stream the whole minipage.
+			px.LoadColumn(ctx.Rec, col, 0, n)
+			for i := 0; i < n; i++ {
+				evals++
+				if s.preds0[pi].Eval(s.predCols[pi], colOffs0, mini[i*w:(i+1)*w]) {
+					sel = append(sel, i)
+				}
+			}
+			continue
+		}
+		if len(sel) == 0 {
+			break
+		}
+		// Later predicates: only the survivors' span of the minipage.
+		px.LoadColumn(ctx.Rec, col, sel[0], sel[len(sel)-1]+1)
+		kept := sel[:0]
+		for _, i := range sel {
+			evals++
+			if s.preds0[pi].Eval(s.predCols[pi], colOffs0, mini[i*w:(i+1)*w]) {
+				kept = append(kept, i)
+			}
+		}
+		sel = kept
+	}
+	if len(s.Preds) == 0 {
+		for i := 0; i < n; i++ {
+			sel = append(sel, i)
+		}
+	}
+	defer func() { s.selbuf = sel[:0] }()
+	if len(sel) == 0 {
+		return n, evals
+	}
+
+	cols := s.Cols
+	if cols == nil {
+		cols = allCols(len(s.Table.Schema))
+	}
+	// Gather: reserve the qualifying rows' slots, then fill them column
+	// by column — one ranged load per projected minipage over the
+	// qualifying span and a tight copy loop per column.
+	base := blk.N()
+	for range sel {
+		blk.slot()
+	}
+	lo, hi := sel[0], sel[len(sel)-1]+1
+	off := 0
+	for _, c := range cols {
+		px.LoadColumn(ctx.Rec, c, lo, hi)
+		w := s.Table.Schema[c].Width
+		mini := px.ColumnBytes(c)
+		for k, i := range sel {
+			row := blk.RowAt(base + k)
+			copy(row[off:off+w], mini[i*w:(i+1)*w])
+		}
+		off += w
+	}
+	return n, evals
+}
+
+// colOffs0 is the offset table of a single-column schema.
+var colOffs0 = []int{0}
+
+// projectInto copies the projected columns of row (encoded per schema
+// with offsets offs) into blk's next slot; nil cols copies the full row.
+// Every scan-side operator — private, morsel, shared — projects through
+// this one loop, so their output layouts cannot diverge.
+func projectInto(blk *Block, row []byte, schema Schema, offs, cols []int) {
+	dst := blk.slot()
+	if cols == nil {
+		copy(dst, row)
+		return
+	}
+	off := 0
+	for _, c := range cols {
+		w := schema[c].Width
+		copy(dst[off:off+w], row[offs[c]:offs[c]+w])
+		off += w
+	}
+}
+
+// predsPass evaluates the conjunction over row.
+func predsPass(preds []Pred, schema Schema, offs []int, row []byte) bool {
+	for _, p := range preds {
+		if !p.Eval(schema, offs, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// allCols returns [0, n).
+func allCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// NextBlock implements VecOp. The output block is allocated lazily on
+// the first call — callers that only drive FillBlock into their own
+// blocks (the shared-scan producer fills its recycle ring directly)
+// never allocate one, so a fresh ScanVec per morsel costs no arena.
+func (s *ScanVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	if s.blk == nil {
+		capRows := defaultBlockRows(s.out.RowWidth(), s.BlockRows)
+		if capRows < s.pageCap {
+			capRows = s.pageCap
+		}
+		s.blk = NewBlock(ctx.Work, capRows, s.out.RowWidth())
+	}
+	for {
+		s.blk.Reset()
+		more, err := s.FillBlock(ctx, s.blk)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.blk.N() > 0 {
+			return s.blk, true, nil
+		}
+		if !more {
+			return nil, false, nil
+		}
+	}
+}
+
+// FilterVec drops block rows failing the conjunction, compacting
+// survivors into its own block.
+type FilterVec struct {
+	Child VecOp
+	Preds []Pred
+
+	offs []int
+	blk  *Block
+	code mem.CodeSeg
+}
+
+// Schema implements VecOp.
+func (f *FilterVec) Schema() Schema { return f.Child.Schema() }
+
+// Open implements VecOp.
+func (f *FilterVec) Open(ctx *Ctx) error {
+	f.offs = f.Child.Schema().Offsets()
+	f.code = ctx.DB.Codes.Register("op:filtervec", 1024)
+	return f.Child.Open(ctx)
+}
+
+// Close implements VecOp.
+func (f *FilterVec) Close(ctx *Ctx) { f.Child.Close(ctx) }
+
+// NextBlock implements VecOp.
+func (f *FilterVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	cs := f.Child.Schema()
+	for {
+		in, ok, err := f.Child.NextBlock(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.blk == nil || f.blk.Cap() < in.Cap() {
+			f.blk = NewBlock(ctx.Work, in.Cap(), in.RowWidth())
+		}
+		f.blk.Reset()
+		n := in.N()
+		in.TraceRows(ctx.Rec)
+		for i := 0; i < n; i++ {
+			row := in.RowAt(i)
+			if predsPass(f.Preds, cs, f.offs, row) {
+				f.blk.Push(row)
+			}
+		}
+		ctx.Rec.Exec(f.code, vecBlockCost+n*(vecRowCost+vecPredCost*len(f.Preds))+f.blk.N()*vecProjCost)
+		f.blk.TraceAppended(ctx.Rec, 0)
+		if f.blk.N() > 0 {
+			return f.blk, true, nil
+		}
+	}
+}
+
+// ProjectVec narrows block rows to the given columns.
+type ProjectVec struct {
+	Child VecOp
+	Cols  []int
+
+	out  Schema
+	offs []int
+	blk  *Block
+	code mem.CodeSeg
+}
+
+// Schema implements VecOp.
+func (p *ProjectVec) Schema() Schema {
+	if p.out == nil {
+		p.out = p.Child.Schema().Project(p.Cols)
+	}
+	return p.out
+}
+
+// Open implements VecOp.
+func (p *ProjectVec) Open(ctx *Ctx) error {
+	p.Schema()
+	p.offs = p.Child.Schema().Offsets()
+	p.code = ctx.DB.Codes.Register("op:projectvec", 768)
+	return p.Child.Open(ctx)
+}
+
+// Close implements VecOp.
+func (p *ProjectVec) Close(ctx *Ctx) { p.Child.Close(ctx) }
+
+// NextBlock implements VecOp.
+func (p *ProjectVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	in, ok, err := p.Child.NextBlock(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.blk == nil || p.blk.Cap() < in.Cap() {
+		p.blk = NewBlock(ctx.Work, in.Cap(), p.out.RowWidth())
+	}
+	p.blk.Reset()
+	cs := p.Child.Schema()
+	n := in.N()
+	in.TraceRows(ctx.Rec)
+	for i := 0; i < n; i++ {
+		projectInto(p.blk, in.RowAt(i), cs, p.offs, p.Cols)
+	}
+	ctx.Rec.Exec(p.code, vecBlockCost+n*vecProjCost)
+	p.blk.TraceAppended(ctx.Rec, 0)
+	return p.blk, true, nil
+}
+
+// MapVec computes derived columns block-at-a-time with the same Fn
+// contract as the row operator Map.
+type MapVec struct {
+	Child VecOp
+	Out   Schema
+	Fn    func(in, out []byte)
+	// Cost is the synthetic instruction cost per row (default 10; the
+	// arithmetic is real work, only the iterator overhead amortizes).
+	Cost int
+
+	blk  *Block
+	code mem.CodeSeg
+}
+
+// Schema implements VecOp.
+func (m *MapVec) Schema() Schema { return m.Out }
+
+// Open implements VecOp.
+func (m *MapVec) Open(ctx *Ctx) error {
+	m.code = ctx.DB.Codes.Register("op:mapvec", 1024)
+	if m.Cost == 0 {
+		m.Cost = 10
+	}
+	return m.Child.Open(ctx)
+}
+
+// Close implements VecOp.
+func (m *MapVec) Close(ctx *Ctx) { m.Child.Close(ctx) }
+
+// NextBlock implements VecOp.
+func (m *MapVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	in, ok, err := m.Child.NextBlock(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if m.blk == nil || m.blk.Cap() < in.Cap() {
+		m.blk = NewBlock(ctx.Work, in.Cap(), m.Out.RowWidth())
+	}
+	m.blk.Reset()
+	n := in.N()
+	in.TraceRows(ctx.Rec)
+	for i := 0; i < n; i++ {
+		m.Fn(in.RowAt(i), m.blk.slot())
+	}
+	ctx.Rec.Exec(m.code, vecBlockCost+n*m.Cost)
+	m.blk.TraceAppended(ctx.Rec, 0)
+	return m.blk, true, nil
+}
+
+// HashAggVec groups block rows and computes aggregates, reusing HashAgg's
+// accumulator machinery — group table layout, merge rules, and output
+// encoding are identical to the row operator, so results match it byte
+// for byte — while the absorb loop runs tight over each block.
+type HashAggVec struct {
+	Child     VecOp
+	GroupCols []int
+	Aggs      []AggSpec
+	Expected  int
+
+	inner   *HashAgg
+	blk     *Block
+	results [][]byte
+	resIdx  int
+	code    mem.CodeSeg
+}
+
+// agg returns the inner row aggregate whose machinery this operator
+// reuses (ParallelAgg merges worker partials through it).
+func (a *HashAggVec) agg() *HashAgg {
+	if a.inner == nil {
+		a.inner = &HashAgg{
+			Child:     &RowAdapter{Vec: a.Child},
+			GroupCols: a.GroupCols,
+			Aggs:      a.Aggs,
+			Expected:  a.Expected,
+		}
+	}
+	return a.inner
+}
+
+// Schema implements VecOp.
+func (a *HashAggVec) Schema() Schema { return a.agg().Schema() }
+
+// Open implements VecOp: it drains the child block-at-a-time into the
+// group table.
+func (a *HashAggVec) Open(ctx *Ctx) error {
+	in := a.agg()
+	cs := in.prepare(ctx)
+	a.code = ctx.DB.Codes.Register("op:hashaggvec", 2048)
+	a.results, a.resIdx = nil, 0
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer a.Child.Close(ctx)
+	gkey := make([]byte, in.groupW)
+	for {
+		blk, ok, err := a.Child.NextBlock(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		n := blk.N()
+		ctx.Rec.Exec(a.code, vecBlockCost+n*vecAggCost)
+		blk.TraceRows(ctx.Rec)
+		for i := 0; i < n; i++ {
+			in.absorbRow(ctx, cs, gkey, blk.RowAt(i))
+		}
+	}
+}
+
+// Close implements VecOp.
+func (a *HashAggVec) Close(ctx *Ctx) {
+	if a.inner != nil {
+		a.inner.Close(ctx)
+	}
+	a.results, a.blk = nil, nil
+}
+
+// NextBlock implements VecOp: it emits the group rows in table-scan
+// order, packed into blocks.
+func (a *HashAggVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	if a.results == nil {
+		in := a.agg()
+		for {
+			row, ok, err := in.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			a.results = append(a.results, row)
+		}
+		if a.results == nil {
+			a.results = [][]byte{}
+		}
+	}
+	if a.resIdx >= len(a.results) {
+		return nil, false, nil
+	}
+	rowW := a.Schema().RowWidth()
+	if a.blk == nil {
+		a.blk = NewBlock(ctx.Work, defaultBlockRows(rowW, 0), rowW)
+	}
+	a.blk.Reset()
+	for a.resIdx < len(a.results) && a.blk.Push(a.results[a.resIdx]) {
+		a.resIdx++
+	}
+	a.blk.TraceAppended(ctx.Rec, 0)
+	return a.blk, true, nil
+}
+
+// HashJoinVec joins Probe ⋈ Build on integer key equality block-at-a-
+// time: the build side drains into a workspace hash table with batched
+// tracing, then each probe block is matched in a tight loop. Output rows
+// are Probe ++ Build columns in probe order — identical to HashJoin.
+type HashJoinVec struct {
+	Probe, Build       VecOp
+	ProbeCol, BuildCol int
+	Type               JoinType
+
+	out      Schema
+	ht       *HashTable
+	blk      *Block
+	probeBlk *Block
+	probeIdx int
+	curRow   []byte   // probe row whose matches are being emitted
+	pending  [][]byte // remaining matches of curRow (stable ht payloads)
+	keyOff   int
+	probeW   int
+	code     mem.CodeSeg
+}
+
+// Schema implements VecOp.
+func (j *HashJoinVec) Schema() Schema {
+	if j.out == nil {
+		j.out = j.Probe.Schema().Concat(j.Build.Schema())
+	}
+	return j.out
+}
+
+// Open implements VecOp: it drains the build side into the hash table.
+func (j *HashJoinVec) Open(ctx *Ctx) error {
+	j.Schema()
+	j.code = ctx.DB.Codes.Register("op:hashjoinvec", 4096)
+	j.keyOff = j.Probe.Schema().Offsets()[j.ProbeCol]
+	j.probeW = j.Probe.Schema().RowWidth()
+	j.probeBlk, j.probeIdx, j.curRow, j.pending = nil, 0, nil, nil
+
+	bOff := j.Build.Schema().Offsets()[j.BuildCol]
+	bWidth := j.Build.Schema().RowWidth()
+	if err := j.Build.Open(ctx); err != nil {
+		return err
+	}
+	defer j.Build.Close(ctx)
+	j.ht = NewHashTable(ctx, 4096, bWidth)
+	for {
+		blk, ok, err := j.Build.NextBlock(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n := blk.N()
+		ctx.Rec.Exec(j.code, vecBlockCost+n*vecBuildCost)
+		blk.TraceRows(ctx.Rec)
+		for i := 0; i < n; i++ {
+			row := blk.RowAt(i)
+			j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+		}
+	}
+	return j.Probe.Open(ctx)
+}
+
+// Close implements VecOp.
+func (j *HashJoinVec) Close(ctx *Ctx) {
+	j.Probe.Close(ctx)
+	j.ht = nil
+	j.probeBlk, j.curRow, j.pending = nil, nil, nil
+}
+
+// emit appends curRow ++ build to the output block.
+func (j *HashJoinVec) emit(build []byte) {
+	dst := j.blk.slot()
+	copy(dst, j.curRow)
+	if build == nil {
+		for i := j.probeW; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst[j.probeW:], build)
+}
+
+// NextBlock implements VecOp.
+func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	if j.blk == nil {
+		rowW := j.out.RowWidth()
+		j.blk = NewBlock(ctx.Work, defaultBlockRows(rowW, 0), rowW)
+	}
+	j.blk.Reset()
+	for j.blk.N() < j.blk.Cap() {
+		if len(j.pending) > 0 {
+			j.emit(j.pending[0])
+			j.pending = j.pending[1:]
+			continue
+		}
+		if j.probeBlk == nil || j.probeIdx >= j.probeBlk.N() {
+			blk, ok, err := j.Probe.NextBlock(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.blk.TraceAppended(ctx.Rec, 0)
+				return j.blk, j.blk.N() > 0, nil
+			}
+			j.probeBlk, j.probeIdx = blk, 0
+			ctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecProbeCost)
+			blk.TraceRows(ctx.Rec)
+		}
+		j.curRow = j.probeBlk.RowAt(j.probeIdx)
+		j.probeIdx++
+		key := uint64(RowInt(j.curRow, j.keyOff))
+		j.pending = j.pending[:0]
+		j.ht.Iter(ctx.Rec, key, func(payload []byte, _ mem.Addr) bool {
+			j.pending = append(j.pending, payload)
+			return true
+		})
+		if len(j.pending) == 0 && j.Type == LeftOuter {
+			j.emit(nil)
+		}
+	}
+	j.blk.TraceAppended(ctx.Rec, 0)
+	return j.blk, true, nil
+}
+
+// MorselScanVec is ScanVec's morsel-driven form: workers sharing one
+// MorselPool collectively cover the table exactly once, each decoding the
+// page ranges it claims block-at-a-time. It is what ParallelScan,
+// ParallelAgg, and ParallelHashJoin drive — morsel scheduling on top of
+// the same vectorized core as every other execution mode.
+type MorselScanVec struct {
+	Table  *Table
+	Preds  []Pred
+	Cols   []int
+	Pool   *MorselPool
+	Worker int
+
+	inner  *ScanVec
+	active bool
+}
+
+// scan returns the reusable inner ScanVec.
+func (s *MorselScanVec) scan() *ScanVec {
+	if s.inner == nil {
+		s.inner = &ScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols}
+	}
+	return s.inner
+}
+
+// Schema implements VecOp.
+func (s *MorselScanVec) Schema() Schema { return s.scan().Schema() }
+
+// Open implements VecOp.
+func (s *MorselScanVec) Open(ctx *Ctx) error {
+	s.scan()
+	s.active = false
+	return nil
+}
+
+// Close implements VecOp.
+func (s *MorselScanVec) Close(ctx *Ctx) {
+	if s.active {
+		s.inner.Close(ctx)
+		s.active = false
+	}
+}
+
+// NextBlock implements VecOp: it drains the current morsel, then claims
+// the next.
+func (s *MorselScanVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
+	for {
+		if !s.active {
+			m, ok := s.Pool.Next(s.Worker)
+			if !ok {
+				return nil, false, nil
+			}
+			s.inner.Range = &PageRange{Lo: m.Lo, Hi: m.Hi}
+			if err := s.inner.Open(ctx); err != nil {
+				return nil, false, err
+			}
+			s.active = true
+		}
+		blk, ok, err := s.inner.NextBlock(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return blk, true, nil
+		}
+		s.inner.Close(ctx)
+		s.active = false
+	}
+}

@@ -143,7 +143,7 @@ func (r *Registry) Attach(t *engine.Table) *Reader {
 	r.attaches.Add(1)
 	if t.Heap.NumPages() == 0 {
 		// Empty table: a complete, empty rotation.
-		rd := &Reader{ch: make(chan *batch), done: make(chan struct{})}
+		rd := &Reader{ch: make(chan *engine.Block), done: make(chan struct{})}
 		close(rd.ch)
 		return rd
 	}
@@ -188,25 +188,14 @@ func (r *Registry) defaultProducerCtx() *engine.Ctx {
 	return r.db.NewCtx(nil, slot, 4<<20)
 }
 
-// batch is one morsel's worth of decoded rows in the group's shared
-// arena. refs counts outstanding holders (the coordinator while
-// delivering, plus every consumer it was delivered to); the last release
-// recycles the buffer.
-type batch struct {
-	g    *group
-	buf  []byte
-	addr mem.Addr
-	n    int // rows
-	lo   int // first heap page covered
-	hi   int // one past the last page covered
-	refs atomic.Int32
-}
-
-func (b *batch) release() {
-	if b.refs.Add(-1) == 0 {
-		b.g.free <- b
-	}
-}
+// Batches are engine.Blocks recycled through the group's free ring: the
+// reference count tracks outstanding holders (the coordinator while
+// delivering, plus every consumer a block was delivered to), and the last
+// release recycles the buffer. Block.Pages carries the morsel's heap-page
+// span, which the coordinator keys rotation bookkeeping on. Using the
+// engine's batch type directly means a shared rotation delivers the same
+// currency every other execution mode consumes — no re-materialization at
+// the share/engine boundary.
 
 // job is one morsel assignment in a lap's circular schedule.
 type job struct {
@@ -217,7 +206,7 @@ type job struct {
 // scanDone is a worker's completion report.
 type scanDone struct {
 	seq int
-	b   *batch
+	b   *engine.Block
 	err error
 }
 
@@ -225,8 +214,7 @@ type scanDone struct {
 type group struct {
 	reg   *Registry
 	table *engine.Table
-	rowW  int
-	free  chan *batch
+	free  chan *engine.Block
 
 	mu      sync.Mutex
 	pending []*Reader
@@ -249,12 +237,12 @@ func newGroup(reg *Registry, t *engine.Table, idx int) *group {
 	g := &group{
 		reg:   reg,
 		table: t,
-		rowW:  rowW,
-		free:  make(chan *batch, cfg.RingBatches),
+		free:  make(chan *engine.Block, cfg.RingBatches),
 	}
 	for i := 0; i < cfg.RingBatches; i++ {
-		at := arena.Alloc(batchBytes, mem.LineSize)
-		g.free <- &batch{g: g, buf: arena.Bytes(at, batchBytes), addr: at}
+		b := engine.NewBlock(arena, capRows, rowW)
+		b.SetHome(g.free)
+		g.free <- b
 	}
 	return g
 }
@@ -265,7 +253,7 @@ func newGroup(reg *Registry, t *engine.Table, idx int) *group {
 func (g *group) attach() *Reader {
 	rd := &Reader{
 		g:    g,
-		ch:   make(chan *batch, g.reg.cfg.ReaderLag),
+		ch:   make(chan *engine.Block, g.reg.cfg.ReaderLag),
 		done: make(chan struct{}),
 	}
 	rd.start.Store(-1)
@@ -334,7 +322,7 @@ func (g *group) runLap() {
 	}
 
 	issued, completed, delivered := 0, 0, 0
-	inflight := make(map[int]*batch)
+	inflight := make(map[int]*engine.Block)
 	jobPage := make(map[int]int)
 	nextPage := g.pos
 	var scanErr error
@@ -385,8 +373,8 @@ func (g *group) runLap() {
 			completed++
 			if d.err != nil {
 				scanErr = d.err
-				d.b.refs.Store(1)
-				d.b.release()
+				d.b.ResetRefs(1)
+				d.b.Release()
 				break
 			}
 			inflight[d.seq] = d.b
@@ -399,7 +387,7 @@ func (g *group) runLap() {
 		delete(jobPage, delivered)
 		delivered++
 		g.reg.batches.Add(1)
-		g.reg.pagesScanned.Add(uint64(b.hi - b.lo))
+		g.reg.pagesScanned.Add(uint64(b.Pages.Hi - b.Pages.Lo))
 		if !g.deliver(b) {
 			break
 		}
@@ -419,14 +407,14 @@ func (g *group) runLap() {
 		d := <-donec
 		completed++
 		if d.b != nil {
-			d.b.refs.Store(1)
-			d.b.release()
+			d.b.ResetRefs(1)
+			d.b.Release()
 		}
 	}
 	wwg.Wait()
 	for _, b := range inflight {
-		b.refs.Store(1)
-		b.release()
+		b.ResetRefs(1)
+		b.Release()
 	}
 	if p, ok := jobPage[delivered]; ok {
 		g.pos = p
@@ -438,9 +426,9 @@ func (g *group) runLap() {
 	}
 }
 
-// scanWorker claims morsels and decodes them into free batches. The
-// worker's own SeqScan traces the page reads; the batch fill traces the
-// stores that make the rows visible to consumers on other cores.
+// scanWorker claims morsels and decodes them into free blocks. The
+// worker's vectorized scan traces the page reads and the block stores
+// that make the rows visible to consumers on other cores.
 func (g *group) scanWorker(ctx *engine.Ctx, jobs <-chan job, donec chan<- scanDone, wwg *sync.WaitGroup) {
 	defer wwg.Done()
 	for j := range jobs {
@@ -450,36 +438,38 @@ func (g *group) scanWorker(ctx *engine.Ctx, jobs <-chan job, donec chan<- scanDo
 	}
 }
 
-func (g *group) fill(ctx *engine.Ctx, b *batch, j job) error {
-	b.lo, b.hi, b.n = j.lo, j.hi, 0
-	s := &engine.SeqScan{Table: g.table, Range: &engine.PageRange{Lo: j.lo, Hi: j.hi}}
+// fill decodes the morsel's pages straight into the ring block with the
+// engine's vectorized scan — the same FillBlock primitive serial and
+// morsel-parallel plans use.
+func (g *group) fill(ctx *engine.Ctx, b *engine.Block, j job) error {
+	b.Reset()
+	s := &engine.ScanVec{Table: g.table, Range: &engine.PageRange{Lo: j.lo, Hi: j.hi}}
 	if err := s.Open(ctx); err != nil {
 		return err
 	}
 	defer s.Close(ctx)
+	prev := -1
 	for {
-		row, ok, err := s.Next(ctx)
+		more, err := s.FillBlock(ctx, b)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if !more {
+			b.Pages = engine.PageRange{Lo: j.lo, Hi: j.hi}
 			return nil
 		}
-		off := b.n * g.rowW
-		if off+g.rowW > len(b.buf) {
+		if b.N() == prev {
 			return fmt.Errorf("share: batch overflow on %q pages [%d,%d)", g.table.Name, j.lo, j.hi)
 		}
-		copy(b.buf[off:off+g.rowW], row)
-		ctx.Rec.StoreRange(b.addr+mem.Addr(off), g.rowW)
-		b.n++
+		prev = b.N()
 	}
 }
 
 // deliver hands b to every attached reader, integrating pending readers
-// first (their rotation starts at this batch) and closing readers whose
+// first (their rotation starts at this block) and closing readers whose
 // rotation has come back around to its start page. It reports whether any
 // consumer remains attached or pending.
-func (g *group) deliver(b *batch) bool {
+func (g *group) deliver(b *engine.Block) bool {
 	g.mu.Lock()
 	for _, rd := range g.pending {
 		g.active = append(g.active, rd)
@@ -488,27 +478,27 @@ func (g *group) deliver(b *batch) bool {
 	active := append([]*Reader(nil), g.active...)
 	g.mu.Unlock()
 
-	// One producer hold plus one per delivery attempt keeps the batch
+	// One producer hold plus one per delivery attempt keeps the block
 	// alive until the slowest consumer releases it.
-	b.refs.Store(1)
+	b.ResetRefs(1)
 	keep := active[:0]
 	for _, rd := range active {
 		if rd.start.Load() < 0 {
-			rd.start.Store(int64(b.lo))
-		} else if int(rd.start.Load()) == b.lo && rd.got > 0 {
+			rd.start.Store(int64(b.Pages.Lo))
+		} else if int(rd.start.Load()) == b.Pages.Lo && rd.got > 0 {
 			// Full rotation: the head is back at the reader's start page.
 			close(rd.ch)
 			g.reg.rotations.Add(1)
 			continue
 		}
-		b.refs.Add(1)
+		b.Retain()
 		select {
 		case rd.ch <- b:
 			rd.got++
 			keep = append(keep, rd)
 		case <-rd.done:
 			// Consumer abandoned mid-rotation: detach it.
-			b.release()
+			b.Release()
 			close(rd.ch)
 		}
 	}
@@ -517,7 +507,7 @@ func (g *group) deliver(b *batch) bool {
 	g.active = append(g.active[:0], keep...)
 	remain := len(g.active) > 0 || len(g.pending) > 0
 	g.mu.Unlock()
-	b.release()
+	b.Release()
 	return remain
 }
 
@@ -533,18 +523,18 @@ func (g *group) failReaders(err error) {
 	}
 }
 
-// Reader is one consumer's view of a circular shared scan: the batches of
+// Reader is one consumer's view of a circular shared scan: the blocks of
 // exactly one rotation, in circular page order from its attach point. It
 // implements engine.BatchSource.
 type Reader struct {
 	g    *group
-	ch   chan *batch
+	ch   chan *engine.Block
 	done chan struct{}
-	cur  *batch
+	cur  *engine.Block
 	err  error
 
 	// start is the rotation's first page (-1 until the coordinator
-	// integrates the reader); got counts delivered batches and is touched
+	// integrates the reader); got counts delivered blocks and is touched
 	// only by the coordinator.
 	start atomic.Int64
 	got   int
@@ -552,28 +542,28 @@ type Reader struct {
 	closeOnce sync.Once
 }
 
-// NextBatch implements engine.BatchSource. It releases the previously
-// returned batch.
-func (r *Reader) NextBatch() ([]byte, mem.Addr, int, bool) {
+// NextBlock implements engine.BatchSource. It releases the previously
+// returned block.
+func (r *Reader) NextBlock() (*engine.Block, bool) {
 	if r.cur != nil {
-		r.cur.release()
+		r.cur.Release()
 		r.cur = nil
 	}
 	b, ok := <-r.ch
 	if !ok {
-		return nil, 0, 0, false
+		return nil, false
 	}
 	r.cur = b
-	return b.buf[:b.n*r.g.rowW], b.addr, b.n, true
+	return b, true
 }
 
 // Err implements engine.BatchSource: it reports a producer-side failure,
-// valid once NextBatch has returned ok=false.
+// valid once NextBlock has returned ok=false.
 func (r *Reader) Err() error { return r.err }
 
 // StartPage returns the heap page at which this reader's rotation began
-// (its row order equals a SeqScan with that StartPage). It is valid once
-// the first batch has been received — in particular after the rotation
+// (its row order equals a scan with that StartPage). It is valid once
+// the first block has been received — in particular after the rotation
 // completes. A reader over an empty table reports 0.
 func (r *Reader) StartPage() int {
 	if v := r.start.Load(); v > 0 {
@@ -583,21 +573,21 @@ func (r *Reader) StartPage() int {
 }
 
 // Close implements engine.BatchSource: it detaches from the scan,
-// releasing the current and any still-queued batches. Safe to call
+// releasing the current and any still-queued blocks. Safe to call
 // whether or not the rotation completed.
 func (r *Reader) Close() {
 	r.closeOnce.Do(func() {
 		if r.cur != nil {
-			r.cur.release()
+			r.cur.Release()
 			r.cur = nil
 		}
 		close(r.done)
-		// Drain asynchronously: queued batches recycle immediately, and
+		// Drain asynchronously: queued blocks recycle immediately, and
 		// the goroutine exits when the coordinator closes the channel
 		// (it always does — on detach, rotation end, or failure).
 		go func() {
 			for b := range r.ch {
-				b.release()
+				b.Release()
 			}
 		}()
 	})

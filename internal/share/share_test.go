@@ -31,7 +31,7 @@ func drainShared(t *testing.T, db *engine.DB, tab *engine.Table, reg *Registry, 
 	t.Helper()
 	rd := reg.Attach(tab)
 	ctx := db.NewCtx(nil, worker, 4<<20)
-	op := &engine.SharedScan{Table: tab, Source: rd}
+	op := &engine.RowAdapter{Vec: &engine.SharedScan{Table: tab, Source: rd}}
 	var ids []int64
 	err := engine.Run(ctx, op, func(row []byte) error {
 		ids = append(ids, engine.RowInt(row, 0))
@@ -100,7 +100,7 @@ func TestSharedScanLateAttach(t *testing.T) {
 		close(firstAttached)
 		ctx := db.NewCtx(nil, 1, 4<<20)
 		var ids []int64
-		if err := engine.Run(ctx, &engine.SharedScan{Table: tab, Source: rd}, func(row []byte) error {
+		if err := engine.Run(ctx, &engine.RowAdapter{Vec: &engine.SharedScan{Table: tab, Source: rd}}, func(row []byte) error {
 			ids = append(ids, engine.RowInt(row, 0))
 			return nil
 		}); err != nil {
@@ -165,7 +165,7 @@ func TestSharedScanEmptyTable(t *testing.T) {
 	}
 	reg := NewRegistry(db, Config{})
 	rd := reg.Attach(tab)
-	if _, _, _, ok := rd.NextBatch(); ok {
+	if _, ok := rd.NextBlock(); ok {
 		t.Fatal("empty table delivered a batch")
 	}
 	if err := rd.Err(); err != nil {
@@ -201,7 +201,7 @@ func TestScanShareHammer(t *testing.T) {
 					// Abandon mid-rotation after a few batches.
 					quit := 1 + rng.Intn(3)
 					for i := 0; i < quit; i++ {
-						if _, _, _, ok := rd.NextBatch(); !ok {
+						if _, ok := rd.NextBlock(); !ok {
 							break
 						}
 					}
@@ -209,7 +209,7 @@ func TestScanShareHammer(t *testing.T) {
 					continue
 				}
 				n := 0
-				op := &engine.SharedScan{Table: tab, Source: rd}
+				op := &engine.RowAdapter{Vec: &engine.SharedScan{Table: tab, Source: rd}}
 				if err := engine.Run(ctx, op, func([]byte) error { n++; return nil }); err != nil {
 					t.Error(err)
 					return
@@ -225,6 +225,29 @@ func TestScanShareHammer(t *testing.T) {
 	reg.WaitIdle()
 	if st := reg.Stats(); st.Rotations == 0 {
 		t.Fatalf("no full rotations completed: %+v", st)
+	}
+}
+
+// TestSharedScanManyRotationsNoArenaLeak: the producer fills ring blocks
+// with a fresh ScanVec per morsel; its per-fill arena footprint must be
+// zero (the scan's own output block is lazy and never allocated on the
+// FillBlock path), or the long-lived producer workspace would exhaust
+// after a few hundred rotations and crash the registry.
+func TestSharedScanManyRotationsNoArenaLeak(t *testing.T) {
+	db, tab := shareDB(t, 1500)
+	reg := NewRegistry(db, Config{MorselPages: 2, ProducerWorkers: 1})
+	rotations := 120
+	if testing.Short() {
+		rotations = 30
+	}
+	for i := 0; i < rotations; i++ {
+		if ids, _ := drainShared(t, db, tab, reg, 1+i%4); len(ids) != 1500 {
+			t.Fatalf("rotation %d delivered %d rows", i, len(ids))
+		}
+	}
+	reg.WaitIdle()
+	if st := reg.Stats(); st.Rotations != uint64(rotations) {
+		t.Fatalf("stats: %+v, want %d rotations", st, rotations)
 	}
 }
 

@@ -1,9 +1,11 @@
 // Routing staged scan stages through the cross-query work-sharing
-// registry: instead of each pipeline opening a private SeqScan source,
+// registry: instead of each pipeline opening a private scan source,
 // concurrent pipelines over the same table attach to its circular shared
 // scan, so N staged queries cost one producer pass — composing the
 // paper's two Section 6 opportunities (staged execution and aggressive
-// cross-query sharing).
+// cross-query sharing). The registry delivers engine.Blocks and staged
+// packets ARE engine.Blocks, so the shared rotation feeds the pipeline
+// with no layout change at the boundary.
 
 package staged
 
@@ -13,9 +15,9 @@ import (
 )
 
 // SharedSource attaches to t's circular shared scan in reg and returns a
-// pipeline source operator over one full rotation, filtered by preds and
-// projected to cols (nil = all columns). Use it as Pipeline.Source in
-// place of a SeqScan; the source is one-shot, like the pipeline runs.
-func SharedSource(reg *share.Registry, t *engine.Table, preds []engine.Pred, cols []int) engine.Op {
+// vectorized pipeline source over one full rotation, filtered by preds
+// and projected to cols (nil = all columns). Use it as Pipeline.VecSource
+// in place of a scan; the source is one-shot, like the pipeline runs.
+func SharedSource(reg *share.Registry, t *engine.Table, preds []engine.Pred, cols []int) engine.VecOp {
 	return &engine.SharedScan{Table: t, Preds: preds, Cols: cols, Source: reg.Attach(t)}
 }

@@ -16,7 +16,7 @@ func TestSharedSourceMatchesSeqScan(t *testing.T) {
 	reg := share.NewRegistry(db, share.Config{MorselPages: 4})
 	ctx := db.NewCtx(nil, 0, 8<<20)
 	pl := pipelineFor(db, tb, ctx)
-	pl.Source = SharedSource(reg, tb, nil, nil)
+	pl.Source, pl.VecSource = nil, SharedSource(reg, tb, nil, nil)
 	n, err := pl.RunAffinity(ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +44,7 @@ func TestConcurrentSharedPipelines(t *testing.T) {
 			defer wg.Done()
 			ctx := db.NewCtx(nil, i, 8<<20)
 			pl := pipelineFor(db, tb, ctx)
-			pl.Source = SharedSource(reg, tb, nil, nil)
+			pl.Source, pl.VecSource = nil, SharedSource(reg, tb, nil, nil)
 			n, err := pl.RunAffinity(ctx)
 			if err != nil {
 				t.Error(err)
@@ -73,9 +73,9 @@ func TestSharedSourceWithPredicatePushdown(t *testing.T) {
 	ctx := db.NewCtx(nil, 0, 8<<20)
 	preds := []engine.Pred{engine.PredInt(0, engine.LT, 8000)}
 	pl := &Pipeline{
-		DB:     db,
-		Source: SharedSource(reg, tb, preds, nil),
-		Sink:   NewAggSink(ctx, db, tb.Schema, 1, 2),
+		DB:        db,
+		VecSource: SharedSource(reg, tb, preds, nil),
+		Sink:      NewAggSink(ctx, db, tb.Schema, 1, 2),
 	}
 	n, err := pl.RunAffinity(ctx)
 	if err != nil {

@@ -29,57 +29,17 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
-	"repro/internal/trace"
 )
 
-// Packet is a batch of fixed-width rows in a workspace arena.
-type Packet struct {
-	buf  []byte
-	addr mem.Addr
-	rowW int
-	cap  int
-	n    int
-}
+// Packet IS the engine's vectorized batch type: staged pipelines exchange
+// the same arena-backed row blocks that serial, morsel-parallel, and
+// shared-scan execution use, so a stage boundary never re-materializes
+// rows into a different layout.
+type Packet = engine.Block
 
 // NewPacket allocates a packet of capacity rows from work.
 func NewPacket(work *mem.Arena, capRows, rowW int) *Packet {
-	if capRows <= 0 || rowW <= 0 {
-		panic(fmt.Sprintf("staged: bad packet geometry %d x %d", capRows, rowW))
-	}
-	a := work.Alloc(capRows*rowW, mem.LineSize)
-	return &Packet{buf: work.Bytes(a, capRows*rowW), addr: a, rowW: rowW, cap: capRows}
-}
-
-// Reset empties the packet for reuse; reused packets keep their addresses,
-// which is what makes affinity scheduling L1-friendly.
-func (p *Packet) Reset() { p.n = 0 }
-
-// N returns the row count.
-func (p *Packet) N() int { return p.n }
-
-// Cap returns the row capacity.
-func (p *Packet) Cap() int { return p.cap }
-
-// Append copies row in, tracing the store. It reports false when full.
-func (p *Packet) Append(rec *trace.Recorder, row []byte) bool {
-	if p.n == p.cap {
-		return false
-	}
-	off := p.n * p.rowW
-	copy(p.buf[off:off+p.rowW], row)
-	rec.StoreRange(p.addr+mem.Addr(off), p.rowW)
-	p.n++
-	return true
-}
-
-// Row returns row i, tracing the load.
-func (p *Packet) Row(rec *trace.Recorder, i int) []byte {
-	if i < 0 || i >= p.n {
-		panic(fmt.Sprintf("staged: row %d of %d", i, p.n))
-	}
-	off := i * p.rowW
-	rec.LoadRange(p.addr+mem.Addr(off), p.rowW)
-	return p.buf[off : off+p.rowW]
+	return engine.NewBlock(work, capRows, rowW)
 }
 
 // Transform is one stage's per-row work: it may emit zero or more output
@@ -223,15 +183,29 @@ func (s *AggSink) Groups() map[uint64]float64 {
 	return out
 }
 
-// Pipeline is a linear staged plan: source → stages → sink.
+// Pipeline is a linear staged plan: source → stages → sink. The source is
+// either a legacy row operator (Source) or a vectorized operator
+// (VecSource, preferred): vectorized sources hand whole blocks to the
+// pipeline — in affinity mode the source's block feeds the stage chain
+// directly, and in pool mode it bulk-copies into ring packets — instead
+// of being drained row by row. VecSource wins when both are set.
 type Pipeline struct {
-	DB     *engine.DB
-	Source engine.Op
-	Stages []Stage
-	Sink   Sink
+	DB        *engine.DB
+	Source    engine.Op
+	VecSource engine.VecOp
+	Stages    []Stage
+	Sink      Sink
 
 	// BatchRows sizes packets; the default fits half a 64 KB L1D.
 	BatchRows int
+}
+
+// srcSchema returns the source's output schema.
+func (pl *Pipeline) srcSchema() engine.Schema {
+	if pl.VecSource != nil {
+		return pl.VecSource.Schema()
+	}
+	return pl.Source.Schema()
 }
 
 func (pl *Pipeline) batch(rowW int) int {
@@ -245,49 +219,85 @@ func (pl *Pipeline) batch(rowW int) int {
 	return b
 }
 
-// RunAffinity executes the pipeline on one worker: fill a packet from the
+// RunAffinity executes the pipeline on one worker: take a packet from the
 // source, push it through every stage packet-at-a-time, absorb into the
 // sink, repeat. Producer and consumer data stay within one context's L1.
+// A vectorized source's blocks feed the stage chain directly — the head
+// packet fill disappears entirely.
 func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
-	srcSchema := pl.Source.Schema()
-	if err := pl.Source.Open(ctx); err != nil {
-		return 0, err
-	}
-	defer pl.Source.Close(ctx)
+	srcSchema := pl.srcSchema()
 
-	// One reusable packet per pipeline edge, one transform per stage.
-	pkts := make([]*Packet, len(pl.Stages)+1)
-	pkts[0] = NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
+	// nextHead yields the next head packet (owned by the source or by the
+	// pipeline, depending on the source kind).
+	var nextHead func() (*Packet, bool, error)
+	if pl.VecSource != nil {
+		if err := pl.VecSource.Open(ctx); err != nil {
+			return 0, err
+		}
+		defer pl.VecSource.Close(ctx)
+		nextHead = func() (*Packet, bool, error) { return pl.VecSource.NextBlock(ctx) }
+	} else {
+		if err := pl.Source.Open(ctx); err != nil {
+			return 0, err
+		}
+		defer pl.Source.Close(ctx)
+		head := NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
+		nextHead = func() (*Packet, bool, error) {
+			head.Reset()
+			for head.N() < head.Cap() {
+				row, ok, err := pl.Source.Next(ctx)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					break
+				}
+				head.Append(ctx.Rec, row)
+			}
+			return head, head.N() > 0, nil
+		}
+	}
+
+	// One reusable packet per stage edge, sized to the head block and
+	// grown (doubled, contents preserved) whenever a transform emits more
+	// rows than fit — Transform's contract allows zero or more output
+	// rows per input, so an expanding stage must never drop rows.
+	pkts := make([]*Packet, len(pl.Stages))
 	fns := make([]Transform, len(pl.Stages))
 	for i, st := range pl.Stages {
-		pkts[i+1] = NewPacket(ctx.Work, pl.batch(st.Out.RowWidth()), st.Out.RowWidth())
 		fns[i] = st.Fn()
 	}
 
 	for {
-		// Fill the head packet from the source.
-		head := pkts[0]
-		head.Reset()
-		for head.N() < head.Cap() {
-			row, ok, err := pl.Source.Next(ctx)
-			if err != nil {
-				return 0, err
-			}
-			if !ok {
-				break
-			}
-			head.Append(ctx.Rec, row)
+		cur, ok, err := nextHead()
+		if err != nil {
+			return 0, err
 		}
-		if head.N() == 0 {
+		if !ok {
 			return pl.Sink.Rows(), nil
 		}
-		cur := head
 		for i := range pl.Stages {
-			out := pkts[i+1]
+			outW := pl.Stages[i].Out.RowWidth()
+			need := pl.batch(outW)
+			if cur.N() > need {
+				need = cur.N()
+			}
+			if pkts[i] == nil || pkts[i].Cap() < need {
+				pkts[i] = NewPacket(ctx.Work, need, outW)
+			}
+			out := pkts[i]
 			out.Reset()
 			for r := 0; r < cur.N(); r++ {
 				row := cur.Row(ctx.Rec, r)
-				fns[i](ctx, row, func(o []byte) { out.Append(ctx.Rec, o) })
+				fns[i](ctx, row, func(o []byte) {
+					if !out.Append(ctx.Rec, o) {
+						grown := NewPacket(ctx.Work, 2*out.Cap(), outW)
+						grown.CopyFrom(ctx.Rec, out, 0)
+						out = grown
+						pkts[i] = grown
+						out.Append(ctx.Rec, o)
+					}
+				})
 			}
 			cur = out
 		}
@@ -313,7 +323,7 @@ func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 		return 0, fmt.Errorf("staged: %d contexts for %d workers", len(ctxs), want)
 	}
 	consumers := want - 1
-	srcSchema := pl.Source.Schema()
+	srcSchema := pl.srcSchema()
 	rowW := srcSchema.RowWidth()
 
 	// Packets live in the source worker's workspace and recycle through
@@ -336,18 +346,65 @@ func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 	var wg sync.WaitGroup
 
 	// Source worker: fill packets, deal them round-robin (stealing
-	// rebalances whenever consumers run at different speeds).
+	// rebalances whenever consumers run at different speeds). A vectorized
+	// source bulk-copies whole blocks into ring packets — one traced
+	// memcpy per packet instead of a row-at-a-time refill loop.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer pool.Close()
 		ctx := ctxs[0]
+		next := 0
+		push := func(pkt *Packet) {
+			pool.Push(next, pkt)
+			next = (next + 1) % consumers
+		}
+
+		if pl.VecSource != nil {
+			if err := pl.VecSource.Open(ctx); err != nil {
+				srcErr = err
+				return
+			}
+			defer pl.VecSource.Close(ctx)
+			// Coalesce source blocks into ring packets: a selective
+			// source emits small survivor blocks, and pushing each as
+			// its own packet would pay per-packet scheduling for a
+			// handful of rows. Fill the current packet to capacity
+			// across blocks, pushing only full (or final) packets.
+			var pkt *Packet
+			for {
+				blk, ok, err := pl.VecSource.NextBlock(ctx)
+				if err != nil || !ok {
+					srcErr = err
+					if pkt != nil {
+						if pkt.N() > 0 && err == nil {
+							push(pkt)
+						} else {
+							free <- pkt
+						}
+					}
+					return
+				}
+				from := 0
+				for from < blk.N() {
+					if pkt == nil {
+						pkt = <-free
+						pkt.Reset()
+					}
+					from += pkt.CopyFrom(ctx.Rec, blk, from)
+					if pkt.N() == pkt.Cap() {
+						push(pkt)
+						pkt = nil
+					}
+				}
+			}
+		}
+
 		if err := pl.Source.Open(ctx); err != nil {
 			srcErr = err
 			return
 		}
 		defer pl.Source.Close(ctx)
-		next := 0
 		for {
 			pkt := <-free
 			pkt.Reset()
@@ -367,8 +424,7 @@ func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 				free <- pkt
 				return
 			}
-			pool.Push(next, pkt)
-			next = (next + 1) % consumers
+			push(pkt)
 		}
 	}()
 

@@ -111,6 +111,78 @@ func TestParallelEmptySource(t *testing.T) {
 	}
 }
 
+// TestVecSourceBothExecutors: a pipeline fed by the vectorized scan
+// (blocks straight into the stage chain in affinity mode, bulk-copied
+// into ring packets in pool mode) agrees with the row-sourced run.
+func TestVecSourceBothExecutors(t *testing.T) {
+	db, tb := buildTable(t)
+	preds := []engine.Pred{engine.PredInt(0, engine.LT, 8000)}
+	mk := func(ctx *engine.Ctx) *Pipeline {
+		return &Pipeline{
+			DB:        db,
+			VecSource: &engine.ScanVec{Table: tb},
+			Stages:    []Stage{FilterStage(db, tb.Schema, preds)},
+			Sink:      NewAggSink(ctx, db, tb.Schema, 1, 2),
+		}
+	}
+
+	actx := db.NewCtx(nil, 21, 8<<20)
+	pl := mk(actx)
+	n, err := pl.RunAffinity(actx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8000 {
+		t.Fatalf("vec affinity absorbed %d rows, want 8000", n)
+	}
+	checkGroups(t, pl.Sink.(*AggSink).Groups())
+
+	sinkCtx := db.NewCtx(nil, 24, 8<<20)
+	pl2 := mk(sinkCtx)
+	ctxs := []*engine.Ctx{
+		db.NewCtx(nil, 22, 8<<20), db.NewCtx(nil, 23, 8<<20), sinkCtx,
+	}
+	n2, err := pl2.RunParallel(ctxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 8000 {
+		t.Fatalf("vec parallel absorbed %d rows, want 8000", n2)
+	}
+	checkGroups(t, pl2.Sink.(*AggSink).Groups())
+}
+
+// TestExpandingTransformGrowsPacket: a stage emitting more rows than its
+// packet holds must grow the packet, not silently drop rows (Transform's
+// contract is zero or more emissions per input).
+func TestExpandingTransformGrowsPacket(t *testing.T) {
+	db, tb := buildTable(t)
+	ctx := db.NewCtx(nil, 25, 8<<20)
+	duplicate := Stage{
+		Name: "duplicate",
+		Out:  tb.Schema,
+		Fn: func() Transform {
+			return func(_ *engine.Ctx, row []byte, emit func([]byte)) {
+				emit(row)
+				emit(row)
+			}
+		},
+	}
+	pl := &Pipeline{
+		DB:        db,
+		VecSource: &engine.ScanVec{Table: tb},
+		Stages:    []Stage{duplicate},
+		Sink:      NewCountSink(db),
+	}
+	n, err := pl.RunAffinity(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20000 {
+		t.Fatalf("duplicating stage absorbed %d rows, want 20000", n)
+	}
+}
+
 func TestPacketRowPanicsOutOfRange(t *testing.T) {
 	db, _ := buildTable(t)
 	ctx := db.NewCtx(nil, 20, 1<<20)

@@ -110,6 +110,35 @@ func (p Slotted) Tuple(rec *trace.Recorder, slot int) []byte {
 	return p.data[off : off+ln]
 }
 
+// ScanTuples visits every live tuple of the page in slot order with
+// batched tracing: one header load, one ranged load of the slot
+// directory, and one dependent ranged load of the occupied tuple area,
+// instead of two trace records per tuple. It is the row-extraction
+// primitive of the vectorized scan — the per-tuple work left is the
+// caller's tight loop over host memory.
+func (p Slotted) ScanTuples(rec *trace.Recorder, visit func(slot int, tuple []byte)) {
+	rec.Load(p.addr, false)
+	n := p.NumSlots()
+	if n == 0 {
+		return
+	}
+	rec.LoadRange(p.addr+mem.Addr(slottedHeader), n*4)
+	// The tuple area [freeOff, PageSize) address comes from the header
+	// just read: one true dependence per page instead of one per tuple.
+	if body := PageSize - p.freeOff(); body > 0 {
+		rec.LoadRangeDep(p.addr+mem.Addr(p.freeOff()), body)
+	}
+	for s := 0; s < n; s++ {
+		so := p.slotOff(s)
+		off := int(binary.LittleEndian.Uint16(p.data[so:]))
+		ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+		if ln == 0 {
+			continue
+		}
+		visit(s, p.data[off:off+ln])
+	}
+}
+
 // TupleAddr returns the simulated address of slot's body (for callers that
 // trace field-level access themselves).
 func (p Slotted) TupleAddr(slot int) (mem.Addr, int) {
@@ -238,6 +267,26 @@ func (p PAX) Field(rec *trace.Recorder, slot, c int) []byte {
 // FieldAddr returns the simulated address of column c of tuple slot.
 func (p PAX) FieldAddr(slot, c int) mem.Addr {
 	return p.addr + mem.Addr(p.offs[c]+slot*p.widths[c])
+}
+
+// ColumnBytes returns the untraced host view of column c's minipage for
+// the page's live tuples. Vectorized scans trace the read once with
+// LoadColumn and then run a tight column loop over the values — the
+// block-at-a-time evaluation PAX was designed for.
+func (p PAX) ColumnBytes(c int) []byte {
+	w := p.widths[c]
+	off := p.offs[c]
+	return p.data[off : off+p.N()*w]
+}
+
+// LoadColumn traces the read of column c's fields for slots [lo, hi) as
+// one ranged load over the minipage.
+func (p PAX) LoadColumn(rec *trace.Recorder, c, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	w := p.widths[c]
+	rec.LoadRange(p.addr+mem.Addr(p.offs[c]+lo*w), (hi-lo)*w)
 }
 
 // WriteField overwrites column c of tuple slot.

@@ -118,9 +118,23 @@ const instrPerLine = mem.LineSize / 4
 // (from the consumer side) makes further recording a no-op and unblocks the
 // producer; closing the recorder (producer side) ends the stream.
 func Pipe() (*Recorder, *Stream) {
-	ch := make(chan []Ref, 4)
+	return PipeSized(chunkSize, 4)
+}
+
+// PipeSized creates a pipe whose producer can run at most about
+// chunk*(depth+1) references ahead of the consumer. Experiments whose
+// WORK DIVISION depends on simulated pacing — e.g. morsel claiming
+// between parallel workers — use a tight pipe so a host-fast thread
+// cannot grab the whole table before its simulated peers take a step;
+// the default slack (Pipe) only amortizes channel synchronization and is
+// fine when the trace dwarfs it.
+func PipeSized(chunk, depth int) (*Recorder, *Stream) {
+	if chunk <= 0 || depth <= 0 {
+		panic(fmt.Sprintf("trace: bad pipe geometry %d x %d", chunk, depth))
+	}
+	ch := make(chan []Ref, depth)
 	stop := make(chan struct{})
-	r := &Recorder{ch: ch, stop: stop, buf: make([]Ref, 0, chunkSize)}
+	r := &Recorder{ch: ch, stop: stop, chunk: chunk, buf: make([]Ref, 0, chunk)}
 	s := &Stream{ch: ch, stop: stop}
 	return r, s
 }
@@ -131,6 +145,7 @@ func Pipe() (*Recorder, *Stream) {
 type Recorder struct {
 	ch      chan []Ref
 	stop    chan struct{}
+	chunk   int
 	buf     []Ref
 	stopped bool
 
@@ -160,7 +175,7 @@ func (r *Recorder) Stopped() bool {
 
 func (r *Recorder) emit(ref Ref) {
 	r.buf = append(r.buf, ref)
-	if len(r.buf) == chunkSize {
+	if len(r.buf) == r.chunk {
 		r.flush()
 	}
 }
@@ -170,7 +185,7 @@ func (r *Recorder) flush() {
 		return
 	}
 	chunk := r.buf
-	r.buf = make([]Ref, 0, chunkSize)
+	r.buf = make([]Ref, 0, r.chunk)
 	select {
 	case r.ch <- chunk:
 	case <-r.stop:

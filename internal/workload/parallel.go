@@ -26,9 +26,9 @@ func (h *TPCH) Q1Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, 
 	pool := engine.NewMorselPool(len(ctxs), h.lineitem.Heap.NumPages(), 0)
 	plan := &engine.ParallelAgg{
 		Ctxs: ctxs,
-		Build: func(w int) engine.Op {
-			return &engine.Map{
-				Child: &engine.MorselScan{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
+		BuildVec: func(w int) engine.VecOp {
+			return &engine.MapVec{
+				Child: &engine.MorselScanVec{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
 				Out:   mapped,
 				Fn:    fn,
 				Cost:  18,
@@ -50,9 +50,9 @@ func (h *TPCH) Q6Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, 
 	pool := engine.NewMorselPool(len(ctxs), h.lineitem.Heap.NumPages(), 0)
 	plan := &engine.ParallelAgg{
 		Ctxs: ctxs,
-		Build: func(w int) engine.Op {
-			return &engine.Map{
-				Child: &engine.MorselScan{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
+		BuildVec: func(w int) engine.VecOp {
+			return &engine.MapVec{
+				Child: &engine.MorselScanVec{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
 				Out:   mapped,
 				Fn:    fn,
 				Cost:  12,
@@ -97,11 +97,11 @@ func (h *TPCH) OrdersPerCustomerParallel(ctxs []*engine.Ctx) (int, error) {
 	buildPool := engine.NewMorselPool(len(ctxs), h.orders.Heap.NumPages(), 0)
 	join := &engine.ParallelHashJoin{
 		Ctxs: ctxs,
-		ProbeSrc: func(w int) engine.Op {
-			return &engine.MorselScan{Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w}
+		ProbeSrcVec: func(w int) engine.VecOp {
+			return &engine.MorselScanVec{Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w}
 		},
-		BuildSrc: func(w int) engine.Op {
-			return &engine.MorselScan{
+		BuildSrcVec: func(w int) engine.VecOp {
+			return &engine.MorselScanVec{
 				Table:  h.orders,
 				Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
 				Pool:   buildPool,

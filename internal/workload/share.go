@@ -43,14 +43,16 @@ func (h *TPCH) NewShareEnvWith(cfg share.Config, cache *share.ResultCache) *Shar
 	return &ShareEnv{Reg: share.NewRegistry(h.DB, cfg), Cache: cache}
 }
 
-// Q1Shared computes Q1 through the circular shared scan of lineitem. The
+// Q1Shared computes Q1 through the circular shared scan of lineitem on
+// the vectorized executor: the rotation's blocks flow straight into the
+// per-query filter, map, and aggregate with no re-materialization. The
 // returned start page is the rotation's origin: the row order — and so
 // the result, bit for bit — equals serial Q1 with StartPage pinned there.
 func (h *TPCH) Q1Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
 	preds, mapped, fn, aggs := h.q1Pieces(p)
 	rd := reg.Attach(h.lineitem)
-	plan := &engine.HashAgg{
-		Child: &engine.Map{
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
 			Child: &engine.SharedScan{Table: h.lineitem, Preds: preds, Source: rd},
 			Out:   mapped,
 			Fn:    fn,
@@ -60,7 +62,7 @@ func (h *TPCH) Q1Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([]
 		Aggs:      aggs,
 		Expected:  8,
 	}
-	rows, err := engine.Collect(ctx, &engine.Sort{Child: plan, Col: 0})
+	rows, err := engine.Collect(ctx, &engine.Sort{Child: &engine.RowAdapter{Vec: plan}, Col: 0})
 	return rows, rd.StartPage(), err
 }
 
@@ -68,8 +70,8 @@ func (h *TPCH) Q1Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([]
 func (h *TPCH) Q6Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
 	preds, mapped, fn, aggs := h.q6Pieces(p)
 	rd := reg.Attach(h.lineitem)
-	plan := &engine.HashAgg{
-		Child: &engine.Map{
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
 			Child: &engine.SharedScan{Table: h.lineitem, Preds: preds, Source: rd},
 			Out:   mapped,
 			Fn:    fn,
@@ -79,7 +81,7 @@ func (h *TPCH) Q6Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([]
 		Aggs:      aggs,
 		Expected:  2,
 	}
-	rows, err := engine.Collect(ctx, plan)
+	rows, err := engine.CollectVec(ctx, plan)
 	return rows, rd.StartPage(), err
 }
 
@@ -89,37 +91,42 @@ func (h *TPCH) Q6Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([]
 func (h *TPCH) Q13Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([][]engine.Value, int, error) {
 	os := h.orders.Schema
 	rd := reg.Attach(h.orders)
-	join := &engine.HashJoin{
-		Left: &engine.SeqScan{Table: h.customer, Cols: []int{0}},
-		Right: &engine.SharedScan{
+	join := &engine.HashJoinVec{
+		Probe: &engine.ScanVec{Table: h.customer, Cols: []int{0}},
+		Build: &engine.SharedScan{
 			Table:  h.orders,
 			Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
 			Source: rd,
 		},
-		LeftCol: 0, RightCol: os.Col("o_custkey"),
+		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
 		Type: engine.LeftOuter,
 	}
-	rows, err := engine.Collect(ctx, h.q13Tail(join))
+	rows, err := engine.Collect(ctx, h.q13TailVec(join))
 	return rows, rd.StartPage(), err
 }
 
-// q13Tail builds Q13's post-join pipeline (shared by the serial and
-// shared-scan variants): tag matches, count orders per customer, then
-// count customers per order-count.
-func (h *TPCH) q13Tail(join engine.Op) engine.Op {
-	mapped := &engine.Map{
-		Child: join,
-		Out:   engine.Schema{engine.Int("custkey"), engine.Int("matched")},
-		Fn: func(in, out []byte) {
-			engine.PutRowInt(out, 0, engine.RowInt(in, 0))
-			matched := int64(0)
-			if engine.RowFloat(in, 8+16) > 0 {
-				matched = 1
-			}
-			engine.PutRowInt(out, 8, matched)
-		},
-		Cost: 10,
+// q13MapPieces returns the match-tagging transform both Q13 tails share:
+// a matched join row carries a real order (o_totalprice > 0); unmatched
+// outer rows are zero-filled.
+func (h *TPCH) q13MapPieces() (out engine.Schema, fn func(in, out []byte)) {
+	out = engine.Schema{engine.Int("custkey"), engine.Int("matched")}
+	fn = func(in, o []byte) {
+		engine.PutRowInt(o, 0, engine.RowInt(in, 0))
+		matched := int64(0)
+		if engine.RowFloat(in, 8+16) > 0 {
+			matched = 1
+		}
+		engine.PutRowInt(o, 8, matched)
 	}
+	return out, fn
+}
+
+// q13Tail builds Q13's post-join pipeline on the row operators: tag
+// matches, count orders per customer, then count customers per
+// order-count. Kept as the reference tail for Q13Row.
+func (h *TPCH) q13Tail(join engine.Op) engine.Op {
+	out, fn := h.q13MapPieces()
+	mapped := &engine.Map{Child: join, Out: out, Fn: fn, Cost: 10}
 	perCustomer := &engine.HashAgg{
 		Child:     mapped,
 		GroupCols: []int{0},
@@ -133,6 +140,27 @@ func (h *TPCH) q13Tail(join engine.Op) engine.Op {
 		Expected:  64,
 	}
 	return &engine.Sort{Child: distribution, Col: 1, Desc: true}
+}
+
+// q13TailVec is q13Tail on the vectorized operators (shared by the
+// serial-vectorized and shared-scan variants). Both aggregates absorb in
+// the same row order as the row tail, so results are byte-identical.
+func (h *TPCH) q13TailVec(join engine.VecOp) engine.Op {
+	out, fn := h.q13MapPieces()
+	mapped := &engine.MapVec{Child: join, Out: out, Fn: fn, Cost: 10}
+	perCustomer := &engine.HashAggVec{
+		Child:     mapped,
+		GroupCols: []int{0},
+		Aggs:      []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "c_count"}},
+		Expected:  h.nCustomers,
+	}
+	distribution := &engine.HashAggVec{
+		Child:     perCustomer,
+		GroupCols: []int{1},
+		Aggs:      []engine.AggSpec{{Func: engine.Count, Name: "custdist"}},
+		Expected:  64,
+	}
+	return &engine.Sort{Child: &engine.RowAdapter{Vec: distribution}, Col: 1, Desc: true}
 }
 
 // resultKey builds the reuse-cache key for query q with parameters p: the

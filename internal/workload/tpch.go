@@ -242,8 +242,32 @@ func (h *TPCH) q1Pieces(p QueryParams) (preds []engine.Pred, mapped engine.Schem
 
 // Q1 is the scan-dominated pricing-summary analog: scan lineitem below a
 // ship date, group by (returnflag, linestatus), and compute the standard
-// sums and averages.
+// sums and averages. It runs on the vectorized executor; Q1Row is the
+// row-at-a-time reference plan with identical semantics (results are
+// byte-identical — same scan order, same accumulator machinery).
 func (h *TPCH) Q1(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	preds, mapped, fn, aggs := h.q1Pieces(p)
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
+			Child: &engine.ScanVec{
+				Table:     h.lineitem,
+				Preds:     preds,
+				StartPage: h.scanOrigin(h.lineitem, p),
+			},
+			Out:  mapped,
+			Fn:   fn,
+			Cost: 18,
+		},
+		GroupCols: []int{0, 1},
+		Aggs:      aggs,
+		Expected:  8,
+	}
+	return engine.Collect(ctx, &engine.Sort{Child: &engine.RowAdapter{Vec: plan}, Col: 0})
+}
+
+// Q1Row is Q1 on the row-at-a-time seed operators (the reference path
+// golden tests and the vectorized-speedup comparison run against).
+func (h *TPCH) Q1Row(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 	preds, mapped, fn, aggs := h.q1Pieces(p)
 	plan := &engine.HashAgg{
 		Child: &engine.Map{
@@ -283,8 +307,30 @@ func (h *TPCH) q6Pieces(p QueryParams) (preds []engine.Pred, mapped engine.Schem
 }
 
 // Q6 is the selective-scan forecasting-revenue analog: a tight filter on
-// date, discount, and quantity, summing extendedprice*discount.
+// date, discount, and quantity, summing extendedprice*discount. It runs
+// on the vectorized executor; Q6Row is the row-at-a-time reference.
 func (h *TPCH) Q6(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	preds, mapped, fn, aggs := h.q6Pieces(p)
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
+			Child: &engine.ScanVec{
+				Table:     h.lineitem,
+				Preds:     preds,
+				StartPage: h.scanOrigin(h.lineitem, p),
+			},
+			Out:  mapped,
+			Fn:   fn,
+			Cost: 12,
+		},
+		GroupCols: []int{0},
+		Aggs:      aggs,
+		Expected:  2,
+	}
+	return engine.CollectVec(ctx, plan)
+}
+
+// Q6Row is Q6 on the row-at-a-time seed operators.
+func (h *TPCH) Q6Row(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 	preds, mapped, fn, aggs := h.q6Pieces(p)
 	plan := &engine.HashAgg{
 		Child: &engine.Map{
@@ -306,8 +352,29 @@ func (h *TPCH) Q6(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 
 // Q13 is the outer-join customer-distribution analog: customers left
 // outer join their non-special orders, count orders per customer, then
-// count customers per order-count.
+// count customers per order-count. It runs on the vectorized executor;
+// Q13Row is the row-at-a-time reference.
 func (h *TPCH) Q13(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	os := h.orders.Schema
+	join := &engine.HashJoinVec{
+		Probe: &engine.ScanVec{Table: h.customer, Cols: []int{0}},
+		Build: &engine.ScanVec{
+			Table:     h.orders,
+			Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+			StartPage: h.scanOrigin(h.orders, p),
+		},
+		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
+		Type: engine.LeftOuter,
+	}
+	// The post-join pipeline (match tagging and the two aggregations) is
+	// shared with Q13Shared — see q13TailVec in share.go. A matched join
+	// row carries a real order; unmatched (outer) rows are zero-filled,
+	// and o_totalprice > 0 distinguishes them.
+	return engine.Collect(ctx, h.q13TailVec(join))
+}
+
+// Q13Row is Q13 on the row-at-a-time seed operators.
+func (h *TPCH) Q13Row(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 	os := h.orders.Schema
 	join := &engine.HashJoin{
 		Left: &engine.SeqScan{Table: h.customer, Cols: []int{0}},
@@ -319,10 +386,6 @@ func (h *TPCH) Q13(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 		LeftCol: 0, RightCol: os.Col("o_custkey"),
 		Type: engine.LeftOuter,
 	}
-	// The post-join pipeline (match tagging and the two aggregations) is
-	// shared with Q13Shared — see q13Tail in share.go. A matched join row
-	// carries a real order; unmatched (outer) rows are zero-filled, and
-	// o_totalprice > 0 distinguishes them.
 	return engine.Collect(ctx, h.q13Tail(join))
 }
 
@@ -380,7 +443,9 @@ func (h *TPCH) scanOrigin(t *engine.Table, p QueryParams) int {
 	return h.phasePage(t, p.Phase)
 }
 
-// RunQuery executes query q (1, 6, 13, 16) and returns its result rows.
+// RunQuery executes query q (1, 6, 13, 16) on the vectorized executor
+// and returns its result rows (Q16 has no vectorized plan and runs on
+// the row operators).
 func (h *TPCH) RunQuery(ctx *engine.Ctx, q int, p QueryParams) ([][]engine.Value, error) {
 	switch q {
 	case 1:
@@ -389,6 +454,23 @@ func (h *TPCH) RunQuery(ctx *engine.Ctx, q int, p QueryParams) ([][]engine.Value
 		return h.Q6(ctx, p)
 	case 13:
 		return h.Q13(ctx, p)
+	case 16:
+		return h.Q16(ctx, p)
+	}
+	return nil, fmt.Errorf("workload: no query %d (have 1, 6, 13, 16)", q)
+}
+
+// RunQueryRow executes query q on the row-at-a-time reference operators —
+// the seed's Volcano plans, kept for golden equivalence tests and the
+// vectorized-vs-row speedup measurements.
+func (h *TPCH) RunQueryRow(ctx *engine.Ctx, q int, p QueryParams) ([][]engine.Value, error) {
+	switch q {
+	case 1:
+		return h.Q1Row(ctx, p)
+	case 6:
+		return h.Q6Row(ctx, p)
+	case 13:
+		return h.Q13Row(ctx, p)
 	case 16:
 		return h.Q16(ctx, p)
 	}
@@ -409,6 +491,17 @@ var Queries = []int{1, 6, 13, 16}
 // leader's L2 wake); from a random initial phase the convoy forms over
 // tens of millions of cycles, far beyond a sampled measurement window.
 func (h *TPCH) Client(rec *trace.Recorder, worker int, seed int64, limit int) (int, error) {
+	return h.client(rec, worker, seed, limit, h.RunQuery)
+}
+
+// ClientRow is Client on the row-at-a-time reference operators (used by
+// validation cells whose analytic models assume per-tuple blocking
+// access patterns, and by vectorized-vs-row comparisons).
+func (h *TPCH) ClientRow(rec *trace.Recorder, worker int, seed int64, limit int) (int, error) {
+	return h.client(rec, worker, seed, limit, h.RunQueryRow)
+}
+
+func (h *TPCH) client(rec *trace.Recorder, worker int, seed int64, limit int, run func(*engine.Ctx, int, QueryParams) ([][]engine.Value, error)) (int, error) {
 	defer rec.Close()
 	ctx := h.DB.NewCtx(rec, worker, 96<<20)
 	qrng := rand.New(rand.NewSource(4242)) // shared query order
@@ -423,7 +516,7 @@ func (h *TPCH) Client(rec *trace.Recorder, worker int, seed int64, limit int) (i
 		// reuse it; large caches can, which is the paper's DSS sharing
 		// effect (Figures 6 and 8).
 		p.Phase = float64(worker%16) / 80
-		if _, err := h.RunQuery(ctx, q, p); err != nil {
+		if _, err := run(ctx, q, p); err != nil {
 			return ran, err
 		}
 		ran++
@@ -435,11 +528,17 @@ func (h *TPCH) Client(rec *trace.Recorder, worker int, seed int64, limit int) (i
 }
 
 // RunOnce executes a single query for unsaturated (response-time)
-// experiments, closing the recorder when the query completes.
-func (h *TPCH) RunOnce(rec *trace.Recorder, worker int, q int, seed int64) error {
+// experiments, closing the recorder when the query completes. rowPlans
+// selects the row-at-a-time reference operators instead of the
+// vectorized default.
+func (h *TPCH) RunOnce(rec *trace.Recorder, worker int, q int, seed int64, rowPlans bool) error {
 	defer rec.Close()
 	ctx := h.DB.NewCtx(rec, worker, 96<<20)
 	rng := rand.New(rand.NewSource(seed))
+	if rowPlans {
+		_, err := h.RunQueryRow(ctx, q, RandomParams(rng))
+		return err
+	}
 	_, err := h.RunQuery(ctx, q, RandomParams(rng))
 	return err
 }
