@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-share bench-vec bench-json lint fmt
+.PHONY: all build test race bench bench-share bench-vec bench-oltp bench-json lint fmt
 
 all: build lint test
 
@@ -28,11 +28,18 @@ bench-share:
 bench-vec:
 	$(GO) test -run '^$$' -bench '^BenchmarkVectorized$$' -benchtime=1x .
 
+# Staged-OLTP smoke: gates the STEPS-style cohort executor at >= 5x
+# fewer simulated L1I misses than the monolithic path, with
+# byte-identical transaction effects.
+bench-oltp:
+	$(GO) test -run '^$$' -bench '^BenchmarkStagedOLTP$$' -benchtime=1x .
+
 # Machine-readable perf trajectory: rows/sec + simulated vectorized/row
-# speedups for scan, aggregate, and join into BENCH_pr3.json (archived
-# as a CI artifact so later PRs can diff executor performance).
+# speedups for scan, aggregate, join, plus the staged-OLTP comparison,
+# into BENCH_pr4.json (archived as a CI artifact so later PRs can diff
+# executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -pr pr4-staged-oltp -out BENCH_pr4.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

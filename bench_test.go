@@ -455,6 +455,41 @@ func BenchmarkVectorizedJoin(b *testing.B) {
 	b.ReportMetric(speedup, "join-vec/row-speedup")
 }
 
+// BenchmarkStagedOLTP gates the STEPS-style staged transaction executor:
+// the same deterministic transaction stream runs monolithically (each
+// transaction cycles through its type's 8-16 KB code body) and
+// cohort-scheduled (stage cohorts through ~18 KB of shared stage
+// segments) on identical chip geometry. The cohort path must cut
+// simulated L1I misses by at least 5x (observed ~40-80x) and produce
+// byte-identical database state — StagedOLTPSpeedup fails the run on any
+// digest mismatch.
+func BenchmarkStagedOLTP(b *testing.B) {
+	var missRed, speedup float64
+	var mono, coh core.StagedOLTPResult
+	for i := 0; i < b.N; i++ {
+		cell := core.DefaultCell(sim.FatCamp, core.OLTP, false)
+		cell.WarmRefs = 10000
+		var err error
+		mono, coh, missRed, speedup, err = runner().StagedOLTPSpeedup(cell, core.StagedOLTPOpts{
+			Clients: 8, PerClient: 6, Cohort: 16, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mono.Txns == 0 || coh.Txns != mono.Txns {
+			b.Fatalf("work mismatch: %d monolithic vs %d cohort txns", mono.Txns, coh.Txns)
+		}
+		if missRed < 5 {
+			b.Fatalf("cohort scheduling cut L1I misses only %.2fx (%d -> %d), acceptance bar is 5x",
+				missRed, mono.Result.Cache.L1IMisses, coh.Result.Cache.L1IMisses)
+		}
+	}
+	b.ReportMetric(missRed, "L1Imiss-mono/cohort-x")
+	b.ReportMetric(speedup, "cohort-speedup-x")
+	b.ReportMetric(mono.IStallFrac()*100, "mono-istall-%")
+	b.ReportMetric(coh.IStallFrac()*100, "cohort-istall-%")
+}
+
 // BenchmarkSimCycleRate measures raw simulator speed (host ns per
 // simulated cycle) on a saturated LC chip.
 func BenchmarkSimCycleRate(b *testing.B) {

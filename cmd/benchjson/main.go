@@ -1,9 +1,11 @@
 // Command benchjson writes the machine-readable performance trajectory
-// of the vectorized executor to a JSON file (default BENCH_pr3.json):
-// native rows/sec of the vectorized vs row-at-a-time scan path, plus
-// simulated vectorized-over-row speedups for the scan (Q6), aggregate
-// (Q1), and join (Q13) analogs on a 4-core FC chip. CI archives the file
-// as an artifact so later PRs can diff executor performance.
+// of the executors to a JSON file: native rows/sec of the vectorized vs
+// row-at-a-time scan path, simulated vectorized-over-row speedups for the
+// scan (Q6), aggregate (Q1), and join (Q13) analogs, and the staged-OLTP
+// comparison (monolithic vs STEPS-style cohort scheduling: L1I misses,
+// instruction stalls, throughput) on a 4-core FC chip. The PR label and
+// output file come from flags so every PR appends its own BENCH_<pr>.json
+// artifact; CI archives the file so later PRs can diff performance.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +42,33 @@ type nativeEntry struct {
 	RowsPerSec float64 `json:"rows_per_sec"`
 }
 
+// oltpSide is one executor of the staged-OLTP pair.
+type oltpSide struct {
+	Mode          string  `json:"mode"`
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	L1IMisses     uint64  `json:"l1i_misses"`
+	IStallFrac    float64 `json:"istall_frac"`
+	Txns          int     `json:"txns"`
+	TxnsPerMcycle float64 `json:"txns_per_mcycle"`
+}
+
+// oltpEntry is one paired staged-OLTP measurement (fixed chip geometry,
+// identical transaction inputs, byte-identical final state).
+type oltpEntry struct {
+	StreamBuffers    bool     `json:"stream_buffers"`
+	Monolithic       oltpSide `json:"monolithic"`
+	Cohort           oltpSide `json:"cohort"`
+	L1IMissReduction float64  `json:"l1i_miss_reduction_x"`
+	SpeedupX         float64  `json:"speedup_x"`
+	// DigestMatch is an invariant, not a measurement: StagedOLTPSpeedup
+	// fails (and no file is written) on any digest mismatch, so a report
+	// that exists always records true here.
+	DigestMatch bool `json:"digest_match"`
+	Parks       int  `json:"parks"`
+	Wounds      int  `json:"wounds"`
+}
+
 // report is the file's schema. Version bumps when fields change meaning.
 type report struct {
 	Version   int           `json:"version"`
@@ -46,14 +76,20 @@ type report struct {
 	Scale     string        `json:"scale"`
 	Native    []nativeEntry `json:"native_q6"`
 	Simulated []simEntry    `json:"simulated"`
+	OLTP      []oltpEntry   `json:"oltp_staged"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file")
+	pr := flag.String("pr", "pr4-staged-oltp", "PR label recorded in the report")
+	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
+	if *out == "" {
+		prefix, _, _ := strings.Cut(*pr, "-")
+		*out = "BENCH_" + prefix + ".json"
+	}
 
 	r := core.NewRunner(core.TestScale())
-	rep := report{Version: 1, PR: "pr3-vectorized-core", Scale: "test"}
+	rep := report{Version: 2, PR: *pr, Scale: "test"}
 
 	// Native: host-time Q6 on both executors (best of 3 runs each).
 	h, err := r.TPCH()
@@ -105,6 +141,36 @@ func main() {
 		})
 	}
 
+	// Staged OLTP: monolithic vs cohort-scheduled (STEPS) on identical
+	// geometry, under both instruction-delivery regimes.
+	oltpCell := core.DefaultCell(sim.FatCamp, core.OLTP, false)
+	oltpCell.WarmRefs = 10000
+	for _, sb := range []bool{true, false} {
+		cell := oltpCell
+		cell.StreamBuf = sb
+		mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(cell, core.StagedOLTPOpts{})
+		if err != nil {
+			fatal(err)
+		}
+		side := func(res core.StagedOLTPResult) oltpSide {
+			mode := "monolithic"
+			if res.Cohorted {
+				mode = "cohort"
+			}
+			return oltpSide{
+				Mode: mode, Cycles: res.Cycles, Instructions: res.Result.Instructions,
+				L1IMisses: res.Result.Cache.L1IMisses, IStallFrac: res.IStallFrac(),
+				Txns: res.Txns, TxnsPerMcycle: res.TxnsPerMcycle(),
+			}
+		}
+		rep.OLTP = append(rep.OLTP, oltpEntry{
+			StreamBuffers: sb, Monolithic: side(mono), Cohort: side(coh),
+			L1IMissReduction: missRed, SpeedupX: speedup,
+			DigestMatch: mono.Digest == coh.Digest,
+			Parks:       coh.Sched.Parks, Wounds: coh.Sched.Wounds,
+		})
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -119,6 +185,14 @@ func main() {
 	}
 	for _, e := range rep.Native {
 		fmt.Printf("  native q6 %-11s %12.0f rows/sec\n", e.Path, e.RowsPerSec)
+	}
+	for _, e := range rep.OLTP {
+		sb := "sb-on "
+		if !e.StreamBuffers {
+			sb = "sb-off"
+		}
+		fmt.Printf("  oltp staged %s  %6.2fx fewer L1I misses, %5.2fx speedup, digests match=%v\n",
+			sb, e.L1IMissReduction, e.SpeedupX, e.DigestMatch)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	cmpsim -camp fc -workload oltp -smp -l2mb 4   # Figure 7's SMP node
 //	cmpsim -camp fc -workload dss -workers 4 -query 1   # morsel-parallel Q1
 //	cmpsim -camp fc -workload dss -clients 8 -share     # cross-query work sharing
+//	cmpsim -camp fc -workload oltp -steps -cohort 16    # STEPS-style staged OLTP
 package main
 
 import (
@@ -33,6 +34,9 @@ func main() {
 	workers := flag.Int("workers", 0, "run one DSS query on the morsel-driven parallel executor with N workers (1 and 6; 13 runs the parallel-join core)")
 	shareFlag := flag.Bool("share", false, "compare -clients concurrent DSS clients with and without cross-query work sharing (shared circular scans + result reuse); -query picks 1, 6, 13, or 0 for the mix")
 	vecFlag := flag.Bool("vec", false, "compare one serial DSS query on the vectorized executor against the row-at-a-time reference path (identical chip geometry); -query picks 1, 6, or 13")
+	stepsFlag := flag.Bool("steps", false, "compare monolithic OLTP execution against the STEPS-style cohort-scheduled staged executor (identical chip geometry, identical transaction inputs, byte-identical effects); -clients sets logical client streams, -cohort the in-flight window")
+	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
+	txnsFlag := flag.Int("txns", 8, "transactions per logical client for -steps")
 	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
 	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
 	scale := flag.String("scale", "full", "workload scale: full or test")
@@ -83,6 +87,22 @@ func main() {
 		if *scale == "test" {
 			cell.WarmRefs = 20000
 		}
+	}
+
+	if *stepsFlag {
+		if wk != core.OLTP {
+			fmt.Fprintln(os.Stderr, "-steps requires -workload oltp (staged transaction execution)")
+			os.Exit(2)
+		}
+		if !flagWasSet("warm") {
+			cell.WarmRefs = 10000
+		}
+		clientsN := *clients
+		if clientsN <= 0 {
+			clientsN = 8
+		}
+		runSteps(core.NewRunner(sc), cell, clientsN, *txnsFlag, *cohortFlag)
+		return
 	}
 
 	if *vecFlag {
@@ -212,6 +232,49 @@ func runVec(r *core.Runner, cell core.Cell, query int) {
 			mode, res.Cycles, res.Rows, res.Result.IPC(), res.Result.Instructions)
 	}
 	fmt.Printf("  vectorized speedup: %.2fx\n", speedup)
+}
+
+// runSteps measures the same deterministic transaction stream executed
+// monolithically and cohort-scheduled (STEPS) on identical chip geometry
+// and prints the paired comparison: the staged path must cut L1I misses
+// and instruction stalls while producing byte-identical database state.
+func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort int) {
+	opts := core.StagedOLTPOpts{Clients: clients, PerClient: perClient, Cohort: cohort}
+	fmt.Printf("staged OLTP (STEPS), %d clients x %d txns, cohort %d, on %v (%d cores, %d MB L2):\n",
+		clients, perClient, cohort, cell.Camp, cell.Cores, cell.L2Size>>20)
+
+	// Two instruction-delivery regimes on otherwise identical geometry:
+	// with stream buffers the synthetic sequential code walks prefetch
+	// almost perfectly and the footprint win shows up in miss counts;
+	// without them (real OLTP control flow is branchy, the paper's
+	// I-stalls persist despite prefetching) it shows up in cycles too.
+	for _, sb := range []bool{true, false} {
+		c := cell
+		c.StreamBuf = sb
+		mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(c, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		label := "stream buffers on "
+		if !sb {
+			label = "stream buffers off"
+		}
+		fmt.Printf("\n  [%s]\n", label)
+		for _, res := range []core.StagedOLTPResult{mono, coh} {
+			mode := "monolithic (per-txn code bodies)"
+			if res.Cohorted {
+				mode = "cohort     (shared stage segs) "
+			}
+			fmt.Printf("  %s %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle\n",
+				mode, res.Cycles, res.Result.Cache.L1IMisses, res.IStallFrac()*100, res.TxnsPerMcycle())
+		}
+		fmt.Printf("  L1I miss reduction: %.2fx   speedup: %.2fx\n", missRed, speedup)
+		fmt.Printf("  state digests: monolithic %#x == cohort %#x\n", mono.Digest, coh.Digest)
+		s := coh.Sched
+		fmt.Printf("  scheduler: %d quanta, %d stage switches, %d steps, %d parks, %d wounds, %d deadlocks\n",
+			s.Quanta, s.StageSwitches, s.Steps, s.Parks, s.Wounds, s.Deadlocks)
+	}
 }
 
 // flagWasSet reports whether the named flag was given on the command line.

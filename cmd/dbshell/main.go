@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/oltp"
 	"repro/internal/workload"
 )
 
@@ -27,12 +28,86 @@ func main() {
 	shareFlag := flag.Bool("share", false, "run DSS analogs through the work-sharing subsystem (shared circular scans + result reuse)")
 	clients := flag.Int("clients", 8, "concurrent clients for the -share throughput comparison")
 	rowFlag := flag.Bool("row", false, "run serial DSS analogs on the row-at-a-time reference operators instead of the vectorized executor")
+	stepsFlag := flag.Bool("steps", false, "compare monolithic vs STEPS-style cohort-scheduled OLTP natively (no simulation): same inputs, byte-identical state, scheduler statistics")
+	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
 	flag.Parse()
 
+	if *stepsFlag {
+		if err := runSteps(*txns, *cohortFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*txns, *lineitems, *workers, *shareFlag, *clients, *rowFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runSteps executes the same deterministic transaction stream twice on
+// fresh databases — monolithically and cohort-scheduled — and reports
+// native throughput, scheduler behaviour, and the state-digest match.
+func runSteps(total, cohort int) error {
+	fmt.Println("== Staged OLTP (STEPS): monolithic vs cohort-scheduled ==")
+	cfg := workload.TPCCConfig{Warehouses: 2, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20}
+	clients := 16
+	per := total / clients
+	if per < 1 {
+		per = 1
+	}
+
+	build := func() (*workload.TPCC, []workload.TxnInput, error) {
+		w, err := workload.BuildTPCC(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w, w.StagedInputs(clients, per, 7), nil
+	}
+
+	mono, ins, err := build()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	mst, err := oltp.RunMonolithic(mono.DB.NewCtx(nil, 0, 4<<20), mono.StagedPrograms(ins, false))
+	if err != nil {
+		return err
+	}
+	mdur := time.Since(start)
+	mdig, err := mono.StateDigest()
+	if err != nil {
+		return err
+	}
+
+	coh, _, err := build()
+	if err != nil {
+		return err
+	}
+	sched := oltp.NewScheduler(coh.DB.Codes, oltp.Config{Cohort: cohort, Generation: coh.Mgr.LM.Generation})
+	start = time.Now()
+	cst, err := sched.Run(coh.DB.NewCtx(nil, 0, 4<<20), coh.StagedPrograms(ins, true))
+	if err != nil {
+		return err
+	}
+	cdur := time.Since(start)
+	cdig, err := coh.StateDigest()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("inputs: %d clients x %d transactions (deterministic seed)\n", clients, per)
+	fmt.Printf("monolithic: %d txns in %s (%.0f txn/s native)\n",
+		mst.Committed, mdur.Truncate(time.Microsecond), float64(mst.Committed)/mdur.Seconds())
+	fmt.Printf("cohort %2d:  %d txns in %s (%.0f txn/s native)\n",
+		cohort, cst.Committed, cdur.Truncate(time.Microsecond), float64(cst.Committed)/cdur.Seconds())
+	fmt.Printf("scheduler: %d quanta, %d stage switches, %d steps, %d parks, %d wounds, %d deadlocks\n",
+		cst.Quanta, cst.StageSwitches, cst.Steps, cst.Parks, cst.Wounds, cst.Deadlocks)
+	if mdig != cdig {
+		return fmt.Errorf("state digest mismatch: monolithic %#x vs cohort %#x", mdig, cdig)
+	}
+	fmt.Printf("state digests match: %#x\n", mdig)
+	return nil
 }
 
 func run(txns, lineitems, workers int, shared bool, clients int, rowPlans bool) error {

@@ -1,0 +1,160 @@
+// Staged-OLTP experiment: paired traced runs of the same pre-drawn
+// transaction inputs on identical chip geometry — once monolithically
+// (each transaction runs start-to-finish, cycling through the five
+// transaction types' large code bodies) and once cohort-scheduled
+// (STEPS-style: N transactions in flight, one stage's cohort per quantum,
+// small shared stage code segments). The cohort path must cut simulated
+// L1I misses and instruction stalls while producing byte-identical
+// database state.
+
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/oltp"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// StagedOLTPOpts shapes one paired staged-OLTP measurement.
+type StagedOLTPOpts struct {
+	Clients   int   // logical client streams (default 8)
+	PerClient int   // transactions per client (default 8)
+	Cohort    int   // in-flight transactions on the cohort side (default 16)
+	Seed      int64 // input stream seed (default 7)
+}
+
+func (o StagedOLTPOpts) withDefaults() StagedOLTPOpts {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.PerClient <= 0 {
+		o.PerClient = 8
+	}
+	if o.Cohort <= 0 {
+		o.Cohort = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// StagedOLTPResult is one side of the paired measurement.
+type StagedOLTPResult struct {
+	Cohorted bool   // true: cohort-scheduled; false: monolithic
+	Cycles   uint64 // completion cycle of the worker thread
+	Result   sim.Result
+	Txns     int        // transactions committed
+	Digest   uint64     // final database state digest
+	Sched    oltp.Stats // scheduler counters (parks, wounds, quanta)
+}
+
+// TxnsPerMcycle is the throughput in transactions per million cycles.
+func (r StagedOLTPResult) TxnsPerMcycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Txns) * 1e6 / float64(r.Cycles)
+}
+
+// IStallFrac is the fraction of busy cycles lost to instruction stalls.
+func (r StagedOLTPResult) IStallFrac() float64 {
+	busy := r.Result.Breakdown.Busy()
+	if busy == 0 {
+		return 0
+	}
+	return float64(r.Result.Breakdown.IStalls()) / float64(busy)
+}
+
+// RunStagedOLTP executes the deterministic transaction stream described
+// by o on one traced worker thread of a fresh chip built from cell —
+// cohort-scheduled when cohorted is set, monolithically otherwise. Each
+// run loads a fresh database (both sides must start from identical
+// state), and the returned digest covers the final logical state.
+func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (StagedOLTPResult, error) {
+	o = o.withDefaults()
+	w, err := workload.BuildTPCC(r.ScaleCfg.TPCC)
+	if err != nil {
+		return StagedOLTPResult{}, err
+	}
+	ins := w.StagedInputs(o.Clients, o.PerClient, o.Seed)
+	progs := w.StagedPrograms(ins, cohorted)
+
+	chip := sim.NewChip(cell.SimConfig())
+	rec, s := trace.Pipe()
+	chip.AddThread(s)
+	ctx := w.DB.NewCtx(rec, 0, 8<<20)
+
+	var st oltp.Stats
+	var runErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer rec.Close()
+		if cohorted {
+			sched := oltp.NewScheduler(w.DB.Codes, oltp.Config{Cohort: o.Cohort, Generation: w.Mgr.LM.Generation})
+			st, runErr = sched.Run(ctx, progs)
+		} else {
+			st, runErr = oltp.RunMonolithic(ctx, progs)
+		}
+	}()
+
+	warm := cell.WarmRefs
+	if warm <= 0 {
+		warm = 20000
+	}
+	chip.Warm(warm)
+	res := chip.Run(1 << 34)
+	s.Stop()
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	wg.Wait()
+	if runErr != nil {
+		return StagedOLTPResult{}, fmt.Errorf("core: staged OLTP (cohorted=%v): %w", cohorted, runErr)
+	}
+
+	digest, err := w.StateDigest()
+	if err != nil {
+		return StagedOLTPResult{}, err
+	}
+	cycles := res.ThreadDone[0]
+	if cycles == 0 {
+		cycles = res.Cycles
+	}
+	return StagedOLTPResult{
+		Cohorted: cohorted, Cycles: cycles, Result: res,
+		Txns: st.Committed, Digest: digest, Sched: st,
+	}, nil
+}
+
+// StagedOLTPSpeedup runs the paired experiment — monolithic vs cohort on
+// identical chip geometry and identical inputs — and returns both sides
+// plus the L1I-miss reduction (monolithic misses over cohort misses) and
+// the response-time speedup (monolithic cycles over cohort cycles). It
+// fails if the two executions do not produce byte-identical state.
+func (r *Runner) StagedOLTPSpeedup(cell Cell, o StagedOLTPOpts) (mono, coh StagedOLTPResult, missReduction, speedup float64, err error) {
+	mono, err = r.RunStagedOLTP(cell, false, o)
+	if err != nil {
+		return mono, coh, 0, 0, err
+	}
+	coh, err = r.RunStagedOLTP(cell, true, o)
+	if err != nil {
+		return mono, coh, 0, 0, err
+	}
+	if mono.Digest != coh.Digest {
+		return mono, coh, 0, 0, fmt.Errorf(
+			"core: staged OLTP digest mismatch: monolithic %#x vs cohort %#x (determinism contract violated)",
+			mono.Digest, coh.Digest)
+	}
+	missReduction = float64(mono.Result.Cache.L1IMisses) / float64(max(coh.Result.Cache.L1IMisses, 1))
+	speedup = float64(mono.Cycles) / float64(max(coh.Cycles, 1))
+	return mono, coh, missReduction, speedup, nil
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStagedOLTPPaired runs the paired monolithic-vs-cohort experiment at
+// test scale and checks the PR's acceptance gate end to end: identical
+// final state, fewer simulated L1I misses, and committed work on both
+// sides.
+func TestStagedOLTPPaired(t *testing.T) {
+	r := NewRunner(TestScale())
+	cell := DefaultCell(sim.FatCamp, OLTP, false)
+	cell.WarmRefs = 10000
+	cell.StreamBuf = false
+	opts := StagedOLTPOpts{Clients: 8, PerClient: 4, Cohort: 16, Seed: 7}
+	mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(cell, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Txns != opts.Clients*opts.PerClient || coh.Txns != mono.Txns {
+		t.Fatalf("committed %d monolithic / %d cohort, want %d", mono.Txns, coh.Txns, opts.Clients*opts.PerClient)
+	}
+	t.Logf("monolithic: %d cycles, %d L1I misses, %.1f%% istall, %.2f txn/Mcycle",
+		mono.Cycles, mono.Result.Cache.L1IMisses, mono.IStallFrac()*100, mono.TxnsPerMcycle())
+	t.Logf("cohort:     %d cycles, %d L1I misses, %.1f%% istall, %.2f txn/Mcycle (stats %+v)",
+		coh.Cycles, coh.Result.Cache.L1IMisses, coh.IStallFrac()*100, coh.TxnsPerMcycle(), coh.Sched)
+	t.Logf("L1I miss reduction %.2fx, speedup %.2fx", missRed, speedup)
+	if missRed <= 1 {
+		t.Errorf("cohort scheduling did not cut L1I misses (reduction %.2fx)", missRed)
+	}
+}

@@ -1,0 +1,190 @@
+// Package oltp implements a STEPS-style staged transaction executor
+// (Harizopoulos & Ailamaki, CIDR 2003): OLTP transactions are decomposed
+// into continuation-style stage sequences — index probe, heap fetch, lock
+// acquire, update, insert build, log/commit — and a cohort scheduler
+// keeps N transactions in flight, executing one stage's cohort per
+// quantum before switching code segments. Each stage's instruction
+// footprint is small and shared across transaction types, so it is loaded
+// into the L1I once per cohort instead of once per transaction; the
+// monolithic path, by contrast, cycles through five 8-16 KB transaction
+// code bodies per client stream and thrashes the L1I — the instruction
+// stalls of the paper's Figure 5 OLTP breakdowns.
+//
+// Scheduling is cooperative and deterministic: a transaction that cannot
+// take a lock parks its continuation at the stage boundary (the
+// txn.TryAcquire path) instead of stalling its worker thread. Conflicts
+// serialize in admission order — a parked older transaction wounds
+// younger lock holders, and commits drain through an admission-order
+// barrier — so a cohort-scheduled run produces byte-identical database
+// state to the monolithic reference executing the same inputs
+// sequentially.
+package oltp
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// StageKind identifies one shared stage of the staged OLTP executor.
+// Every transaction type maps its steps onto this small set, so cohorts
+// batch work from different transaction types through the same code.
+type StageKind uint8
+
+// The stage vocabulary, in scheduler visit order.
+const (
+	// StageBegin unmarshals the request and begins the transaction
+	// (the staged slice of the SQL frontend).
+	StageBegin StageKind = iota
+	// StageProbe walks a B+tree index to locate a row or range.
+	StageProbe
+	// StageFetch reads tuple bodies from heap pages.
+	StageFetch
+	// StageLock acquires (or retries) a lock; the parking stage.
+	StageLock
+	// StageUpdate applies an in-place update and registers its undo.
+	StageUpdate
+	// StageInsert builds a deferred insert (applied at commit so an
+	// abort or wound never leaves orphan rows behind).
+	StageInsert
+	// StageCommit appends the commit record, applies deferred inserts,
+	// and releases locks. Subject to the admission-order barrier.
+	StageCommit
+	// NumStages counts the stage kinds.
+	NumStages
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case StageBegin:
+		return "begin"
+	case StageProbe:
+		return "probe"
+	case StageFetch:
+		return "fetch"
+	case StageLock:
+		return "lock"
+	case StageUpdate:
+		return "update"
+	case StageInsert:
+		return "insert"
+	case StageCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("StageKind(%d)", uint8(k))
+}
+
+// stageSizes are the instruction footprints of the shared stage code
+// segments, in bytes. Their sum (~18 KB) fits comfortably in a 64 KB L1I
+// alongside the B+tree/heap/lock-manager segments, which is the point:
+// the staged executor's code working set is cache-resident where the
+// monolithic transaction bodies (24 KB frontend + 54 KB across five
+// types) are not.
+var stageSizes = [NumStages]int{
+	StageBegin:  3 << 10,
+	StageProbe:  3 << 10,
+	StageFetch:  2 << 10,
+	StageLock:   2 << 10,
+	StageUpdate: 3 << 10,
+	StageInsert: 3 << 10,
+	StageCommit: 2 << 10,
+}
+
+// StageCodes registers (or looks up) the shared stage code segments.
+func StageCodes(codes *mem.CodeMap) [NumStages]mem.CodeSeg {
+	var segs [NumStages]mem.CodeSeg
+	for k := StageKind(0); k < NumStages; k++ {
+		segs[k] = codes.Register("oltp:stage:"+k.String(), stageSizes[k])
+	}
+	return segs
+}
+
+// Charger decides where a program step's instructions are fetched from:
+// the staged executor charges them to the small shared stage segments,
+// the monolithic reference walks the transaction type's own large body.
+// The data accesses of a step are identical either way — the two
+// executors differ only in scheduling and instruction locality.
+type Charger interface {
+	// Charge records n instructions of a step of the given kind.
+	Charge(rec *trace.Recorder, kind StageKind, n int)
+	// Reset rewinds any per-attempt state (a restart re-executes the
+	// transaction body from its start).
+	Reset()
+}
+
+// StagedCharger charges every step to its shared stage segment.
+type StagedCharger struct {
+	Stages [NumStages]mem.CodeSeg
+}
+
+// NewStagedCharger builds the staged profile over codes.
+func NewStagedCharger(codes *mem.CodeMap) *StagedCharger {
+	return &StagedCharger{Stages: StageCodes(codes)}
+}
+
+// Charge implements Charger.
+func (c *StagedCharger) Charge(rec *trace.Recorder, kind StageKind, n int) {
+	rec.Exec(c.Stages[kind], n)
+}
+
+// Reset implements Charger.
+func (c *StagedCharger) Reset() {}
+
+// MonoCharger models the monolithic code path: StageBegin executes the
+// SQL frontend, and every other step advances through the transaction
+// type's own code body, so one transaction touches its whole 8-16 KB
+// segment and a client stream cycling the five types thrashes the L1I.
+type MonoCharger struct {
+	Front mem.CodeSeg // SQL frontend segment
+	Body  mem.CodeSeg // this transaction type's code body
+	off   int         // walk position in Body, bytes
+}
+
+// Charge implements Charger.
+func (c *MonoCharger) Charge(rec *trace.Recorder, kind StageKind, n int) {
+	if kind == StageBegin {
+		rec.Exec(c.Front, n)
+		return
+	}
+	rec.ExecAt(c.Body, c.off, n)
+	c.off += n * 4
+}
+
+// Reset implements Charger.
+func (c *MonoCharger) Reset() { c.off = 0 }
+
+// StepOutcome reports what one continuation step did.
+type StepOutcome struct {
+	// Done is set when the transaction committed.
+	Done bool
+	// Parked is set when the step blocked on a lock; the continuation
+	// stays at the same stage and is retried next quantum.
+	Parked bool
+	// Blockers holds the conflicting lock holders of a parked step, for
+	// the scheduler's wound policy.
+	Blockers []uint64
+}
+
+// Program is one staged transaction: a deterministic continuation that
+// the scheduler advances one step at a time. Programs carry all their
+// inputs (pre-drawn randomness), so a restart after a wound or deadlock
+// re-executes identical work.
+type Program interface {
+	// Stage returns the stage kind of the next step.
+	Stage() StageKind
+	// Fence reports whether the next step may only run once the program
+	// is the oldest in-flight transaction (required when a step's reads
+	// are data-dependent on all earlier transactions' effects, e.g.
+	// TPC-C Delivery probing the new-order index).
+	Fence() bool
+	// Step executes the next step against ctx's recorder.
+	Step(ctx *engine.Ctx) (StepOutcome, error)
+	// Restart aborts the current attempt — undoing partial writes and
+	// releasing locks — and rewinds the continuation to its first step.
+	Restart(rec *trace.Recorder)
+	// TxnID returns the transaction id of the current attempt (0 before
+	// the begin step ran).
+	TxnID() uint64
+}

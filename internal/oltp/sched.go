@@ -1,0 +1,262 @@
+package oltp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// Config tunes the cohort scheduler.
+type Config struct {
+	// Cohort is the number of transactions kept in flight (default 16).
+	// Larger cohorts amortize each stage's instruction-footprint load
+	// over more transactions, at the cost of more lock conflicts.
+	Cohort int
+	// Generation, when set (txn.LockManager.Generation), lets the
+	// scheduler keep a parked continuation dormant until some lock has
+	// actually been released — skipping pointless retry probes.
+	Generation func() uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cohort <= 0 {
+		c.Cohort = 16
+	}
+	return c
+}
+
+// Stats counts scheduler events over one run.
+type Stats struct {
+	Committed     int // transactions committed
+	Steps         int // continuation steps executed
+	Quanta        int // scheduling rounds over the stage kinds
+	StageSwitches int // code-segment switches (non-empty stage cohorts)
+	Parks         int // steps that parked on a busy lock
+	Wounds        int // younger lock holders aborted by an older waiter
+	Deadlocks     int // wait-for cycles resolved by restarting the waiter
+}
+
+// slot is one in-flight transaction.
+type slot struct {
+	seq  int // admission order; the serialization order of conflicts
+	prog Program
+
+	parked    bool   // waiting on older lock holders
+	parkedGen uint64 // release generation at park time
+}
+
+// Scheduler drives a set of staged transactions to completion with
+// cohort scheduling. It runs on one worker thread (one trace stream):
+// blocked transactions park their continuations, so the worker never
+// stalls on a lock.
+type Scheduler struct {
+	cfg  Config
+	code mem.CodeSeg
+}
+
+// NewScheduler builds a scheduler whose dispatch loop executes from its
+// own small code segment in codes.
+func NewScheduler(codes *mem.CodeMap, cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:  cfg.withDefaults(),
+		code: codes.Register("oltp:sched", 2048),
+	}
+}
+
+// Run executes progs to completion, admitting them in order and keeping
+// up to cfg.Cohort in flight. Each quantum visits the stage kinds in a
+// fixed order and executes the current cohort of every non-empty stage,
+// walking members in admission order — so lock grants, wounds, and
+// commits are all deterministic functions of the inputs.
+//
+// Determinism contract: conflicting accesses serialize in admission
+// order. Three mechanisms enforce it — (1) a parked transaction whose
+// blocker was admitted later wounds it (the younger holder aborts,
+// restarts from its first step, and re-executes after the older one's
+// writes); (2) commits drain through an admission-order barrier, so a
+// younger transaction's effects can never become visible to an older
+// one's reads; (3) programs whose reads range over other transactions'
+// key spaces (Fence) run only as the oldest in-flight transaction.
+func (s *Scheduler) Run(ctx *engine.Ctx, progs []Program) (Stats, error) {
+	var st Stats
+	rec := ctx.Rec
+	next := 0
+	active := make([]*slot, 0, s.cfg.Cohort)
+
+	// Runaway guard: a correct schedule advances every in-flight
+	// transaction within a handful of quanta, so a quantum budget far
+	// above any legitimate schedule turns a livelock bug into a
+	// diagnosable error instead of a spinning worker.
+	maxQuanta := 200*len(progs) + 10000
+
+	for len(active) > 0 || next < len(progs) {
+		if st.Quanta > maxQuanta {
+			desc := ""
+			for _, m := range active {
+				desc += fmt.Sprintf(" seq%d@%v(txn %d)", m.seq, m.prog.Stage(), m.prog.TxnID())
+			}
+			return st, fmt.Errorf("oltp: runaway schedule after %d quanta (%d committed):%s", st.Quanta, st.Committed, desc)
+		}
+		for len(active) < s.cfg.Cohort && next < len(progs) {
+			active = append(active, &slot{seq: next, prog: progs[next]})
+			next++
+		}
+		st.Quanta++
+		progress := false
+
+		for kind := StageKind(0); kind < NumStages; kind++ {
+			// Snapshot this stage's cohort in admission order. A member
+			// can leave the stage mid-cohort (wounded by an older peer
+			// earlier in the same list), so its stage is re-checked.
+			members := members(active, kind)
+			if len(members) == 0 {
+				continue
+			}
+			st.StageSwitches++
+			rec.Exec(s.code, 30+6*len(members))
+
+			for _, m := range members {
+				if m.prog.Stage() != kind {
+					continue
+				}
+				if m.prog.Fence() && m.seq != active[0].seq {
+					continue // waits to be the oldest in flight
+				}
+				if kind == StageCommit && m.seq != active[0].seq {
+					continue // admission-order commit barrier
+				}
+				if m.parked && s.cfg.Generation != nil && s.cfg.Generation() == m.parkedGen {
+					continue // nothing released since the park; still blocked
+				}
+			steps:
+				for {
+					out, err := m.prog.Step(ctx)
+					st.Steps++
+					switch {
+					case errors.Is(err, txn.ErrDeadlock):
+						// A wait-for cycle. To keep conflicts serialized
+						// in admission order, break it by wounding the
+						// younger participants and retrying; only when
+						// every blocker is older (a cycle the wound
+						// policy cannot break from here) does the
+						// requester itself restart.
+						st.Deadlocks++
+						if wound(active, m, out.Blockers, rec, &st) == 0 {
+							m.prog.Restart(rec)
+							m.parked = false
+							progress = true
+							break steps
+						}
+						progress = true // wounded: retry immediately
+					case err != nil:
+						return st, fmt.Errorf("oltp: txn %d (seq %d): %w", m.prog.TxnID(), m.seq, err)
+					case out.Done:
+						active = remove(active, m)
+						st.Committed++
+						progress = true
+						break steps
+					case out.Parked:
+						st.Parks++
+						// Wound-wait in admission order: abort blockers
+						// admitted after the parked transaction, then
+						// RETRY AT ONCE — the freed lock must go to this
+						// older waiter, not to a younger cohort member
+						// whose lock step runs later in the quantum.
+						// With only older blockers left, stay parked.
+						if wound(active, m, out.Blockers, rec, &st) == 0 {
+							m.parked = true
+							if s.cfg.Generation != nil {
+								m.parkedGen = s.cfg.Generation()
+							}
+							break steps
+						}
+						progress = true
+					default:
+						m.parked = false
+						progress = true
+						break steps
+					}
+				}
+			}
+		}
+		if !progress {
+			return st, fmt.Errorf("oltp: scheduler wedged with %d in flight (cohort %d)", len(active), s.cfg.Cohort)
+		}
+	}
+	return st, nil
+}
+
+// RunMonolithic is the paired reference executor: each program runs
+// start-to-finish before the next is admitted (a cohort of one), so the
+// instruction stream cycles through whole transaction code bodies. Parks
+// cannot happen — there is never another lock holder.
+func RunMonolithic(ctx *engine.Ctx, progs []Program) (Stats, error) {
+	var st Stats
+	for i, p := range progs {
+		for {
+			out, err := p.Step(ctx)
+			st.Steps++
+			if err != nil {
+				return st, fmt.Errorf("oltp: monolithic txn %d: %w", i, err)
+			}
+			if out.Parked {
+				return st, fmt.Errorf("oltp: monolithic txn %d parked on %v", i, out.Blockers)
+			}
+			if out.Done {
+				st.Committed++
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+// wound aborts every blocker admitted after m — the wound half of
+// wound-wait, keyed on admission order — and returns how many fell.
+func wound(active []*slot, m *slot, blockers []uint64, rec *trace.Recorder, st *Stats) int {
+	n := 0
+	for _, id := range blockers {
+		if w := bySeqTxn(active, id); w != nil && w.seq > m.seq {
+			st.Wounds++
+			w.prog.Restart(rec)
+			w.parked = false
+			n++
+		}
+	}
+	return n
+}
+
+// members collects the active slots currently at kind, in admission order.
+func members(active []*slot, kind StageKind) []*slot {
+	var out []*slot
+	for _, s := range active {
+		if s.prog.Stage() == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// remove drops m from active, preserving admission order.
+func remove(active []*slot, m *slot) []*slot {
+	for i, s := range active {
+		if s == m {
+			return append(active[:i], active[i+1:]...)
+		}
+	}
+	return active
+}
+
+// bySeqTxn finds the in-flight slot whose current attempt is txn id.
+func bySeqTxn(active []*slot, id uint64) *slot {
+	for _, s := range active {
+		if s.prog.TxnID() == id {
+			return s
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -22,6 +23,12 @@ import (
 // ErrDeadlock is returned when granting a lock would create a wait cycle;
 // the caller must abort the transaction.
 var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrWouldBlock is returned by the non-blocking TryAcquire path when the
+// lock is held in an incompatible mode: the transaction should park at a
+// stage boundary and retry at its next scheduling quantum instead of
+// stalling its worker thread.
+var ErrWouldBlock = errors.New("txn: lock busy, park and retry")
 
 // errTimeout guards tests against undetected lost wakeups.
 var errTimeout = errors.New("txn: lock wait timed out")
@@ -53,6 +60,7 @@ type LockManager struct {
 	cond    *sync.Cond
 	locks   map[uint64]*lockEntry
 	waitFor map[uint64]map[uint64]bool // txn -> txns it waits on
+	gen     uint64                     // bumped on every release
 
 	tableAddr mem.Addr
 	tableLen  int
@@ -176,6 +184,67 @@ func (lm *LockManager) Acquire(rec *trace.Recorder, txn, key uint64, mode LockMo
 	}
 }
 
+// TryAcquire attempts to take key in mode for txn without ever blocking
+// the calling thread. On success the lock is granted exactly as Acquire
+// would grant it. On conflict it records txn's wait-for edges (replacing
+// any edges from a previous park, so a parked transaction that is retried
+// always reflects its current blockers) and returns the conflicting
+// holder ids with ErrWouldBlock; the caller parks the transaction's
+// continuation and retries later. When recording the wait would close a
+// cycle in the wait-for graph it returns ErrDeadlock instead — deadlock
+// detection works across parked continuations because parked waiters
+// leave their edges in place until they are granted, aborted, or retried.
+func (lm *LockManager) TryAcquire(rec *trace.Recorder, txn, key uint64, mode LockMode) ([]uint64, error) {
+	rec.Exec(lm.code, 40)
+	rec.Load(lm.slotAddr(key), true)
+
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	e := lm.locks[key]
+	if e == nil {
+		e = &lockEntry{holders: make(map[uint64]LockMode)}
+		lm.locks[key] = e
+	}
+	if m, held := e.holders[txn]; held && (m == Exclusive || mode == Shared) {
+		delete(lm.waitFor, txn)
+		return nil, nil // already sufficient
+	}
+	if compatible(e, txn, mode) {
+		e.holders[txn] = mode
+		delete(lm.waitFor, txn)
+		rec.Store(lm.slotAddr(key))
+		return nil, nil
+	}
+	// Conflict: compute the blocker set (reported with either outcome so
+	// the caller's scheduling policy — e.g. wound-wait by admission
+	// order — can pick a victim on deadlock too).
+	edges := make(map[uint64]bool)
+	blockers := make([]uint64, 0, len(e.holders))
+	for h := range e.holders {
+		if h != txn {
+			edges[h] = true
+			blockers = append(blockers, h)
+		}
+	}
+	slices.Sort(blockers)
+	if lm.wouldDeadlock(txn, e) {
+		delete(lm.waitFor, txn)
+		return blockers, ErrDeadlock
+	}
+	// Park: replace txn's wait edges with the current conflict set.
+	lm.waitFor[txn] = edges
+	return blockers, ErrWouldBlock
+}
+
+// CancelWait clears txn's wait-for edges without granting anything: a
+// parked transaction that gives up (abort without ever holding locks)
+// must not leave stale edges behind.
+func (lm *LockManager) CancelWait(txn uint64) {
+	lm.mu.Lock()
+	delete(lm.waitFor, txn)
+	lm.mu.Unlock()
+}
+
 // waitCond waits on c with a crude deadline safety net.
 func waitCond(c *sync.Cond, deadline time.Time) {
 	done := make(chan struct{})
@@ -190,11 +259,21 @@ func waitCond(c *sync.Cond, deadline time.Time) {
 	close(done)
 }
 
+// Generation returns a counter that advances whenever locks are
+// released. Cooperative schedulers use it to keep parked continuations
+// dormant while nothing can possibly have unblocked them.
+func (lm *LockManager) Generation() uint64 {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.gen
+}
+
 // ReleaseAll drops every lock txn holds (commit/abort).
 func (lm *LockManager) ReleaseAll(rec *trace.Recorder, txn uint64, keys []uint64) {
 	rec.Exec(lm.code, 20+5*len(keys))
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
+	lm.gen++
 	for _, key := range keys {
 		if e := lm.locks[key]; e != nil {
 			delete(e.holders, txn)
@@ -299,6 +378,21 @@ func (t *Txn) Lock(rec *trace.Recorder, key uint64, mode LockMode) error {
 	t.keys = append(t.keys, key)
 	return nil
 }
+
+// TryLock acquires key without blocking. On conflict it returns the
+// holding transaction ids with ErrWouldBlock (the continuation should
+// park and retry) or ErrDeadlock when waiting would close a cycle.
+func (t *Txn) TryLock(rec *trace.Recorder, key uint64, mode LockMode) ([]uint64, error) {
+	blockers, err := t.mgr.LM.TryAcquire(rec, t.ID, key, mode)
+	if err != nil {
+		return blockers, err
+	}
+	t.keys = append(t.keys, key)
+	return nil, nil
+}
+
+// Finished reports whether the transaction has committed or aborted.
+func (t *Txn) Finished() bool { return t.done }
 
 // OnAbort registers an undo action (a closure restoring a before-image)
 // and logs the corresponding record of n simulated bytes.

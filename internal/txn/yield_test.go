@@ -1,0 +1,227 @@
+package txn
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestTryAcquireGrantsAndParks covers the basic non-blocking contract:
+// grant when free, park (with blocker ids) when held, grant on retry
+// after the holder releases.
+func TestTryAcquireGrantsAndParks(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	b := m.Begin(nil)
+	if _, err := a.TryLock(nil, 9, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	blockers, err := b.TryLock(nil, 9, Exclusive)
+	if !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want ErrWouldBlock, got %v", err)
+	}
+	if len(blockers) != 1 || blockers[0] != a.ID {
+		t.Fatalf("blockers = %v, want [%d]", blockers, a.ID)
+	}
+	a.Commit(nil)
+	if _, err := b.TryLock(nil, 9, Exclusive); err != nil {
+		t.Fatalf("retry after release: %v", err)
+	}
+	b.Commit(nil)
+}
+
+// TestTryAcquireSharedModes checks S/S compatibility and the S->X
+// upgrade conflict through the non-blocking path.
+func TestTryAcquireSharedModes(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	b := m.Begin(nil)
+	if _, err := a.TryLock(nil, 4, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TryLock(nil, 4, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade with another S holder parks and names it.
+	blockers, err := a.TryLock(nil, 4, Exclusive)
+	if !errors.Is(err, ErrWouldBlock) || len(blockers) != 1 || blockers[0] != b.ID {
+		t.Fatalf("upgrade conflict: blockers=%v err=%v", blockers, err)
+	}
+	b.Commit(nil)
+	if _, err := a.TryLock(nil, 4, Exclusive); err != nil {
+		t.Fatalf("upgrade alone: %v", err)
+	}
+	a.Commit(nil)
+}
+
+// TestDeadlockAcrossParkedContinuations is the yield-path regression the
+// staged executor relies on: transaction A parks (its continuation
+// yields, no thread blocks), and when B's request would close the cycle
+// the wait-for graph detects it immediately — across parked
+// continuations, not sleeping threads.
+func TestDeadlockAcrossParkedContinuations(t *testing.T) {
+	m := testManager()
+	a := m.Begin(nil)
+	b := m.Begin(nil)
+	if _, err := a.TryLock(nil, 100, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TryLock(nil, 200, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// A parks on 200 (held by B): edge A -> B recorded, nobody sleeps.
+	if _, err := a.TryLock(nil, 200, Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("want park, got %v", err)
+	}
+	// B requesting 100 would close the cycle.
+	blockers, err := b.TryLock(nil, 100, Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if len(blockers) != 1 || blockers[0] != a.ID {
+		t.Fatalf("deadlock blockers = %v, want [%d]", blockers, a.ID)
+	}
+	// Victim aborts; the parked continuation's retry now succeeds.
+	b.Abort(nil)
+	if _, err := a.TryLock(nil, 200, Exclusive); err != nil {
+		t.Fatalf("retry after victim abort: %v", err)
+	}
+	a.Commit(nil)
+}
+
+// TestAbortMidStageUndoesPartialWrites models a wound: a transaction that
+// has applied part of its updates parks on a lock and is then aborted —
+// its undo images must restore every partial write and its locks must be
+// released for the wounding transaction to take.
+func TestAbortMidStageUndoesPartialWrites(t *testing.T) {
+	m := testManager()
+	older := m.Begin(nil)
+	younger := m.Begin(nil)
+
+	balance, stockQty := 100.0, int64(50)
+	if _, err := younger.TryLock(nil, 1, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	old1 := balance
+	younger.OnAbort(nil, 32, func() { balance = old1 })
+	balance -= 30 // stage 1 applied
+
+	if _, err := younger.TryLock(nil, 2, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	old2 := stockQty
+	younger.OnAbort(nil, 32, func() { stockQty = old2 })
+	stockQty -= 5 // stage 2 applied
+
+	// Stage 3 parks on a lock the older transaction holds.
+	if _, err := older.TryLock(nil, 3, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := younger.TryLock(nil, 3, Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Fatal("younger should park")
+	}
+
+	// Older wounds younger mid-stage.
+	younger.Abort(nil)
+	if balance != 100.0 || stockQty != 50 {
+		t.Fatalf("partial writes not undone: balance=%v qty=%v", balance, stockQty)
+	}
+	// Younger's locks are free again.
+	if _, err := older.TryLock(nil, 1, Exclusive); err != nil {
+		t.Fatalf("wounded locks not released: %v", err)
+	}
+	older.Commit(nil)
+}
+
+// TestGenerationAdvancesOnRelease pins the dormant-park optimization's
+// contract: the generation only moves when locks are released.
+func TestGenerationAdvancesOnRelease(t *testing.T) {
+	m := testManager()
+	g0 := m.LM.Generation()
+	a := m.Begin(nil)
+	if _, err := a.TryLock(nil, 5, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.LM.Generation(); g != g0 {
+		t.Fatalf("generation moved on acquire: %d -> %d", g0, g)
+	}
+	a.Commit(nil)
+	if g := m.LM.Generation(); g <= g0 {
+		t.Fatalf("generation did not advance on release: %d -> %d", g0, g)
+	}
+}
+
+// TestTryAcquireRaceHammer hammers the park/retry path from many
+// goroutines (run with -race): bank transfers where every lock is taken
+// through TryAcquire and a blocked transaction spins by yielding, exactly
+// like a parked continuation being re-scheduled. Totals must be
+// conserved and every deadlock resolved by abort+retry.
+func TestTryAcquireRaceHammer(t *testing.T) {
+	m := testManager()
+	const accounts = 16
+	const workers = 8
+	const transfers = 200
+	var mu sync.Mutex
+	balances := make([]int64, accounts)
+	for i := range balances {
+		balances[i] = 1000
+	}
+
+	tryLockSpin := func(tx *Txn, key uint64) bool {
+		for {
+			_, err := tx.TryLock(nil, key, Exclusive)
+			switch {
+			case err == nil:
+				return true
+			case errors.Is(err, ErrWouldBlock):
+				runtime.Gosched() // park: yield the worker, retry later
+			default:
+				return false // deadlock: abort and retry the transfer
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*2654435761 + 1
+			for i := 0; i < transfers; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % accounts
+				to := (from + 1 + int(rng>>21)%(accounts-1)) % accounts
+				for {
+					tx := m.Begin(nil)
+					if !tryLockSpin(tx, uint64(from)) || !tryLockSpin(tx, uint64(to)) {
+						tx.Abort(nil)
+						runtime.Gosched()
+						continue
+					}
+					mu.Lock()
+					old1, old2 := balances[from], balances[to]
+					balances[from] -= 7
+					balances[to] += 7
+					mu.Unlock()
+					tx.OnAbort(nil, 32, func() {
+						mu.Lock()
+						balances[from], balances[to] = old1, old2
+						mu.Unlock()
+					})
+					tx.Commit(nil)
+					break
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	var total int64
+	for _, b := range balances {
+		total += b
+	}
+	if total != accounts*1000 {
+		t.Fatalf("balance not conserved: %d", total)
+	}
+}
