@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-share bench-vec bench-oltp bench-json lint fmt
+.PHONY: all build test race bench bench-share bench-vec bench-oltp bench-oltp-mt bench-json lint fmt
 
 all: build lint test
 
@@ -34,12 +34,19 @@ bench-vec:
 bench-oltp:
 	$(GO) test -run '^$$' -bench '^BenchmarkStagedOLTP$$' -benchtime=1x .
 
+# Partitioned staged-OLTP smoke: the cohort scheduler split by home
+# warehouse across {1, 2, 4} workers on a 4-warehouse mix — parts=2 must
+# beat parts=1 on simulated cycles and parts=4 must reach >= 2x, with
+# every digest byte-identical to the monolithic reference.
+bench-oltp-mt:
+	$(GO) test -run '^$$' -bench '^BenchmarkStagedOLTPParallel$$' -benchtime=1x .
+
 # Machine-readable perf trajectory: rows/sec + simulated vectorized/row
-# speedups for scan, aggregate, join, plus the staged-OLTP comparison,
-# into BENCH_pr4.json (archived as a CI artifact so later PRs can diff
-# executor performance).
+# speedups for scan, aggregate, join, plus the staged-OLTP comparison and
+# the partitioned-OLTP scaling sweep, into BENCH_pr5.json (archived as a
+# CI artifact so later PRs can diff executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -pr pr4-staged-oltp -out BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -pr pr5-unified-sched -out BENCH_pr5.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

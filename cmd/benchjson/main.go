@@ -69,18 +69,46 @@ type oltpEntry struct {
 	Wounds      int  `json:"wounds"`
 }
 
+// oltpPartSide is one partition count of the partitioned staged-OLTP
+// scaling sweep.
+type oltpPartSide struct {
+	Parts         int     `json:"parts"`
+	Cycles        uint64  `json:"cycles"`
+	L1IMisses     uint64  `json:"l1i_misses"`
+	Parks         int     `json:"parks"`
+	Wounds        int     `json:"wounds"`
+	Fenced        int     `json:"fenced_txns"`
+	TxnsPerMcycle float64 `json:"txns_per_mcycle"`
+	ScalingX      float64 `json:"scaling_vs_1part_x"`
+}
+
+// oltpPartEntry is the partitioned staged-OLTP measurement: the cohort
+// executor partitioned by home warehouse across N scheduler workers on a
+// 4-warehouse mix, every run's digest byte-identical to the monolithic
+// reference (StagedOLTPScaling fails, and no file is written, otherwise —
+// so DigestMatch records an invariant, like oltpEntry's).
+type oltpPartEntry struct {
+	Warehouses  int            `json:"warehouses"`
+	Clients     int            `json:"clients"`
+	PerClient   int            `json:"per_client"`
+	RemotePct   int            `json:"remote_pct"`
+	DigestMatch bool           `json:"digest_match"`
+	Parts       []oltpPartSide `json:"parts"`
+}
+
 // report is the file's schema. Version bumps when fields change meaning.
 type report struct {
-	Version   int           `json:"version"`
-	PR        string        `json:"pr"`
-	Scale     string        `json:"scale"`
-	Native    []nativeEntry `json:"native_q6"`
-	Simulated []simEntry    `json:"simulated"`
-	OLTP      []oltpEntry   `json:"oltp_staged"`
+	Version     int             `json:"version"`
+	PR          string          `json:"pr"`
+	Scale       string          `json:"scale"`
+	Native      []nativeEntry   `json:"native_q6"`
+	Simulated   []simEntry      `json:"simulated"`
+	OLTP        []oltpEntry     `json:"oltp_staged"`
+	Partitioned []oltpPartEntry `json:"oltp_partitioned"`
 }
 
 func main() {
-	pr := flag.String("pr", "pr4-staged-oltp", "PR label recorded in the report")
+	pr := flag.String("pr", "pr5-unified-sched", "PR label recorded in the report")
 	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -89,7 +117,7 @@ func main() {
 	}
 
 	r := core.NewRunner(core.TestScale())
-	rep := report{Version: 2, PR: *pr, Scale: "test"}
+	rep := report{Version: 3, PR: *pr, Scale: "test"}
 
 	// Native: host-time Q6 on both executors (best of 3 runs each).
 	h, err := r.TPCH()
@@ -171,6 +199,29 @@ func main() {
 		})
 	}
 
+	// Partitioned staged OLTP: the canonical sweep (the same cell the CI
+	// gate BenchmarkStagedOLTPParallel measures), scaling anchored
+	// against the single-worker cohort run.
+	sweep := core.DefaultPartitionSweep()
+	partRunner := core.NewRunner(sweep.Scale)
+	_, runs, scaling, err := partRunner.StagedOLTPScaling(sweep.Cell, sweep.Opts, sweep.Parts)
+	if err != nil {
+		fatal(err)
+	}
+	pe := oltpPartEntry{
+		Warehouses: sweep.Scale.TPCC.Warehouses, Clients: sweep.Opts.Clients,
+		PerClient: sweep.Opts.PerClient, RemotePct: sweep.Opts.RemotePct, DigestMatch: true,
+	}
+	for i, run := range runs {
+		pe.Parts = append(pe.Parts, oltpPartSide{
+			Parts: run.Parts, Cycles: run.Cycles,
+			L1IMisses: run.Result.Cache.L1IMisses,
+			Parks:     run.Sched.Parks, Wounds: run.Sched.Wounds, Fenced: run.Fenced,
+			TxnsPerMcycle: run.TxnsPerMcycle(), ScalingX: scaling[i],
+		})
+	}
+	rep.Partitioned = append(rep.Partitioned, pe)
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -193,6 +244,12 @@ func main() {
 		}
 		fmt.Printf("  oltp staged %s  %6.2fx fewer L1I misses, %5.2fx speedup, digests match=%v\n",
 			sb, e.L1IMissReduction, e.SpeedupX, e.DigestMatch)
+	}
+	for _, e := range rep.Partitioned {
+		for _, p := range e.Parts {
+			fmt.Printf("  oltp partitioned x%d  %6.2fx vs 1 part (%d cycles, %d parks)\n",
+				p.Parts, p.ScalingX, p.Cycles, p.Parks)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@
 //	cmpsim -camp fc -workload dss -workers 4 -query 1   # morsel-parallel Q1
 //	cmpsim -camp fc -workload dss -clients 8 -share     # cross-query work sharing
 //	cmpsim -camp fc -workload oltp -steps -cohort 16    # STEPS-style staged OLTP
+//	cmpsim -camp fc -workload oltp -steps -parts 4      # partitioned staged OLTP
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 	stepsFlag := flag.Bool("steps", false, "compare monolithic OLTP execution against the STEPS-style cohort-scheduled staged executor (identical chip geometry, identical transaction inputs, byte-identical effects); -clients sets logical client streams, -cohort the in-flight window")
 	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
 	txnsFlag := flag.Int("txns", 8, "transactions per logical client for -steps")
+	partsFlag := flag.Int("parts", 1, "with -steps: partition the cohort scheduler by home warehouse across N workers (one per simulated core) and report scaling vs 1 partition")
+	remoteFlag := flag.Int("remote", 0, "with -steps: percent chance a NewOrder line / Payment customer is drawn from a remote warehouse (cross-partition transactions are fenced)")
 	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
 	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
 	scale := flag.String("scale", "full", "workload scale: full or test")
@@ -101,7 +104,7 @@ func main() {
 		if clientsN <= 0 {
 			clientsN = 8
 		}
-		runSteps(core.NewRunner(sc), cell, clientsN, *txnsFlag, *cohortFlag)
+		runSteps(core.NewRunner(sc), cell, clientsN, *txnsFlag, *cohortFlag, *partsFlag, *remoteFlag)
 		return
 	}
 
@@ -238,8 +241,11 @@ func runVec(r *core.Runner, cell core.Cell, query int) {
 // monolithically and cohort-scheduled (STEPS) on identical chip geometry
 // and prints the paired comparison: the staged path must cut L1I misses
 // and instruction stalls while producing byte-identical database state.
-func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort int) {
-	opts := core.StagedOLTPOpts{Clients: clients, PerClient: perClient, Cohort: cohort}
+// With parts > 1 it additionally runs the cohort side partitioned by home
+// warehouse across that many scheduler workers and prints the scaling
+// against the single-worker cohort run.
+func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort, parts, remotePct int) {
+	opts := core.StagedOLTPOpts{Clients: clients, PerClient: perClient, Cohort: cohort, RemotePct: remotePct}
 	fmt.Printf("staged OLTP (STEPS), %d clients x %d txns, cohort %d, on %v (%d cores, %d MB L2):\n",
 		clients, perClient, cohort, cell.Camp, cell.Cores, cell.L2Size>>20)
 
@@ -251,30 +257,62 @@ func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort int) {
 	for _, sb := range []bool{true, false} {
 		c := cell
 		c.StreamBuf = sb
-		mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(c, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 		label := "stream buffers on "
 		if !sb {
 			label = "stream buffers off"
 		}
 		fmt.Printf("\n  [%s]\n", label)
-		for _, res := range []core.StagedOLTPResult{mono, coh} {
-			mode := "monolithic (per-txn code bodies)"
-			if res.Cohorted {
-				mode = "cohort     (shared stage segs) "
+
+		if parts <= 1 {
+			mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(c, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
-			fmt.Printf("  %s %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle\n",
-				mode, res.Cycles, res.Result.Cache.L1IMisses, res.IStallFrac()*100, res.TxnsPerMcycle())
+			printStepsPair(mono, coh)
+			fmt.Printf("  L1I miss reduction: %.2fx   speedup: %.2fx\n", missRed, speedup)
+			fmt.Printf("  state digests: monolithic %#x == cohort %#x\n", mono.Digest, coh.Digest)
+			printSchedStats(coh)
+			continue
 		}
-		fmt.Printf("  L1I miss reduction: %.2fx   speedup: %.2fx\n", missRed, speedup)
-		fmt.Printf("  state digests: monolithic %#x == cohort %#x\n", mono.Digest, coh.Digest)
-		s := coh.Sched
-		fmt.Printf("  scheduler: %d quanta, %d stage switches, %d steps, %d parks, %d wounds, %d deadlocks\n",
-			s.Quanta, s.StageSwitches, s.Steps, s.Parks, s.Wounds, s.Deadlocks)
+
+		mono, runs, scaling, err := r.StagedOLTPScaling(c, opts, []int{1, parts})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printStepsPair(mono, runs[0])
+		for i, run := range runs[1:] {
+			fmt.Printf("  cohort x%d partitions          %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle  (%.2fx vs 1 part, %d fenced)\n",
+				run.Parts, run.Cycles, run.Result.Cache.L1IMisses, run.IStallFrac()*100,
+				run.TxnsPerMcycle(), scaling[i+1], run.Fenced)
+			for p, st := range run.PerPart {
+				fmt.Printf("    part %d: %3d txns, %4d steps, %3d parks, %2d wounds\n",
+					p, st.Committed, st.Steps, st.Parks, st.Wounds)
+			}
+		}
+		fmt.Printf("  state digests: all runs == monolithic %#x\n", mono.Digest)
+		printSchedStats(runs[len(runs)-1])
 	}
+}
+
+// printStepsPair prints the monolithic and single-worker cohort rows.
+func printStepsPair(mono, coh core.StagedOLTPResult) {
+	for _, res := range []core.StagedOLTPResult{mono, coh} {
+		mode := "monolithic (per-txn code bodies)"
+		if res.Cohorted {
+			mode = "cohort     (shared stage segs) "
+		}
+		fmt.Printf("  %s %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle\n",
+			mode, res.Cycles, res.Result.Cache.L1IMisses, res.IStallFrac()*100, res.TxnsPerMcycle())
+	}
+}
+
+// printSchedStats prints the cohort run's summed scheduler counters.
+func printSchedStats(coh core.StagedOLTPResult) {
+	s := coh.Sched
+	fmt.Printf("  scheduler: %d quanta, %d stage switches, %d steps, %d parks, %d wounds, %d deadlocks\n",
+		s.Quanta, s.StageSwitches, s.Steps, s.Parks, s.Wounds, s.Deadlocks)
 }
 
 // flagWasSet reports whether the named flag was given on the command line.

@@ -30,10 +30,12 @@ func main() {
 	rowFlag := flag.Bool("row", false, "run serial DSS analogs on the row-at-a-time reference operators instead of the vectorized executor")
 	stepsFlag := flag.Bool("steps", false, "compare monolithic vs STEPS-style cohort-scheduled OLTP natively (no simulation): same inputs, byte-identical state, scheduler statistics")
 	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
+	partsFlag := flag.Int("parts", 1, "with -steps: partition the cohort scheduler by home warehouse across N native workers")
+	remoteFlag := flag.Int("remote", 0, "with -steps: percent chance of remote-warehouse NewOrder lines / Payment customers (cross-partition transactions are fenced)")
 	flag.Parse()
 
 	if *stepsFlag {
-		if err := runSteps(*txns, *cohortFlag); err != nil {
+		if err := runSteps(*txns, *cohortFlag, *partsFlag, *remoteFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -45,12 +47,13 @@ func main() {
 	}
 }
 
-// runSteps executes the same deterministic transaction stream twice on
-// fresh databases — monolithically and cohort-scheduled — and reports
-// native throughput, scheduler behaviour, and the state-digest match.
-func runSteps(total, cohort int) error {
+// runSteps executes the same deterministic transaction stream on fresh
+// databases — monolithically, cohort-scheduled, and (with parts > 1)
+// partitioned across native scheduler workers — and reports native
+// throughput, scheduler behaviour, and the state-digest matches.
+func runSteps(total, cohort, parts, remotePct int) error {
 	fmt.Println("== Staged OLTP (STEPS): monolithic vs cohort-scheduled ==")
-	cfg := workload.TPCCConfig{Warehouses: 2, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20}
+	cfg := workload.TPCCConfig{Warehouses: 4, Items: 5000, CustPerDis: 200, ArenaBytes: 128 << 20}
 	clients := 16
 	per := total / clients
 	if per < 1 {
@@ -62,7 +65,7 @@ func runSteps(total, cohort int) error {
 		if err != nil {
 			return nil, nil, err
 		}
-		return w, w.StagedInputs(clients, per, 7), nil
+		return w, w.StagedInputsMix(clients, per, 7, remotePct), nil
 	}
 
 	mono, ins, err := build()
@@ -96,7 +99,7 @@ func runSteps(total, cohort int) error {
 		return err
 	}
 
-	fmt.Printf("inputs: %d clients x %d transactions (deterministic seed)\n", clients, per)
+	fmt.Printf("inputs: %d clients x %d transactions (deterministic seed, %d%% remote)\n", clients, per, remotePct)
 	fmt.Printf("monolithic: %d txns in %s (%.0f txn/s native)\n",
 		mst.Committed, mdur.Truncate(time.Microsecond), float64(mst.Committed)/mdur.Seconds())
 	fmt.Printf("cohort %2d:  %d txns in %s (%.0f txn/s native)\n",
@@ -107,6 +110,44 @@ func runSteps(total, cohort int) error {
 		return fmt.Errorf("state digest mismatch: monolithic %#x vs cohort %#x", mdig, cdig)
 	}
 	fmt.Printf("state digests match: %#x\n", mdig)
+
+	if parts <= 1 {
+		return nil
+	}
+	pw, _, err := build()
+	if err != nil {
+		return err
+	}
+	plan := pw.PartitionPlan(ins, parts)
+	ctxs := make([]*engine.Ctx, parts)
+	for p := range ctxs {
+		ctxs[p] = pw.DB.NewCtx(nil, p, 4<<20)
+	}
+	start = time.Now()
+	per2, err := oltp.RunPartitioned(ctxs, pw.DB.Codes, pw.StagedPrograms(ins, true), plan,
+		oltp.Config{Cohort: oltp.SplitWindow(cohort, parts), Generation: pw.Mgr.LM.Generation})
+	if err != nil {
+		return err
+	}
+	pdur := time.Since(start)
+	pdig, err := pw.StateDigest()
+	if err != nil {
+		return err
+	}
+	var pst oltp.Stats
+	for _, s := range per2 {
+		pst.Add(s)
+	}
+	fmt.Printf("parts %2d:   %d txns in %s (%.0f txn/s native, %d cross-partition fenced)\n",
+		parts, pst.Committed, pdur.Truncate(time.Microsecond), float64(pst.Committed)/pdur.Seconds(), len(plan.Fences()))
+	for p, s := range per2 {
+		fmt.Printf("  part %d: %4d txns, %5d steps, %4d parks, %3d wounds\n",
+			p, s.Committed, s.Steps, s.Parks, s.Wounds)
+	}
+	if pdig != mdig {
+		return fmt.Errorf("state digest mismatch: partitioned %#x vs monolithic %#x", pdig, mdig)
+	}
+	fmt.Printf("partitioned digest matches: %#x\n", pdig)
 	return nil
 }
 

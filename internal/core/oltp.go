@@ -6,6 +6,13 @@
 // small shared stage code segments). The cohort path must cut simulated
 // L1I misses and instruction stalls while producing byte-identical
 // database state.
+//
+// With Parts > 1 the cohort side runs multi-worker: transactions are
+// partitioned by home warehouse across Parts cohort schedulers, one per
+// simulated core (own Ctx, own trace stream), with commits drained in
+// global admission order and cross-partition transactions fenced through
+// txn.SeqClock — so the digest stays byte-identical to the monolithic
+// reference at every partition count.
 
 package core
 
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/oltp"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,6 +33,14 @@ type StagedOLTPOpts struct {
 	PerClient int   // transactions per client (default 8)
 	Cohort    int   // in-flight transactions on the cohort side (default 16)
 	Seed      int64 // input stream seed (default 7)
+	// Parts partitions the cohort side by home warehouse across this many
+	// scheduler workers, one per simulated core (default 1). The in-flight
+	// window is split evenly across partitions.
+	Parts int
+	// RemotePct is the percent chance that a NewOrder line or Payment
+	// customer is drawn from a non-home warehouse (default 0): remote
+	// transactions cross partitions and exercise the global fence.
+	RemotePct int
 }
 
 func (o StagedOLTPOpts) withDefaults() StagedOLTPOpts {
@@ -40,17 +56,23 @@ func (o StagedOLTPOpts) withDefaults() StagedOLTPOpts {
 	if o.Seed == 0 {
 		o.Seed = 7
 	}
+	if o.Parts <= 0 {
+		o.Parts = 1
+	}
 	return o
 }
 
 // StagedOLTPResult is one side of the paired measurement.
 type StagedOLTPResult struct {
 	Cohorted bool   // true: cohort-scheduled; false: monolithic
-	Cycles   uint64 // completion cycle of the worker thread
+	Parts    int    // scheduler workers (1 unless partitioned)
+	Cycles   uint64 // completion cycle of the slowest worker thread
 	Result   sim.Result
-	Txns     int        // transactions committed
-	Digest   uint64     // final database state digest
-	Sched    oltp.Stats // scheduler counters (parks, wounds, quanta)
+	Txns     int          // transactions committed
+	Digest   uint64       // final database state digest
+	Sched    oltp.Stats   // scheduler counters, summed over partitions
+	PerPart  []oltp.Stats // per-partition scheduler counters (Parts > 1)
+	Fenced   int          // cross-partition transactions run in isolation
 }
 
 // TxnsPerMcycle is the throughput in transactions per million cycles.
@@ -71,36 +93,61 @@ func (r StagedOLTPResult) IStallFrac() float64 {
 }
 
 // RunStagedOLTP executes the deterministic transaction stream described
-// by o on one traced worker thread of a fresh chip built from cell —
-// cohort-scheduled when cohorted is set, monolithically otherwise. Each
-// run loads a fresh database (both sides must start from identical
-// state), and the returned digest covers the final logical state.
+// by o on a fresh chip built from cell — cohort-scheduled when cohorted
+// is set, monolithically otherwise. Each run loads a fresh database (all
+// sides of a comparison must start from identical state), and the
+// returned digest covers the final logical state. The monolithic
+// reference and a single-partition cohort run use one traced worker
+// thread; a partitioned cohort run (o.Parts > 1) uses one per partition.
 func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (StagedOLTPResult, error) {
 	o = o.withDefaults()
 	w, err := workload.BuildTPCC(r.ScaleCfg.TPCC)
 	if err != nil {
 		return StagedOLTPResult{}, err
 	}
-	ins := w.StagedInputs(o.Clients, o.PerClient, o.Seed)
+	ins := w.StagedInputsMix(o.Clients, o.PerClient, o.Seed, o.RemotePct)
 	progs := w.StagedPrograms(ins, cohorted)
 
+	parts := 1
+	if cohorted {
+		parts = o.Parts
+	}
 	chip := sim.NewChip(cell.SimConfig())
-	rec, s := trace.Pipe()
-	chip.AddThread(s)
-	ctx := w.DB.NewCtx(rec, 0, 8<<20)
+	recs := make([]*trace.Recorder, parts)
+	streams := make([]*trace.Stream, parts)
+	ctxs := make([]*engine.Ctx, parts)
+	for p := 0; p < parts; p++ {
+		rec, s := trace.Pipe()
+		recs[p], streams[p] = rec, s
+		chip.AddThread(s)
+		ctxs[p] = w.DB.NewCtx(rec, p, 8<<20)
+	}
 
-	var st oltp.Stats
+	res := StagedOLTPResult{Cohorted: cohorted, Parts: parts}
 	var runErr error
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		defer rec.Close()
-		if cohorted {
+		defer func() {
+			for _, rec := range recs {
+				rec.Close()
+			}
+		}()
+		switch {
+		case !cohorted:
+			res.Sched, runErr = oltp.RunMonolithic(ctxs[0], progs)
+		case parts == 1:
 			sched := oltp.NewScheduler(w.DB.Codes, oltp.Config{Cohort: o.Cohort, Generation: w.Mgr.LM.Generation})
-			st, runErr = sched.Run(ctx, progs)
-		} else {
-			st, runErr = oltp.RunMonolithic(ctx, progs)
+			res.Sched, runErr = sched.Run(ctxs[0], progs)
+		default:
+			plan := w.PartitionPlan(ins, parts)
+			res.Fenced = len(plan.Fences())
+			cfg := oltp.Config{Cohort: oltp.SplitWindow(o.Cohort, parts), Generation: w.Mgr.LM.Generation}
+			res.PerPart, runErr = oltp.RunPartitioned(ctxs, w.DB.Codes, progs, plan, cfg)
+			for _, st := range res.PerPart {
+				res.Sched.Add(st)
+			}
 		}
 	}()
 
@@ -108,31 +155,42 @@ func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (Stag
 	if warm <= 0 {
 		warm = 20000
 	}
-	chip.Warm(warm)
-	res := chip.Run(1 << 34)
-	s.Stop()
-	for {
-		if _, ok := s.Next(); !ok {
-			break
+	// Warm is per thread: split the budget across partition workers so
+	// every partition count warms the same total number of references and
+	// the scaling comparison stays apples-to-apples.
+	chip.Warm(warm / parts)
+	sres := chip.Run(1 << 34)
+	for _, s := range streams {
+		s.Stop()
+	}
+	for _, s := range streams {
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
 		}
 	}
 	wg.Wait()
 	if runErr != nil {
-		return StagedOLTPResult{}, fmt.Errorf("core: staged OLTP (cohorted=%v): %w", cohorted, runErr)
+		return StagedOLTPResult{}, fmt.Errorf("core: staged OLTP (cohorted=%v parts=%d): %w", cohorted, parts, runErr)
 	}
 
 	digest, err := w.StateDigest()
 	if err != nil {
 		return StagedOLTPResult{}, err
 	}
-	cycles := res.ThreadDone[0]
-	if cycles == 0 {
-		cycles = res.Cycles
+	var cycles uint64
+	for p := 0; p < parts; p++ {
+		if d := sres.ThreadDone[p]; d > cycles {
+			cycles = d
+		}
 	}
-	return StagedOLTPResult{
-		Cohorted: cohorted, Cycles: cycles, Result: res,
-		Txns: st.Committed, Digest: digest, Sched: st,
-	}, nil
+	if cycles == 0 {
+		cycles = sres.Cycles
+	}
+	res.Result, res.Cycles = sres, cycles
+	res.Txns, res.Digest = res.Sched.Committed, digest
+	return res, nil
 }
 
 // StagedOLTPSpeedup runs the paired experiment — monolithic vs cohort on
@@ -157,4 +215,62 @@ func (r *Runner) StagedOLTPSpeedup(cell Cell, o StagedOLTPOpts) (mono, coh Stage
 	missReduction = float64(mono.Result.Cache.L1IMisses) / float64(max(coh.Result.Cache.L1IMisses, 1))
 	speedup = float64(mono.Cycles) / float64(max(coh.Cycles, 1))
 	return mono, coh, missReduction, speedup, nil
+}
+
+// PartitionSweep is the canonical partitioned staged-OLTP measurement:
+// one definition shared by the CI gate (BenchmarkStagedOLTPParallel),
+// the archived BENCH artifact (cmd/benchjson), and the unit tests, so
+// all three always measure the same cell.
+type PartitionSweep struct {
+	Scale Scale
+	Cell  Cell
+	Opts  StagedOLTPOpts
+	Parts []int
+}
+
+// DefaultPartitionSweep is the 4-warehouse mix at parts {1, 2, 4} on a
+// 4-core FC chip that the PR 5 scaling gates run.
+func DefaultPartitionSweep() PartitionSweep {
+	scale := TestScale()
+	scale.TPCC.Warehouses = 4
+	cell := DefaultCell(sim.FatCamp, OLTP, false)
+	cell.WarmRefs = 10000
+	return PartitionSweep{
+		Scale: scale,
+		Cell:  cell,
+		Opts:  StagedOLTPOpts{Clients: 8, PerClient: 6, Cohort: 16, Seed: 7},
+		Parts: []int{1, 2, 4},
+	}
+}
+
+// StagedOLTPScaling runs the monolithic reference once and the cohort
+// executor at each partition count in parts, all on identical chip
+// geometry and identical inputs, failing unless every run's digest is
+// byte-identical to the reference. The returned scaling factors are each
+// run's simulated-cycle speedup over the first entry of parts (pass
+// []int{1, ...} to anchor against the single-worker cohort scheduler).
+func (r *Runner) StagedOLTPScaling(cell Cell, o StagedOLTPOpts, parts []int) (mono StagedOLTPResult, runs []StagedOLTPResult, scaling []float64, err error) {
+	mono, err = r.RunStagedOLTP(cell, false, o)
+	if err != nil {
+		return mono, nil, nil, err
+	}
+	for _, p := range parts {
+		po := o
+		po.Parts = p
+		run, err := r.RunStagedOLTP(cell, true, po)
+		if err != nil {
+			return mono, runs, scaling, err
+		}
+		if run.Digest != mono.Digest {
+			return mono, runs, scaling, fmt.Errorf(
+				"core: staged OLTP digest mismatch at parts=%d: %#x vs monolithic %#x (determinism contract violated)",
+				p, run.Digest, mono.Digest)
+		}
+		runs = append(runs, run)
+	}
+	base := runs[0].Cycles
+	for _, run := range runs {
+		scaling = append(scaling, float64(base)/float64(max(run.Cycles, 1)))
+	}
+	return mono, runs, scaling, nil
 }

@@ -32,3 +32,59 @@ func TestStagedOLTPPaired(t *testing.T) {
 		t.Errorf("cohort scheduling did not cut L1I misses (reduction %.2fx)", missRed)
 	}
 }
+
+// TestStagedOLTPPartitionedScaling runs the canonical partition sweep —
+// the same cell the CI gate and the BENCH artifact measure — and checks
+// the multi-worker acceptance gate end to end: every digest
+// byte-identical to the monolithic reference (enforced inside
+// StagedOLTPScaling), all work committed, per-partition stats reported,
+// and simulated cycles improving with partition count.
+func TestStagedOLTPPartitionedScaling(t *testing.T) {
+	sweep := DefaultPartitionSweep()
+	r := NewRunner(sweep.Scale)
+	cell := sweep.Cell
+	cell.StreamBuf = false
+	opts := sweep.Opts
+	parts := sweep.Parts
+	mono, runs, scaling, err := r.StagedOLTPScaling(cell, opts, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := opts.Clients * opts.PerClient
+	if mono.Txns != want {
+		t.Fatalf("monolithic committed %d, want %d", mono.Txns, want)
+	}
+	for i, run := range runs {
+		if run.Txns != want {
+			t.Errorf("parts=%d committed %d, want %d", parts[i], run.Txns, want)
+		}
+		if run.Parts > 1 && len(run.PerPart) != run.Parts {
+			t.Errorf("parts=%d reported %d per-partition stats", parts[i], len(run.PerPart))
+		}
+		t.Logf("parts=%d: %d cycles, %.2fx vs 1-part, %.2f txn/Mcycle (sched %+v)",
+			parts[i], run.Cycles, scaling[i], run.TxnsPerMcycle(), run.Sched)
+	}
+	if scaling[len(scaling)-1] <= 1.2 {
+		t.Errorf("parts=4 only %.2fx over parts=1; partitioning is not scaling", scaling[len(scaling)-1])
+	}
+}
+
+// TestStagedOLTPRemoteMixTraced drives the remote-heavy mix through the
+// traced partitioned path: fenced transactions must be counted and the
+// digest must still match the monolithic reference (checked inside
+// StagedOLTPScaling).
+func TestStagedOLTPRemoteMixTraced(t *testing.T) {
+	sweep := DefaultPartitionSweep()
+	r := NewRunner(sweep.Scale)
+	cell := sweep.Cell
+	cell.StreamBuf = false
+	opts := StagedOLTPOpts{Clients: 8, PerClient: 3, Cohort: 16, Seed: 7, RemotePct: 50}
+	_, runs, _, err := r.StagedOLTPScaling(cell, opts, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Fenced == 0 {
+		t.Error("remote-heavy mix fenced no transactions; the handoff went untested")
+	}
+	t.Logf("parts=2 remote-heavy: %d fenced of %d txns, %d cycles", runs[0].Fenced, runs[0].Txns, runs[0].Cycles)
+}

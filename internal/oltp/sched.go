@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -40,19 +41,32 @@ type Stats struct {
 	Deadlocks     int // wait-for cycles resolved by restarting the waiter
 }
 
-// slot is one in-flight transaction.
-type slot struct {
-	seq  int // admission order; the serialization order of conflicts
-	prog Program
+// Add accumulates per-partition stats into a run total.
+func (s *Stats) Add(o Stats) {
+	s.Committed += o.Committed
+	s.Steps += o.Steps
+	s.Quanta += o.Quanta
+	s.StageSwitches += o.StageSwitches
+	s.Parks += o.Parks
+	s.Wounds += o.Wounds
+	s.Deadlocks += o.Deadlocks
+}
 
-	parked    bool   // waiting on older lock holders
-	parkedGen uint64 // release generation at park time
+// fromSched translates the generic core's counters.
+func fromSched(st sched.Stats) Stats {
+	return Stats{
+		Committed: st.Done, Steps: st.Steps, Quanta: st.Quanta,
+		StageSwitches: st.Switches, Parks: st.Parks,
+		Wounds: st.Wounds, Deadlocks: st.Deadlocks,
+	}
 }
 
 // Scheduler drives a set of staged transactions to completion with
-// cohort scheduling. It runs on one worker thread (one trace stream):
-// blocked transactions park their continuations, so the worker never
-// stalls on a lock.
+// cohort scheduling. It is a thin TPC-C-shaped policy layer — stage
+// vocabulary, wound-wait on txn lock conflicts, admission-order commit
+// barrier — over the generic cohort/quantum core in internal/sched; it
+// runs on one worker thread (one trace stream), and blocked transactions
+// park their continuations, so the worker never stalls on a lock.
 type Scheduler struct {
 	cfg  Config
 	code mem.CodeSeg
@@ -67,11 +81,24 @@ func NewScheduler(codes *mem.CodeMap, cfg Config) *Scheduler {
 	}
 }
 
+// coreConfig maps the OLTP policy onto the generic scheduler core:
+// transactions step through the stage vocabulary, commits drain through
+// the admission-order barrier, and the dispatch loop charges the
+// scheduler's own code segment per non-empty stage cohort.
+func (s *Scheduler) coreConfig() sched.Config {
+	return sched.Config{
+		Window:     s.cfg.Cohort,
+		Kinds:      int(NumStages),
+		Barrier:    int(StageCommit),
+		Generation: s.cfg.Generation,
+		Overhead: func(rec *trace.Recorder, n int) {
+			rec.Exec(s.code, 30+6*n)
+		},
+	}
+}
+
 // Run executes progs to completion, admitting them in order and keeping
-// up to cfg.Cohort in flight. Each quantum visits the stage kinds in a
-// fixed order and executes the current cohort of every non-empty stage,
-// walking members in admission order — so lock grants, wounds, and
-// commits are all deterministic functions of the inputs.
+// up to cfg.Cohort in flight.
 //
 // Determinism contract: conflicting accesses serialize in admission
 // order. Three mechanisms enforce it — (1) a parked transaction whose
@@ -82,112 +109,36 @@ func NewScheduler(codes *mem.CodeMap, cfg Config) *Scheduler {
 // one's reads; (3) programs whose reads range over other transactions'
 // key spaces (Fence) run only as the oldest in-flight transaction.
 func (s *Scheduler) Run(ctx *engine.Ctx, progs []Program) (Stats, error) {
-	var st Stats
-	rec := ctx.Rec
-	next := 0
-	active := make([]*slot, 0, s.cfg.Cohort)
-
-	// Runaway guard: a correct schedule advances every in-flight
-	// transaction within a handful of quanta, so a quantum budget far
-	// above any legitimate schedule turns a livelock bug into a
-	// diagnosable error instead of a spinning worker.
-	maxQuanta := 200*len(progs) + 10000
-
-	for len(active) > 0 || next < len(progs) {
-		if st.Quanta > maxQuanta {
-			desc := ""
-			for _, m := range active {
-				desc += fmt.Sprintf(" seq%d@%v(txn %d)", m.seq, m.prog.Stage(), m.prog.TxnID())
-			}
-			return st, fmt.Errorf("oltp: runaway schedule after %d quanta (%d committed):%s", st.Quanta, st.Committed, desc)
-		}
-		for len(active) < s.cfg.Cohort && next < len(progs) {
-			active = append(active, &slot{seq: next, prog: progs[next]})
-			next++
-		}
-		st.Quanta++
-		progress := false
-
-		for kind := StageKind(0); kind < NumStages; kind++ {
-			// Snapshot this stage's cohort in admission order. A member
-			// can leave the stage mid-cohort (wounded by an older peer
-			// earlier in the same list), so its stage is re-checked.
-			members := members(active, kind)
-			if len(members) == 0 {
-				continue
-			}
-			st.StageSwitches++
-			rec.Exec(s.code, 30+6*len(members))
-
-			for _, m := range members {
-				if m.prog.Stage() != kind {
-					continue
-				}
-				if m.prog.Fence() && m.seq != active[0].seq {
-					continue // waits to be the oldest in flight
-				}
-				if kind == StageCommit && m.seq != active[0].seq {
-					continue // admission-order commit barrier
-				}
-				if m.parked && s.cfg.Generation != nil && s.cfg.Generation() == m.parkedGen {
-					continue // nothing released since the park; still blocked
-				}
-			steps:
-				for {
-					out, err := m.prog.Step(ctx)
-					st.Steps++
-					switch {
-					case errors.Is(err, txn.ErrDeadlock):
-						// A wait-for cycle. To keep conflicts serialized
-						// in admission order, break it by wounding the
-						// younger participants and retrying; only when
-						// every blocker is older (a cycle the wound
-						// policy cannot break from here) does the
-						// requester itself restart.
-						st.Deadlocks++
-						if wound(active, m, out.Blockers, rec, &st) == 0 {
-							m.prog.Restart(rec)
-							m.parked = false
-							progress = true
-							break steps
-						}
-						progress = true // wounded: retry immediately
-					case err != nil:
-						return st, fmt.Errorf("oltp: txn %d (seq %d): %w", m.prog.TxnID(), m.seq, err)
-					case out.Done:
-						active = remove(active, m)
-						st.Committed++
-						progress = true
-						break steps
-					case out.Parked:
-						st.Parks++
-						// Wound-wait in admission order: abort blockers
-						// admitted after the parked transaction, then
-						// RETRY AT ONCE — the freed lock must go to this
-						// older waiter, not to a younger cohort member
-						// whose lock step runs later in the quantum.
-						// With only older blockers left, stay parked.
-						if wound(active, m, out.Blockers, rec, &st) == 0 {
-							m.parked = true
-							if s.cfg.Generation != nil {
-								m.parkedGen = s.cfg.Generation()
-							}
-							break steps
-						}
-						progress = true
-					default:
-						m.parked = false
-						progress = true
-						break steps
-					}
-				}
-			}
-		}
-		if !progress {
-			return st, fmt.Errorf("oltp: scheduler wedged with %d in flight (cohort %d)", len(active), s.cfg.Cohort)
-		}
+	items := make([]sched.Item, len(progs))
+	for i, p := range progs {
+		items[i] = progItem{p}
 	}
-	return st, nil
+	st, err := sched.New(s.coreConfig()).Run(ctx, items)
+	if err != nil {
+		return fromSched(st), fmt.Errorf("oltp: %w", err)
+	}
+	return fromSched(st), nil
+}
+
+// progItem adapts a staged transaction Program to the generic core's
+// Item, translating the lock manager's deadlock error into an outcome the
+// wound policy understands.
+type progItem struct{ p Program }
+
+func (it progItem) Kind() int                   { return int(it.p.Stage()) }
+func (it progItem) Fence() bool                 { return it.p.Fence() }
+func (it progItem) ID() uint64                  { return it.p.TxnID() }
+func (it progItem) Restart(rec *trace.Recorder) { it.p.Restart(rec) }
+
+func (it progItem) Step(ctx *engine.Ctx) (sched.Outcome, error) {
+	out, err := it.p.Step(ctx)
+	if errors.Is(err, txn.ErrDeadlock) {
+		return sched.Outcome{Deadlock: true, Blockers: out.Blockers}, nil
+	}
+	if err != nil {
+		return sched.Outcome{}, fmt.Errorf("txn %d: %w", it.p.TxnID(), err)
+	}
+	return sched.Outcome{Done: out.Done, Parked: out.Parked, Blockers: out.Blockers}, nil
 }
 
 // RunMonolithic is the paired reference executor: each program runs
@@ -213,50 +164,4 @@ func RunMonolithic(ctx *engine.Ctx, progs []Program) (Stats, error) {
 		}
 	}
 	return st, nil
-}
-
-// wound aborts every blocker admitted after m — the wound half of
-// wound-wait, keyed on admission order — and returns how many fell.
-func wound(active []*slot, m *slot, blockers []uint64, rec *trace.Recorder, st *Stats) int {
-	n := 0
-	for _, id := range blockers {
-		if w := bySeqTxn(active, id); w != nil && w.seq > m.seq {
-			st.Wounds++
-			w.prog.Restart(rec)
-			w.parked = false
-			n++
-		}
-	}
-	return n
-}
-
-// members collects the active slots currently at kind, in admission order.
-func members(active []*slot, kind StageKind) []*slot {
-	var out []*slot
-	for _, s := range active {
-		if s.prog.Stage() == kind {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-// remove drops m from active, preserving admission order.
-func remove(active []*slot, m *slot) []*slot {
-	for i, s := range active {
-		if s == m {
-			return append(active[:i], active[i+1:]...)
-		}
-	}
-	return active
-}
-
-// bySeqTxn finds the in-flight slot whose current attempt is txn id.
-func bySeqTxn(active []*slot, id uint64) *slot {
-	for _, s := range active {
-		if s.prog.TxnID() == id {
-			return s
-		}
-	}
-	return nil
 }

@@ -1,0 +1,276 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// fakeItem is a scripted continuation: each step consumes one entry of
+// the script and appends its name to the shared log.
+type fakeItem struct {
+	name  string
+	kinds []int // kind per remaining step
+	fence bool
+	id    uint64
+	log   *[]string
+
+	// park, when set, parks the first attempt at kind parkKind with the
+	// given blockers; the next attempt at that kind succeeds.
+	parkKind int
+	blockers []uint64
+	parked   bool
+
+	restarts int
+}
+
+func (f *fakeItem) Kind() int {
+	if len(f.kinds) == 0 {
+		return 0
+	}
+	return f.kinds[0]
+}
+func (f *fakeItem) Fence() bool { return f.fence }
+func (f *fakeItem) ID() uint64  { return f.id }
+func (f *fakeItem) Restart(*trace.Recorder) {
+	f.restarts++
+	f.parked = false
+}
+
+func (f *fakeItem) Step(*engine.Ctx) (sched.Outcome, error) {
+	k := f.Kind()
+	if f.blockers != nil && k == f.parkKind && !f.parked {
+		f.parked = true
+		return sched.Outcome{Parked: true, Blockers: f.blockers}, nil
+	}
+	*f.log = append(*f.log, f.name)
+	f.kinds = f.kinds[1:]
+	return sched.Outcome{Done: len(f.kinds) == 0}, nil
+}
+
+func ctx() *engine.Ctx { return &engine.Ctx{} }
+
+// TestCohortBatchesByKind: with every item at the same kind sequence, one
+// quantum executes the whole cohort of a kind before switching — the
+// L1I-residency property the substrate exists for.
+func TestCohortBatchesByKind(t *testing.T) {
+	var log []string
+	items := []sched.Item{
+		&fakeItem{name: "a", kinds: []int{0, 1}, log: &log},
+		&fakeItem{name: "b", kinds: []int{0, 1}, log: &log},
+		&fakeItem{name: "c", kinds: []int{0, 1}, log: &log},
+	}
+	st, err := sched.New(sched.Config{Window: 3, Kinds: 2, Barrier: sched.NoBarrier}).Run(ctx(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(log, "")
+	if got != "abcabc" {
+		t.Fatalf("schedule %q, want abcabc (kind cohorts in admission order)", got)
+	}
+	if st.Done != 3 || st.Quanta != 1 || st.Switches != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWindowLimitsInFlight: a window of 1 serializes items start to
+// finish.
+func TestWindowLimitsInFlight(t *testing.T) {
+	var log []string
+	items := []sched.Item{
+		&fakeItem{name: "a", kinds: []int{0, 1}, log: &log},
+		&fakeItem{name: "b", kinds: []int{0, 1}, log: &log},
+	}
+	if _, err := sched.New(sched.Config{Window: 1, Kinds: 2, Barrier: sched.NoBarrier}).Run(ctx(), items); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(log, ""); got != "aabb" {
+		t.Fatalf("schedule %q, want aabb (window 1 runs one item to completion)", got)
+	}
+}
+
+// TestBarrierDrainsInAdmissionOrder: kind 1 is the barrier; b reaches it
+// first but must wait for a.
+func TestBarrierDrainsInAdmissionOrder(t *testing.T) {
+	var log []string
+	items := []sched.Item{
+		&fakeItem{name: "a", kinds: []int{0, 0, 1}, log: &log}, // slower to the barrier
+		&fakeItem{name: "b", kinds: []int{0, 1}, log: &log},
+	}
+	if _, err := sched.New(sched.Config{Window: 2, Kinds: 2, Barrier: 1}).Run(ctx(), items); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(log, "")
+	if !strings.HasSuffix(got, "ab") {
+		t.Fatalf("schedule %q: barrier steps must run in admission order (…ab)", got)
+	}
+}
+
+// TestFenceWaitsForOldest: a fenced item admitted second cannot step
+// until the first completes.
+func TestFenceWaitsForOldest(t *testing.T) {
+	var log []string
+	items := []sched.Item{
+		&fakeItem{name: "a", kinds: []int{0, 1}, log: &log},
+		&fakeItem{name: "f", kinds: []int{0, 1}, fence: true, log: &log},
+	}
+	if _, err := sched.New(sched.Config{Window: 2, Kinds: 2, Barrier: sched.NoBarrier}).Run(ctx(), items); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(log, ""); got != "aaff" {
+		t.Fatalf("schedule %q, want aaff (fenced item runs as oldest only)", got)
+	}
+}
+
+// TestWoundRestartsYoungerBlocker: an older item parked on a younger
+// holder wounds it (the younger restarts from its first step) and
+// retries at once.
+func TestWoundRestartsYoungerBlocker(t *testing.T) {
+	var log []string
+	older := &fakeItem{name: "o", kinds: []int{1, 2}, parkKind: 1, blockers: []uint64{99}, log: &log}
+	younger := &fakeItem{name: "y", kinds: []int{0, 1, 2}, id: 99, log: &log}
+	st, err := sched.New(sched.Config{Window: 2, Kinds: 3, Barrier: sched.NoBarrier}).Run(
+		ctx(), []sched.Item{older, younger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Wounds != 1 || st.Parks != 1 {
+		t.Fatalf("stats %+v, want 1 wound from 1 park", st)
+	}
+	if younger.restarts != 1 {
+		t.Fatalf("younger restarted %d times, want 1", younger.restarts)
+	}
+}
+
+// TestParkOnOlderStaysParked: a younger item parked on an OLDER holder
+// must not wound it; it stays parked until the blocker releases (modelled
+// by the generation bump) and then completes.
+func TestParkOnOlderStaysParked(t *testing.T) {
+	var log []string
+	older := &fakeItem{name: "o", kinds: []int{0, 1}, id: 7, log: &log}
+	younger := &fakeItem{name: "y", kinds: []int{1, 2}, parkKind: 1, blockers: []uint64{7}, log: &log}
+	gen := uint64(0)
+	st, err := sched.New(sched.Config{
+		Window: 2, Kinds: 3, Barrier: sched.NoBarrier,
+		Generation: func() uint64 { gen++; return gen }, // always "released": retry every quantum
+	}).Run(ctx(), []sched.Item{older, younger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if older.restarts != 0 {
+		t.Fatal("older blocker was wounded by a younger waiter")
+	}
+	if st.Done != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestDeadlockRestartsSelfWhenBlockersOlder: a deadlock whose blockers
+// are all older restarts the requester itself.
+func TestDeadlockRestartsSelfWhenBlockersOlder(t *testing.T) {
+	var log []string
+	older := &fakeItem{name: "o", kinds: []int{0, 1}, id: 7, log: &log}
+	y := &deadlockOnce{fakeItem{name: "y", kinds: []int{1, 2}, blockers: []uint64{7}, log: &log}}
+	st, err := sched.New(sched.Config{Window: 2, Kinds: 3, Barrier: sched.NoBarrier}).Run(
+		ctx(), []sched.Item{older, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocks != 1 || y.restarts != 1 {
+		t.Fatalf("stats %+v, restarts %d: want the requester restarted once", st, y.restarts)
+	}
+}
+
+// deadlockOnce reports a deadlock on its first step, then runs normally.
+type deadlockOnce struct{ fakeItem }
+
+func (d *deadlockOnce) Step(c *engine.Ctx) (sched.Outcome, error) {
+	if d.blockers != nil {
+		b := d.blockers
+		d.blockers = nil
+		return sched.Outcome{Deadlock: true, Blockers: b}, nil
+	}
+	return d.fakeItem.Step(c)
+}
+
+// TestExternalGateWaits: an item held back by Ready makes the scheduler
+// call Wait instead of declaring itself wedged; when the gate opens the
+// item completes.
+func TestExternalGateWaits(t *testing.T) {
+	var log []string
+	open := false
+	waits := 0
+	item := &fakeItem{name: "g", kinds: []int{0}, log: &log}
+	st, err := sched.New(sched.Config{
+		Window: 1, Kinds: 1, Barrier: sched.NoBarrier,
+		Ready: func(sched.Item) bool { return open },
+		Wait:  func() bool { waits++; open = true; return true },
+	}).Run(ctx(), []sched.Item{item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waits != 1 || st.Done != 1 {
+		t.Fatalf("waits=%d stats %+v", waits, st)
+	}
+}
+
+// TestExternalGateAborts: Wait returning false fails the run instead of
+// spinning.
+func TestExternalGateAborts(t *testing.T) {
+	var log []string
+	item := &fakeItem{name: "g", kinds: []int{0}, log: &log}
+	_, err := sched.New(sched.Config{
+		Window: 1, Kinds: 1, Barrier: sched.NoBarrier,
+		Ready: func(sched.Item) bool { return false },
+		Wait:  func() bool { return false },
+	}).Run(ctx(), []sched.Item{item})
+	if err == nil || !strings.Contains(err.Error(), "external gate") {
+		t.Fatalf("err = %v, want external-gate abort", err)
+	}
+}
+
+// TestWedgeDetected: a run where nothing can progress and no external
+// gate exists errors out instead of spinning.
+func TestWedgeDetected(t *testing.T) {
+	var log []string
+	// Parked forever on an unknown (absent) blocker that is never
+	// released: generation never changes, no Ready/Wait.
+	item := &fakeItem{name: "w", kinds: []int{0, 1}, parkKind: 0, blockers: []uint64{42}, log: &log}
+	stuck := &alwaysParked{item}
+	_, err := sched.New(sched.Config{Window: 1, Kinds: 2, Barrier: sched.NoBarrier}).Run(
+		ctx(), []sched.Item{stuck})
+	if err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("err = %v, want wedged", err)
+	}
+}
+
+// alwaysParked parks on every step.
+type alwaysParked struct{ *fakeItem }
+
+func (a *alwaysParked) Step(*engine.Ctx) (sched.Outcome, error) {
+	return sched.Outcome{Parked: true, Blockers: []uint64{42}}, nil
+}
+
+// TestFeedAdmitsLazily: RunFeed pulls from the feeder only while the
+// window has room, and a nil feed ends the run cleanly.
+func TestFeedAdmitsLazily(t *testing.T) {
+	var log []string
+	produced := 0
+	core := sched.New(sched.Config{Window: 1, Kinds: 1, Barrier: sched.NoBarrier})
+	st, err := core.RunFeed(ctx(), func() (sched.Item, error) {
+		if produced == 3 {
+			return nil, nil
+		}
+		produced++
+		return &fakeItem{name: "i", kinds: []int{0}, log: &log}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 3 || produced != 3 {
+		t.Fatalf("done %d, produced %d", st.Done, produced)
+	}
+}

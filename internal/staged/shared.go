@@ -3,9 +3,12 @@
 // concurrent pipelines over the same table attach to its circular shared
 // scan, so N staged queries cost one producer pass — composing the
 // paper's two Section 6 opportunities (staged execution and aggressive
-// cross-query sharing). The registry delivers engine.Blocks and staged
-// packets ARE engine.Blocks, so the shared rotation feeds the pipeline
-// with no layout change at the boundary.
+// cross-query sharing). The registry's producers decode pages into
+// engine.Blocks exactly once per rotation, and staged packets ARE
+// engine.Blocks (the PR 3 alias — there is no ring-packet copy at this
+// boundary), so a shared rotation feeds the pipeline's stage chain the
+// producer's blocks directly: consumers re-filter and project per query,
+// but never re-decode and never re-materialize rows into another layout.
 
 package staged
 

@@ -4,7 +4,11 @@
 // tuples in the simulated address space — instead of executing one
 // monolithic operator tree per request.
 //
-// Two executors realize the two scheduling policies the paper discusses:
+// Two executors realize the two scheduling policies the paper discusses.
+// Both are thin policies over the shared cohort/quantum core in
+// internal/sched — the same substrate that drives the STEPS-style staged
+// OLTP executor — where each in-flight packet is a continuation whose
+// steps are charged against per-stage code segments:
 //
 //   - RunAffinity: producer and consumer stages share one hardware context
 //     (STEPS-style cohort scheduling). A stage processes a whole packet
@@ -14,7 +18,7 @@
 //
 //   - RunParallel: packets are driven through the engine's work-stealing
 //     worker pool. One worker produces packets from the source; the rest
-//     each run the whole stage chain on the packets they claim, every
+//     each drive the stage chain over the packets they claim, every
 //     worker with its own hardware context (its own trace stream) and so
 //     its own core. Packets travel between cores through the shared L2,
 //     trading data locality for true intra-query parallelism.
@@ -24,17 +28,23 @@
 package staged
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Packet IS the engine's vectorized batch type: staged pipelines exchange
 // the same arena-backed row blocks that serial, morsel-parallel, and
 // shared-scan execution use, so a stage boundary never re-materializes
-// rows into a different layout.
+// rows into a different layout. Page decode happens exactly once, in the
+// vectorized source (ScanVec or a shared-scan rotation) that fills the
+// block; every stage downstream sees decoded rows and touches only the
+// block's bytes.
 type Packet = engine.Block
 
 // NewPacket allocates a packet of capacity rows from work.
@@ -219,92 +229,172 @@ func (pl *Pipeline) batch(rowW int) int {
 	return b
 }
 
-// RunAffinity executes the pipeline on one worker: take a packet from the
-// source, push it through every stage packet-at-a-time, absorb into the
-// sink, repeat. Producer and consumer data stay within one context's L1.
-// A vectorized source's blocks feed the stage chain directly — the head
-// packet fill disappears entirely.
-func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
-	srcSchema := pl.srcSchema()
+// pipeRun is one worker's execution state for a sched-driven pipeline
+// run: a private Transform instance per stage, one reusable edge packet
+// per stage, and the sink absorb path (serialized under a lock when the
+// sink is shared between pool workers).
+type pipeRun struct {
+	pl     *Pipeline
+	fns    []Transform
+	pkts   []*Packet
+	absorb func(ctx *engine.Ctx, row []byte)
+}
 
-	// nextHead yields the next head packet (owned by the source or by the
-	// pipeline, depending on the source kind).
-	var nextHead func() (*Packet, bool, error)
-	if pl.VecSource != nil {
-		if err := pl.VecSource.Open(ctx); err != nil {
-			return 0, err
-		}
-		defer pl.VecSource.Close(ctx)
-		nextHead = func() (*Packet, bool, error) { return pl.VecSource.NextBlock(ctx) }
-	} else {
-		if err := pl.Source.Open(ctx); err != nil {
-			return 0, err
-		}
-		defer pl.Source.Close(ctx)
-		head := NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
-		nextHead = func() (*Packet, bool, error) {
-			head.Reset()
-			for head.N() < head.Cap() {
-				row, ok, err := pl.Source.Next(ctx)
-				if err != nil {
-					return nil, false, err
-				}
-				if !ok {
-					break
-				}
-				head.Append(ctx.Rec, row)
-			}
-			return head, head.N() > 0, nil
-		}
-	}
-
-	// One reusable packet per stage edge, sized to the head block and
-	// grown (doubled, contents preserved) whenever a transform emits more
-	// rows than fit — Transform's contract allows zero or more output
-	// rows per input, so an expanding stage must never drop rows.
-	pkts := make([]*Packet, len(pl.Stages))
+func (pl *Pipeline) newRun(sinkMu *sync.Mutex) *pipeRun {
 	fns := make([]Transform, len(pl.Stages))
 	for i, st := range pl.Stages {
 		fns[i] = st.Fn()
 	}
-
-	for {
-		cur, ok, err := nextHead()
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
-			return pl.Sink.Rows(), nil
-		}
-		for i := range pl.Stages {
-			outW := pl.Stages[i].Out.RowWidth()
-			need := pl.batch(outW)
-			if cur.N() > need {
-				need = cur.N()
-			}
-			if pkts[i] == nil || pkts[i].Cap() < need {
-				pkts[i] = NewPacket(ctx.Work, need, outW)
-			}
-			out := pkts[i]
-			out.Reset()
-			for r := 0; r < cur.N(); r++ {
-				row := cur.Row(ctx.Rec, r)
-				fns[i](ctx, row, func(o []byte) {
-					if !out.Append(ctx.Rec, o) {
-						grown := NewPacket(ctx.Work, 2*out.Cap(), outW)
-						grown.CopyFrom(ctx.Rec, out, 0)
-						out = grown
-						pkts[i] = grown
-						out.Append(ctx.Rec, o)
-					}
-				})
-			}
-			cur = out
-		}
-		for r := 0; r < cur.N(); r++ {
-			pl.Sink.Absorb(ctx, cur.Row(ctx.Rec, r))
+	r := &pipeRun{pl: pl, fns: fns, pkts: make([]*Packet, len(pl.Stages))}
+	if sinkMu == nil {
+		r.absorb = pl.Sink.Absorb
+	} else {
+		r.absorb = func(ctx *engine.Ctx, row []byte) {
+			sinkMu.Lock()
+			pl.Sink.Absorb(ctx, row)
+			sinkMu.Unlock()
 		}
 	}
+	return r
+}
+
+// apply runs stage i over cur into the stage's reusable edge packet,
+// grown (doubled, contents preserved) whenever a transform emits more
+// rows than fit — Transform's contract allows zero or more output rows
+// per input, so an expanding stage must never drop rows.
+func (r *pipeRun) apply(ctx *engine.Ctx, i int, cur *Packet) *Packet {
+	outW := r.pl.Stages[i].Out.RowWidth()
+	need := r.pl.batch(outW)
+	if cur.N() > need {
+		need = cur.N()
+	}
+	if r.pkts[i] == nil || r.pkts[i].Cap() < need {
+		r.pkts[i] = NewPacket(ctx.Work, need, outW)
+	}
+	out := r.pkts[i]
+	out.Reset()
+	for n := 0; n < cur.N(); n++ {
+		row := cur.Row(ctx.Rec, n)
+		r.fns[i](ctx, row, func(o []byte) {
+			if !out.Append(ctx.Rec, o) {
+				grown := NewPacket(ctx.Work, 2*out.Cap(), outW)
+				grown.CopyFrom(ctx.Rec, out, 0)
+				out = grown
+				r.pkts[i] = grown
+				out.Append(ctx.Rec, o)
+			}
+		})
+	}
+	return out
+}
+
+// pipeItem is one packet's continuation through the stage chain: kind i
+// is stage i, kind len(Stages) is the sink. Pipeline items never park or
+// deadlock — the yield machinery of the shared core is exercised only by
+// the OLTP policy.
+type pipeItem struct {
+	run   *pipeRun
+	cur   *Packet
+	orig  *Packet
+	stage int
+	free  func(*Packet) // recycles orig after the sink (pool mode)
+}
+
+func (it *pipeItem) Kind() int               { return it.stage }
+func (it *pipeItem) Fence() bool             { return false }
+func (it *pipeItem) ID() uint64              { return 0 }
+func (it *pipeItem) Restart(*trace.Recorder) {}
+
+func (it *pipeItem) Step(ctx *engine.Ctx) (sched.Outcome, error) {
+	r := it.run
+	if it.stage < len(r.fns) {
+		it.cur = r.apply(ctx, it.stage, it.cur)
+		it.stage++
+		return sched.Outcome{}, nil
+	}
+	for n := 0; n < it.cur.N(); n++ {
+		r.absorb(ctx, it.cur.Row(ctx.Rec, n))
+	}
+	if it.free != nil {
+		it.orig.Reset()
+		it.free(it.orig)
+	}
+	return sched.Outcome{Done: true}, nil
+}
+
+// cohortConfig maps the pipeline onto the shared cohort core: one kind
+// per stage plus the sink, the sink draining in admission order so
+// absorb order stays the packet order. The window is one packet per
+// worker — packets are already the batching unit (a stage runs over a
+// whole packet per step), and the head block is owned by the source, so
+// holding several in flight would force copies.
+func (pl *Pipeline) cohortConfig() sched.Config {
+	code := pl.DB.Codes.Register("sched:pipeline", 2048)
+	return sched.Config{
+		Window:  1,
+		Kinds:   len(pl.Stages) + 1,
+		Barrier: len(pl.Stages),
+		Overhead: func(rec *trace.Recorder, n int) {
+			rec.Exec(code, 30+6*n)
+		},
+	}
+}
+
+// openHead opens the pipeline's source and returns a head-packet feeder
+// plus its close function. A vectorized source hands its own blocks to
+// the feeder directly — the head packet fill disappears entirely; a row
+// source is drained into a reusable head packet.
+func (pl *Pipeline) openHead(ctx *engine.Ctx) (func() (*Packet, bool, error), func(), error) {
+	srcSchema := pl.srcSchema()
+	if pl.VecSource != nil {
+		if err := pl.VecSource.Open(ctx); err != nil {
+			return nil, nil, err
+		}
+		return func() (*Packet, bool, error) { return pl.VecSource.NextBlock(ctx) },
+			func() { pl.VecSource.Close(ctx) }, nil
+	}
+	if err := pl.Source.Open(ctx); err != nil {
+		return nil, nil, err
+	}
+	head := NewPacket(ctx.Work, pl.batch(srcSchema.RowWidth()), srcSchema.RowWidth())
+	return func() (*Packet, bool, error) {
+		head.Reset()
+		for head.N() < head.Cap() {
+			row, ok, err := pl.Source.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			head.Append(ctx.Rec, row)
+		}
+		return head, head.N() > 0, nil
+	}, func() { pl.Source.Close(ctx) }, nil
+}
+
+// RunAffinity executes the pipeline on one worker: each head packet is a
+// continuation the shared cohort core drives through every stage kind in
+// order, absorbing into the sink, before the next packet is admitted.
+// Producer and consumer data stay within one context's L1.
+func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
+	nextHead, closeSrc, err := pl.openHead(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer closeSrc()
+	run := pl.newRun(nil)
+	core := sched.New(pl.cohortConfig())
+	if _, err := core.RunFeed(ctx, func() (sched.Item, error) {
+		pkt, ok, err := nextHead()
+		if err != nil || !ok {
+			return nil, err
+		}
+		return &pipeItem{run: run, cur: pkt, stage: 0}, nil
+	}); err != nil {
+		return 0, err
+	}
+	return pl.Sink.Rows(), nil
 }
 
 // RunParallel executes the pipeline on the engine's work-stealing worker
@@ -313,7 +403,7 @@ func (pl *Pipeline) RunAffinity(ctx *engine.Ctx) (int, error) {
 // placement contract as before: ctxs[0] produces packets from the source
 // and deals them to the consumer workers ctxs[1:], each of which claims
 // packets from the pool — stealing from overloaded peers — and drives
-// every stage and the sink on the rows it claimed. Packets recycle
+// them through its own sched-driven stage cohort. Packets recycle
 // through a free list, so their addresses stay stable; consumers read
 // what the source wrote on another core, which is the shared-L2 traffic
 // the paper's staging discussion trades for parallelism.
@@ -428,44 +518,37 @@ func (pl *Pipeline) RunParallel(ctxs []*engine.Ctx) (int, error) {
 		}
 	}()
 
-	// Consumer workers: claim packets, run the full stage chain per row,
-	// absorb into the sink. Each worker instantiates its own transforms.
+	// Consumer workers: each claims packets from the pool and drives them
+	// through its own sched cohort (private transforms and edge packets),
+	// absorbing into the shared sink under the lock. The feeder blocks in
+	// pool.Take, so a consumer sleeps exactly when it has nothing claimed.
+	consErr := make([]error, consumers)
 	for c := 0; c < consumers; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			ctx := ctxs[c+1]
-			fns := make([]Transform, len(pl.Stages))
-			for i, st := range pl.Stages {
-				fns[i] = st.Fn()
-			}
-			var feed func(i int, row []byte)
-			feed = func(i int, row []byte) {
-				if i == len(fns) {
-					sinkMu.Lock()
-					pl.Sink.Absorb(ctx, row)
-					sinkMu.Unlock()
-					return
-				}
-				fns[i](ctx, row, func(o []byte) { feed(i+1, o) })
-			}
-			for {
+			run := pl.newRun(&sinkMu)
+			core := sched.New(pl.cohortConfig())
+			_, consErr[c] = core.RunFeed(ctx, func() (sched.Item, error) {
 				pkt, ok := pool.Take(c)
 				if !ok {
-					return
+					return nil, nil
 				}
-				for r := 0; r < pkt.N(); r++ {
-					feed(0, pkt.Row(ctx.Rec, r))
-				}
-				pkt.Reset()
-				free <- pkt
-			}
+				return &pipeItem{
+					run: run, cur: pkt, orig: pkt, stage: 0,
+					free: func(p *Packet) { free <- p },
+				}, nil
+			})
 		}(c)
 	}
 
 	wg.Wait()
 	if srcErr != nil {
 		return 0, srcErr
+	}
+	if err := errors.Join(consErr...); err != nil {
+		return 0, err
 	}
 	return pl.Sink.Rows(), nil
 }

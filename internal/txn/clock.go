@@ -1,0 +1,141 @@
+// SeqClock: the deterministic cross-partition handoff of a partitioned
+// cohort-scheduled run. Transactions are partitioned by home warehouse
+// across scheduler workers, but the byte-identical-digest contract is
+// stated against the monolithic reference executing the global admission
+// order — so commits (the only point where deferred inserts reach the
+// shared heaps and indexes) must drain in global admission order, and
+// cross-partition transactions (which read and write other partitions'
+// rows) must run in global isolation. The clock provides both: it tracks
+// the lowest uncommitted global sequence number, gates each commit on its
+// turn, and holds every transaction younger than a pending fence until
+// the fenced transaction has committed.
+
+package txn
+
+import (
+	"slices"
+	"sync"
+)
+
+// SeqClock orders the commits of a partitioned run by global admission
+// sequence and fences cross-partition transactions into global isolation.
+// All methods are safe for concurrent use by the partition workers.
+type SeqClock struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	next   int   // lowest uncommitted global sequence number
+	fences []int // sorted global seqs that require isolation
+	fi     int   // index of the first fence >= next
+	gen    uint64
+	err    error
+}
+
+// NewSeqClock builds a clock over the given fence sequence numbers (the
+// global seqs of cross-partition transactions; order does not matter).
+func NewSeqClock(fences []int) *SeqClock {
+	c := &SeqClock{fences: slices.Clone(fences)}
+	slices.Sort(c.fences)
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// pendingFence returns the earliest uncommitted fence seq, or -1.
+// Called with mu held.
+func (c *SeqClock) pendingFence() int {
+	for c.fi < len(c.fences) && c.fences[c.fi] < c.next {
+		c.fi++
+	}
+	if c.fi < len(c.fences) {
+		return c.fences[c.fi]
+	}
+	return -1
+}
+
+// StepReady reports whether the transaction at global sequence seq may
+// execute a non-commit step now. A transaction younger than a pending
+// fence may not begin (or continue) until the fenced transaction commits;
+// the fenced transaction itself runs only once it is the globally oldest
+// in flight — at which point it executes in total isolation, every older
+// transaction committed and every younger one held at this gate.
+func (c *SeqClock) StepReady(seq int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.pendingFence()
+	switch {
+	case f < 0 || seq < f:
+		return true
+	case seq == f:
+		return c.next == seq
+	default:
+		return false
+	}
+}
+
+// CommitReady reports whether the transaction at global sequence seq may
+// execute its commit step: every globally older transaction committed.
+func (c *SeqClock) CommitReady(seq int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next == seq
+}
+
+// Commit marks seq committed and advances the clock, waking waiters. The
+// caller must have gated the commit step on CommitReady, so out-of-order
+// commits are a scheduler bug, not a runtime condition.
+func (c *SeqClock) Commit(seq int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq != c.next {
+		panic("txn: SeqClock commit out of global admission order")
+	}
+	c.next++
+	c.gen++
+	c.cond.Broadcast()
+}
+
+// Next returns the lowest uncommitted global sequence number.
+func (c *SeqClock) Next() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// Gen returns the clock's change counter (bumped on Commit and Fail).
+func (c *SeqClock) Gen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// WaitChange blocks until the clock's generation differs from seen or the
+// run failed, returning the new generation and whether the run is still
+// healthy. Partition workers call it when a whole quantum is blocked on
+// the clock.
+func (c *SeqClock) WaitChange(seen uint64) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.gen == seen && c.err == nil {
+		c.cond.Wait()
+	}
+	return c.gen, c.err == nil
+}
+
+// Fail aborts the run: waiters wake and report failure, so one
+// partition's error cannot leave the others blocked forever.
+func (c *SeqClock) Fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.gen++
+	c.cond.Broadcast()
+}
+
+// Err returns the failure recorded by Fail, if any.
+func (c *SeqClock) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -1,0 +1,104 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSeqClockCommitOrder(t *testing.T) {
+	c := NewSeqClock(nil)
+	if !c.CommitReady(0) || c.CommitReady(1) {
+		t.Fatal("only seq 0 may commit first")
+	}
+	c.Commit(0)
+	if c.Next() != 1 || !c.CommitReady(1) {
+		t.Fatal("clock did not advance to 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order commit did not panic")
+		}
+	}()
+	c.Commit(5)
+}
+
+func TestSeqClockFenceGates(t *testing.T) {
+	// Fence at seq 2: 0 and 1 run freely, 2 runs only in isolation
+	// (next == 2), everyone younger waits for 2 to commit.
+	c := NewSeqClock([]int{2})
+	if !c.StepReady(0) || !c.StepReady(1) {
+		t.Fatal("transactions older than the fence must run")
+	}
+	if c.StepReady(2) {
+		t.Fatal("fenced transaction ran before becoming globally oldest")
+	}
+	if c.StepReady(3) || c.StepReady(7) {
+		t.Fatal("transactions younger than a pending fence must wait")
+	}
+	c.Commit(0)
+	c.Commit(1)
+	if !c.StepReady(2) {
+		t.Fatal("fenced transaction must run once globally oldest")
+	}
+	if c.StepReady(3) {
+		t.Fatal("younger transaction ran while the fence was in flight")
+	}
+	c.Commit(2)
+	if !c.StepReady(3) || !c.StepReady(7) {
+		t.Fatal("fence did not lift after the fenced commit")
+	}
+}
+
+func TestSeqClockFailWakesWaiters(t *testing.T) {
+	c := NewSeqClock(nil)
+	done := make(chan bool)
+	go func() {
+		_, ok := c.WaitChange(c.Gen())
+		done <- ok
+	}()
+	c.Fail(errors.New("partition 1 exploded"))
+	if ok := <-done; ok {
+		t.Fatal("waiter reported healthy after Fail")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err lost the failure")
+	}
+}
+
+// TestSeqClockHammer is the -race hammer for the cross-partition
+// handoff: four goroutines share a clock, each owning a quarter of the
+// sequence space (round-robin), committing its turn as soon as
+// CommitReady allows and waiting on WaitChange otherwise — the same
+// pattern the partitioned scheduler drives.
+func TestSeqClockHammer(t *testing.T) {
+	const total = 400
+	fences := []int{50, 151, 252, 353} // one fence per owner
+	c := NewSeqClock(fences)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := c.Gen()
+			for seq := p; seq < total; seq += 4 {
+				for {
+					if c.StepReady(seq) && c.CommitReady(seq) {
+						c.Commit(seq)
+						break
+					}
+					var ok bool
+					gen, ok = c.WaitChange(gen)
+					if !ok {
+						t.Errorf("owner %d: clock failed", p)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if c.Next() != total {
+		t.Fatalf("clock stopped at %d of %d", c.Next(), total)
+	}
+}

@@ -1,0 +1,54 @@
+// Partitioning the staged TPC-C stream across cohort schedulers: each
+// transaction is homed at its warehouse's partition (WH mod parts), and
+// transactions whose accesses leave the home partition — a NewOrder line
+// supplied by a remote warehouse, a Payment against a remote customer —
+// are flagged for the global fence so the partitioned executor can run
+// them in isolation (the deterministic cross-partition handoff of
+// internal/oltp's RunPartitioned).
+
+package workload
+
+import "repro/internal/oltp"
+
+// HomePartition returns the partition owning the transaction's home
+// warehouse.
+func (in TxnInput) HomePartition(parts int) int {
+	return in.WH % parts
+}
+
+// CrossPartition reports whether the transaction reads or writes rows
+// homed outside its home partition. Only NewOrder (remote supply
+// warehouses) and Payment (remote customer) can be cross-partition;
+// Delivery, OrderStatus, and StockLevel range strictly over their home
+// warehouse.
+func (in TxnInput) CrossPartition(parts int) bool {
+	home := in.HomePartition(parts)
+	switch in.Kind {
+	case TxNewOrder:
+		for l := range in.Lines {
+			if in.supplyWH(l)%parts != home {
+				return true
+			}
+		}
+	case TxPayment:
+		if in.custWH()%parts != home {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionPlan maps the global transaction stream (in admission order)
+// onto parts home-warehouse partitions for oltp.RunPartitioned.
+func (w *TPCC) PartitionPlan(ins []TxnInput, parts int) oltp.PartitionPlan {
+	plan := oltp.PartitionPlan{
+		Parts: parts,
+		Home:  make([]int, len(ins)),
+		Fence: make([]bool, len(ins)),
+	}
+	for i, in := range ins {
+		plan.Home[i] = in.HomePartition(parts)
+		plan.Fence[i] = parts > 1 && in.CrossPartition(parts)
+	}
+	return plan
+}

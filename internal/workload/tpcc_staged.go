@@ -58,20 +58,61 @@ type OrderLine struct {
 
 // TxnInput carries every random draw of one transaction, so the same
 // input replays identically on the monolithic path, the cohort path, and
-// across wound-restarts.
+// across wound-restarts. WH is the home warehouse (the partition key of
+// the partitioned executor); SupplyWH and CWH carry the TPC-C-style
+// remote-warehouse draws that make a transaction cross-partition.
 type TxnInput struct {
 	Kind      TxnKind
 	WH, D, C  int
 	Amount    float64     // Payment
+	CWH       int         // Payment: customer's warehouse (set by the generator; home unless remote)
 	Lines     []OrderLine // NewOrder
+	SupplyWH  []int       // NewOrder: per-line supply warehouse (nil = all home)
 	Carriers  [10]int     // Delivery, one per district
 	Threshold int64       // StockLevel
+}
+
+// supplyWH returns the warehouse supplying NewOrder line l.
+func (in TxnInput) supplyWH(l int) int {
+	if l < len(in.SupplyWH) {
+		return in.SupplyWH[l]
+	}
+	return in.WH
+}
+
+// custWH returns the warehouse owning the Payment customer.
+func (in TxnInput) custWH() int {
+	if in.Kind == TxPayment {
+		return in.CWH
+	}
+	return in.WH
+}
+
+// otherWH draws a warehouse different from home.
+func otherWH(rng *rand.Rand, warehouses, home int) int {
+	o := rng.Intn(warehouses - 1)
+	if o >= home {
+		o++
+	}
+	return o
 }
 
 // GenInput draws one transaction from the standard TPC-C mix
 // (45/43/4/4/4) with the same rng consumption order as the monolithic
 // client loop.
 func (w *TPCC) GenInput(rng *rand.Rand) TxnInput {
+	return w.GenInputMix(rng, 0)
+}
+
+// GenInputMix is GenInput with a remote-warehouse knob: each NewOrder
+// line's supply warehouse and each Payment's customer warehouse is drawn
+// from the non-home warehouses with probability remotePct/100. With
+// remotePct 0 (or a single warehouse) the rng consumption order is
+// byte-for-byte the historical one.
+func (w *TPCC) GenInputMix(rng *rand.Rand, remotePct int) TxnInput {
+	remote := func() bool {
+		return remotePct > 0 && w.Cfg.Warehouses > 1 && rng.Intn(100) < remotePct
+	}
 	roll := rng.Intn(100)
 	switch {
 	case roll < 45:
@@ -82,14 +123,30 @@ func (w *TPCC) GenInput(rng *rand.Rand) TxnInput {
 		n := 5 + rng.Intn(11)
 		for l := 0; l < n; l++ {
 			in.Lines = append(in.Lines, OrderLine{Item: nonUniform(rng, w.Cfg.Items), Qty: 1 + rng.Intn(10)})
+			if remote() {
+				if in.SupplyWH == nil {
+					in.SupplyWH = make([]int, 0, n)
+					for k := 0; k < l; k++ {
+						in.SupplyWH = append(in.SupplyWH, in.WH)
+					}
+				}
+				in.SupplyWH = append(in.SupplyWH, otherWH(rng, w.Cfg.Warehouses, in.WH))
+			} else if in.SupplyWH != nil {
+				in.SupplyWH = append(in.SupplyWH, in.WH)
+			}
 		}
 		return in
 	case roll < 88:
-		return TxnInput{
+		in := TxnInput{
 			Kind: TxPayment,
 			WH:   rng.Intn(w.Cfg.Warehouses), D: rng.Intn(10), C: nonUniform(rng, w.Cfg.CustPerDis),
 			Amount: 1 + 4999*rng.Float64(),
 		}
+		in.CWH = in.WH
+		if remote() {
+			in.CWH = otherWH(rng, w.Cfg.Warehouses, in.WH)
+		}
+		return in
 	case roll < 92:
 		return TxnInput{
 			Kind: TxOrderStatus,
@@ -115,6 +172,12 @@ func (w *TPCC) GenInput(rng *rand.Rand) TxnInput {
 // its own seeded rng. This order is the serialization order the cohort
 // scheduler reproduces.
 func (w *TPCC) StagedInputs(clients, perClient int, seed int64) []TxnInput {
+	return w.StagedInputsMix(clients, perClient, seed, 0)
+}
+
+// StagedInputsMix is StagedInputs with GenInputMix's remote-warehouse
+// knob.
+func (w *TPCC) StagedInputsMix(clients, perClient int, seed int64, remotePct int) []TxnInput {
 	rngs := make([]*rand.Rand, clients)
 	for k := range rngs {
 		rngs[k] = rand.New(rand.NewSource(seed + int64(k)*31))
@@ -122,7 +185,7 @@ func (w *TPCC) StagedInputs(clients, perClient int, seed int64) []TxnInput {
 	out := make([]TxnInput, 0, clients*perClient)
 	for t := 0; t < perClient; t++ {
 		for k := 0; k < clients; k++ {
-			out = append(out, w.GenInput(rngs[k]))
+			out = append(out, w.GenInputMix(rngs[k], remotePct))
 		}
 	}
 	return out
@@ -393,9 +456,9 @@ func (s *stagedTxn) stepNewOrder(ctx *engine.Ctx) (oltp.StepOutcome, error) {
 		}
 		s.price = engine.RowFloat(iRow, 8)
 		s.pc = 5
-	case 5: // lock stock
+	case 5: // lock stock (at the line's supply warehouse, possibly remote)
 		s.chargeLock(ctx, 80)
-		sk := w.sKey(in.WH, in.Lines[s.line].Item)
+		sk := w.sKey(in.supplyWH(s.line), in.Lines[s.line].Item)
 		out, err, ok := s.tryLock(ctx, lockKey(lkStock, uint64(sk)), txn.Exclusive)
 		if !ok {
 			return out, err
@@ -403,7 +466,7 @@ func (s *stagedTxn) stepNewOrder(ctx *engine.Ctx) (oltp.StepOutcome, error) {
 		s.pc = 6
 	case 6: // fetch stock
 		s.ch.Charge(ctx.Rec, oltp.StageFetch, 60)
-		row, rid, err := fetchByKey(ctx, w.stock, w.idxStock, w.sKey(in.WH, in.Lines[s.line].Item))
+		row, rid, err := fetchByKey(ctx, w.stock, w.idxStock, w.sKey(in.supplyWH(s.line), in.Lines[s.line].Item))
 		if err != nil {
 			return oltp.StepOutcome{}, err
 		}
@@ -503,16 +566,16 @@ func (s *stagedTxn) stepPayment(ctx *engine.Ctx) (oltp.StepOutcome, error) {
 			return oltp.StepOutcome{}, err
 		}
 		s.pc = 7
-	case 7:
+	case 7: // lock the customer (possibly at a remote warehouse)
 		s.chargeLock(ctx, 150)
-		out, err, ok := s.tryLock(ctx, lockKey(lkCustomer, uint64(w.cKey(in.WH, in.D, in.C))), txn.Exclusive)
+		out, err, ok := s.tryLock(ctx, lockKey(lkCustomer, uint64(w.cKey(in.custWH(), in.D, in.C))), txn.Exclusive)
 		if !ok {
 			return out, err
 		}
 		s.pc = 8
 	case 8:
 		s.ch.Charge(ctx.Rec, oltp.StageProbe, 200)
-		row, rid, err := fetchByKey(ctx, w.customer, w.idxCustomer, w.cKey(in.WH, in.D, in.C))
+		row, rid, err := fetchByKey(ctx, w.customer, w.idxCustomer, w.cKey(in.custWH(), in.D, in.C))
 		if err != nil {
 			return oltp.StepOutcome{}, err
 		}
@@ -531,7 +594,7 @@ func (s *stagedTxn) stepPayment(ctx *engine.Ctx) (oltp.StepOutcome, error) {
 	case 10:
 		s.ch.Charge(ctx.Rec, oltp.StageInsert, 250)
 		s.deferInsert(w.history, []engine.Value{
-			engine.IV(w.cKey(in.WH, in.D, in.C)), engine.FV(in.Amount), engine.IV(0),
+			engine.IV(w.cKey(in.custWH(), in.D, in.C)), engine.FV(in.Amount), engine.IV(0),
 		})
 		s.pc = 11
 	case 11:
