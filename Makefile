@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-share bench-vec bench-oltp bench-oltp-mt bench-json lint fmt
+.PHONY: all build test race bench bench-share bench-vec bench-oltp bench-oltp-mt bench-json serve server-smoke lint fmt
 
 all: build lint test
 
@@ -43,10 +43,21 @@ bench-oltp-mt:
 
 # Machine-readable perf trajectory: rows/sec + simulated vectorized/row
 # speedups for scan, aggregate, join, plus the staged-OLTP comparison and
-# the partitioned-OLTP scaling sweep, into BENCH_pr5.json (archived as a
+# the partitioned-OLTP scaling sweep, into BENCH_pr6.json (archived as a
 # CI artifact so later PRs can diff executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -pr pr5-unified-sched -out BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -pr pr6-api-redesign -out BENCH_pr6.json
+
+# Run the execution server on :8080 (POST /v1/query, POST /v1/txn,
+# GET /v1/jobs/{id}, GET /healthz, GET /metrics).
+serve:
+	$(GO) run ./cmd/dbserver
+
+# End-to-end server smoke: build dbserver, serve one DSS query and one
+# OLTP batch over HTTP, check /metrics counters are live, SIGTERM
+# mid-load, require a clean graceful-drain exit.
+server-smoke:
+	./scripts/server_smoke.sh
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -39,7 +39,7 @@ func benchCell(camp sim.Camp, wk core.WorkloadKind, sat bool) core.Cell {
 
 func mustRun(b *testing.B, c core.Cell) core.CellResult {
 	b.Helper()
-	res, err := runner().Run(c)
+	res, err := runner().RunCell(c)
 	if err != nil {
 		b.Fatal(err)
 	}

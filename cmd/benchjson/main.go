@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -108,7 +109,7 @@ type report struct {
 }
 
 func main() {
-	pr := flag.String("pr", "pr5-unified-sched", "PR label recorded in the report")
+	pr := flag.String("pr", "pr6-api-redesign", "PR label recorded in the report")
 	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -117,6 +118,7 @@ func main() {
 	}
 
 	r := core.NewRunner(core.TestScale())
+	bg := context.Background()
 	rep := report{Version: 3, PR: *pr, Scale: "test"}
 
 	// Native: host-time Q6 on both executors (best of 3 runs each).
@@ -151,20 +153,23 @@ func main() {
 		})
 	}
 
-	// Simulated: vectorized-over-row cycle speedups for scan/agg/join.
+	// Simulated: vectorized-over-row cycle speedups for scan/agg/join,
+	// measured through the unified request API (the same path dbserver
+	// serves).
 	descs := map[int]string{6: "scan (Q6)", 1: "aggregate (Q1)", 13: "join (Q13)"}
 	cell := core.DefaultCell(sim.FatCamp, core.DSS, true)
 	cell.WarmRefs = 5000
 	for _, q := range []int{6, 1, 13} {
-		row, vec, speedup, err := r.VectorizedSpeedup(cell, q, 7)
+		c := cell
+		res, err := r.Run(bg, core.Request{Mode: core.ModeVecDSS, Query: q, Seed: 7, Cell: &c})
 		if err != nil {
 			fatal(err)
 		}
 		rep.Simulated = append(rep.Simulated, simEntry{
 			Query:     q,
-			RowCycles: row.Cycles, VecCycles: vec.Cycles,
-			RowInstr: row.Result.Instructions, VecInstr: vec.Result.Instructions,
-			SpeedupX: speedup, ResultRows: vec.Rows,
+			RowCycles: res.Baseline.Cycles, VecCycles: res.Main.Cycles,
+			RowInstr: res.Baseline.Result.Instructions, VecInstr: res.Main.Result.Instructions,
+			SpeedupX: res.SpeedupX, ResultRows: res.Main.Rows,
 			Description: descs[q],
 		})
 	}
@@ -176,26 +181,26 @@ func main() {
 	for _, sb := range []bool{true, false} {
 		cell := oltpCell
 		cell.StreamBuf = sb
-		mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(cell, core.StagedOLTPOpts{})
+		res, err := r.Run(bg, core.Request{Mode: core.ModeStagedOLTP, Cell: &cell})
 		if err != nil {
 			fatal(err)
 		}
-		side := func(res core.StagedOLTPResult) oltpSide {
+		side := func(s core.Side) oltpSide {
 			mode := "monolithic"
-			if res.Cohorted {
+			if s.Label != "monolithic" {
 				mode = "cohort"
 			}
 			return oltpSide{
-				Mode: mode, Cycles: res.Cycles, Instructions: res.Result.Instructions,
-				L1IMisses: res.Result.Cache.L1IMisses, IStallFrac: res.IStallFrac(),
-				Txns: res.Txns, TxnsPerMcycle: res.TxnsPerMcycle(),
+				Mode: mode, Cycles: s.Cycles, Instructions: s.Result.Instructions,
+				L1IMisses: s.Result.Cache.L1IMisses, IStallFrac: s.IStallFrac(),
+				Txns: s.Txns, TxnsPerMcycle: s.PerMcycle(s.Txns),
 			}
 		}
 		rep.OLTP = append(rep.OLTP, oltpEntry{
-			StreamBuffers: sb, Monolithic: side(mono), Cohort: side(coh),
-			L1IMissReduction: missRed, SpeedupX: speedup,
-			DigestMatch: mono.Digest == coh.Digest,
-			Parks:       coh.Sched.Parks, Wounds: coh.Sched.Wounds,
+			StreamBuffers: sb, Monolithic: side(res.Baseline), Cohort: side(res.Main),
+			L1IMissReduction: res.L1IMissReductionX, SpeedupX: res.SpeedupX,
+			DigestMatch: res.Baseline.Digest == res.Main.Digest,
+			Parks:       res.Main.Sched.Parks, Wounds: res.Main.Sched.Wounds,
 		})
 	}
 
@@ -204,7 +209,12 @@ func main() {
 	// against the single-worker cohort run.
 	sweep := core.DefaultPartitionSweep()
 	partRunner := core.NewRunner(sweep.Scale)
-	_, runs, scaling, err := partRunner.StagedOLTPScaling(sweep.Cell, sweep.Opts, sweep.Parts)
+	partCell := sweep.Cell
+	partRes, err := partRunner.Run(bg, core.Request{
+		Mode: core.ModeStagedOLTP, Clients: sweep.Opts.Clients, Txns: sweep.Opts.PerClient,
+		Cohort: sweep.Opts.Cohort, Seed: sweep.Opts.Seed, RemotePct: sweep.Opts.RemotePct,
+		PartCounts: sweep.Parts, Cell: &partCell,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -212,12 +222,12 @@ func main() {
 		Warehouses: sweep.Scale.TPCC.Warehouses, Clients: sweep.Opts.Clients,
 		PerClient: sweep.Opts.PerClient, RemotePct: sweep.Opts.RemotePct, DigestMatch: true,
 	}
-	for i, run := range runs {
+	for i, run := range partRes.Sweep {
 		pe.Parts = append(pe.Parts, oltpPartSide{
 			Parts: run.Parts, Cycles: run.Cycles,
 			L1IMisses: run.Result.Cache.L1IMisses,
 			Parks:     run.Sched.Parks, Wounds: run.Sched.Wounds, Fenced: run.Fenced,
-			TxnsPerMcycle: run.TxnsPerMcycle(), ScalingX: scaling[i],
+			TxnsPerMcycle: run.PerMcycle(run.Txns), ScalingX: partRes.ScalingX[i],
 		})
 	}
 	rep.Partitioned = append(rep.Partitioned, pe)

@@ -1,6 +1,9 @@
 // Command cmpsim runs one chip-multiprocessor simulation cell — a camp,
 // workload, and configuration — and prints its execution-time breakdown,
-// the unit of analysis throughout the paper.
+// the unit of analysis throughout the paper. The executor-comparison
+// modes (-vec, -share, -workers, -steps) are clients of the unified
+// core.Request/core.Result API, the same surface cmd/dbserver exposes
+// over HTTP.
 //
 // Examples:
 //
@@ -14,149 +17,55 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
 
 func main() {
-	campFlag := flag.String("camp", "fc", "core camp: fc (out-of-order) or lc (multithreaded in-order)")
-	wkFlag := flag.String("workload", "oltp", "workload: oltp or dss")
-	unsat := flag.Bool("unsaturated", false, "single client, response-time mode")
-	clients := flag.Int("clients", 0, "saturated client count (0 = paper default)")
-	cores := flag.Int("cores", 4, "cores on chip")
-	l2mb := flag.Int("l2mb", 26, "L2 size in MB")
-	l2lat := flag.Int("l2lat", 0, "L2 hit latency in cycles (0 = Cacti model)")
-	smp := flag.Bool("smp", false, "private L2 per core (SMP) instead of shared (CMP)")
-	query := flag.Int("query", 6, "DSS query analog for unsaturated runs (1, 6, 13, 16)")
-	workers := flag.Int("workers", 0, "run one DSS query on the morsel-driven parallel executor with N workers (1 and 6; 13 runs the parallel-join core)")
-	shareFlag := flag.Bool("share", false, "compare -clients concurrent DSS clients with and without cross-query work sharing (shared circular scans + result reuse); -query picks 1, 6, 13, or 0 for the mix")
-	vecFlag := flag.Bool("vec", false, "compare one serial DSS query on the vectorized executor against the row-at-a-time reference path (identical chip geometry); -query picks 1, 6, or 13")
-	stepsFlag := flag.Bool("steps", false, "compare monolithic OLTP execution against the STEPS-style cohort-scheduled staged executor (identical chip geometry, identical transaction inputs, byte-identical effects); -clients sets logical client streams, -cohort the in-flight window")
-	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
-	txnsFlag := flag.Int("txns", 8, "transactions per logical client for -steps")
-	partsFlag := flag.Int("parts", 1, "with -steps: partition the cohort scheduler by home warehouse across N workers (one per simulated core) and report scaling vs 1 partition")
-	remoteFlag := flag.Int("remote", 0, "with -steps: percent chance a NewOrder line / Payment customer is drawn from a remote warehouse (cross-partition transactions are fenced)")
-	window := flag.Uint64("window", 400000, "measured window in cycles (saturated)")
-	warm := flag.Int("warm", 400000, "functional-warming refs per thread")
-	scale := flag.String("scale", "full", "workload scale: full or test")
+	var opts cli.Options
+	opts.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
-	var camp sim.Camp
-	switch *campFlag {
-	case "fc":
-		camp = sim.FatCamp
-	case "lc":
-		camp = sim.LeanCamp
-	default:
-		fmt.Fprintf(os.Stderr, "unknown camp %q\n", *campFlag)
+	sc, err := opts.ScaleCfg()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var wk core.WorkloadKind
-	switch *wkFlag {
-	case "oltp":
-		wk = core.OLTP
-	case "dss":
-		wk = core.DSS
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wkFlag)
-		os.Exit(2)
-	}
-	sc := core.FullScale()
-	if *scale == "test" {
-		sc = core.TestScale()
-	}
-
-	cell := core.DefaultCell(camp, wk, !*unsat)
-	cell.Cores = *cores
-	cell.L2Size = *l2mb << 20
-	cell.L2Lat = *l2lat
-	cell.SharedL2 = !*smp
-	cell.UnsatQuery = *query
-	cell.WindowCycles = *window
-	cell.WarmRefs = *warm
-	if *clients > 0 {
-		cell.Clients = *clients
-	}
-	// Unsaturated DSS runs measure one query to completion; the saturated
-	// warming default would consume a whole vectorized test-scale query
-	// before measurement starts. OLTP unsaturated runs keep the heavy
-	// default (their transaction stream is effectively unbounded).
-	if *unsat && wk == core.DSS && !flagWasSet("warm") {
-		cell.WarmRefs = 50000
-		if *scale == "test" {
-			cell.WarmRefs = 20000
-		}
-	}
-
-	if *stepsFlag {
-		if wk != core.OLTP {
-			fmt.Fprintln(os.Stderr, "-steps requires -workload oltp (staged transaction execution)")
-			os.Exit(2)
-		}
-		if !flagWasSet("warm") {
-			cell.WarmRefs = 10000
-		}
-		clientsN := *clients
-		if clientsN <= 0 {
-			clientsN = 8
-		}
-		runSteps(core.NewRunner(sc), cell, clientsN, *txnsFlag, *cohortFlag, *partsFlag, *remoteFlag)
-		return
-	}
-
-	if *vecFlag {
-		if wk != core.DSS {
-			fmt.Fprintln(os.Stderr, "-vec requires -workload dss (vectorized query execution)")
-			os.Exit(2)
-		}
-		if !flagWasSet("warm") {
-			cell.WarmRefs = 5000
-		}
-		runVec(core.NewRunner(sc), cell, *query)
-		return
-	}
-
-	if *shareFlag {
-		if wk != core.DSS {
-			fmt.Fprintln(os.Stderr, "-share requires -workload dss (cross-query work sharing)")
-			os.Exit(2)
-		}
-		k := *clients
-		if k <= 0 {
-			k = 8
-		}
-		if !flagWasSet("warm") {
-			// Shared consumers' traces are short (they skip the decode);
-			// a heavy warm would consume a larger fraction of the shared
-			// side than of the private side and bias the comparison.
-			cell.WarmRefs = 20000
-		}
-		runShare(core.NewRunner(sc), cell, *query, k)
-		return
-	}
-
-	if *workers > 0 {
-		if wk != core.DSS {
-			fmt.Fprintln(os.Stderr, "-workers requires -workload dss (intra-query parallelism)")
-			os.Exit(2)
-		}
-		// The saturated -warm default would consume a whole test-scale
-		// query during functional warming; parallel runs measure to
-		// completion, so default to a light warm unless -warm was given.
-		if !flagWasSet("warm") {
-			cell.WarmRefs = 50000
-		}
-		runParallel(core.NewRunner(sc), cell, *query, *workers)
-		return
-	}
-
-	fmt.Printf("cell: %v  (L2 hit latency %d cycles)\n", cell, cell.SimConfig().Hier.L2Lat)
 	r := core.NewRunner(sc)
-	res, err := r.Run(cell)
+
+	if mode, ok := opts.Mode(); ok {
+		req, err := opts.Request()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		switch mode {
+		case core.ModeStagedOLTP:
+			runSteps(r, req)
+		case core.ModeVecDSS:
+			runVec(r, req)
+		case core.ModeSharedDSS:
+			runShare(r, req)
+		case core.ModeParallelDSS:
+			runParallel(r, req)
+		}
+		return
+	}
+
+	cell, err := opts.Cell()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	wk, _ := opts.WorkloadKind()
+	fmt.Printf("cell: %v  (L2 hit latency %d cycles)\n", cell, cell.SimConfig().Hier.L2Lat)
+	res, err := r.RunCell(cell)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -196,58 +105,62 @@ func main() {
 	fmt.Printf("  port queue cycles: %d\n", st.PortQueueCycles)
 }
 
-// runParallel measures one query on the morsel-driven executor at 1 and
-// at N workers — on the same chip geometry, taken from cell so -cores,
-// -l2mb, -l2lat, -smp and -warm apply — printing cycles and the
-// intra-query speedup.
-func runParallel(r *core.Runner, cell core.Cell, query, workers int) {
-	res, speedup, err := r.ParallelSpeedup(cell, query, []int{1, workers}, 7)
+// run executes one unified request, exiting on error.
+func run(r *core.Runner, req core.Request) core.Result {
+	res, err := r.Run(context.Background(), req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	return res
+}
+
+// runParallel measures one query on the morsel-driven executor at 1 and
+// at N workers — on the same chip geometry, taken from the cell flags —
+// printing cycles and the intra-query speedup.
+func runParallel(r *core.Runner, req core.Request) {
+	res := run(r, req)
+	cell := req.Cell
 	fmt.Printf("morsel-parallel q%d on %v (%d cores, %d MB L2):\n",
-		query, cell.Camp, max(cell.Cores, workers), cell.L2Size>>20)
-	for _, p := range res {
+		req.Query, cell.Camp, max(cell.Cores, req.Workers), cell.L2Size>>20)
+	for _, p := range res.Sweep {
 		fmt.Printf("  %2d worker(s): %12d cycles  (%d rows, IPC %.3f)\n",
 			p.Workers, p.Cycles, p.Rows, p.Result.IPC())
 	}
-	fmt.Printf("  speedup %dw over 1w: %.2fx\n", workers, speedup)
+	fmt.Printf("  speedup %dw over 1w: %.2fx\n", res.Main.Workers, res.SpeedupX)
 }
 
 // runVec measures one serial query on the row-at-a-time reference
 // operators and on the vectorized executor, on identical chip geometry,
 // printing cycles for both and the vectorized speedup.
-func runVec(r *core.Runner, cell core.Cell, query int) {
-	row, vec, speedup, err := r.VectorizedSpeedup(cell, query, 7)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func runVec(r *core.Runner, req core.Request) {
+	res := run(r, req)
+	cell := req.Cell
 	fmt.Printf("vectorized executor, q%d on %v (%d cores, %d MB L2):\n",
-		query, cell.Camp, cell.Cores, cell.L2Size>>20)
-	for _, res := range []core.VecDSSResult{row, vec} {
+		req.Query, cell.Camp, cell.Cores, cell.L2Size>>20)
+	for _, s := range []core.Side{res.Baseline, res.Main} {
 		mode := "row-at-a-time (Volcano)"
-		if res.Vectorized {
+		if s.Label == "vectorized" {
 			mode = "vectorized   (blocks) "
 		}
 		fmt.Printf("  %s %12d cycles  (%d rows, IPC %.3f, %d instr)\n",
-			mode, res.Cycles, res.Rows, res.Result.IPC(), res.Result.Instructions)
+			mode, s.Cycles, s.Rows, s.Result.IPC(), s.Result.Instructions)
 	}
-	fmt.Printf("  vectorized speedup: %.2fx\n", speedup)
+	fmt.Printf("  vectorized speedup: %.2fx\n", res.SpeedupX)
+	fmt.Printf("  result digests: row %#x == vectorized %#x\n", res.Baseline.Digest, res.Main.Digest)
 }
 
 // runSteps measures the same deterministic transaction stream executed
 // monolithically and cohort-scheduled (STEPS) on identical chip geometry
 // and prints the paired comparison: the staged path must cut L1I misses
 // and instruction stalls while producing byte-identical database state.
-// With parts > 1 it additionally runs the cohort side partitioned by home
-// warehouse across that many scheduler workers and prints the scaling
+// With parts > 1 the request sweeps {1, parts} and prints the scaling
 // against the single-worker cohort run.
-func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort, parts, remotePct int) {
-	opts := core.StagedOLTPOpts{Clients: clients, PerClient: perClient, Cohort: cohort, RemotePct: remotePct}
+func runSteps(r *core.Runner, req core.Request) {
+	resolved := req.WithDefaults()
 	fmt.Printf("staged OLTP (STEPS), %d clients x %d txns, cohort %d, on %v (%d cores, %d MB L2):\n",
-		clients, perClient, cohort, cell.Camp, cell.Cores, cell.L2Size>>20)
+		resolved.Clients, resolved.Txns, resolved.Cohort,
+		req.Cell.Camp, req.Cell.Cores, req.Cell.L2Size>>20)
 
 	// Two instruction-delivery regimes on otherwise identical geometry:
 	// with stream buffers the synthetic sequential code walks prefetch
@@ -255,104 +168,82 @@ func runSteps(r *core.Runner, cell core.Cell, clients, perClient, cohort, parts,
 	// without them (real OLTP control flow is branchy, the paper's
 	// I-stalls persist despite prefetching) it shows up in cycles too.
 	for _, sb := range []bool{true, false} {
-		c := cell
-		c.StreamBuf = sb
+		cell := *req.Cell
+		cell.StreamBuf = sb
+		sreq := req
+		sreq.Cell = &cell
 		label := "stream buffers on "
 		if !sb {
 			label = "stream buffers off"
 		}
 		fmt.Printf("\n  [%s]\n", label)
 
-		if parts <= 1 {
-			mono, coh, missRed, speedup, err := r.StagedOLTPSpeedup(c, opts)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		res := run(r, sreq)
+		printStepsPair(res.Baseline, res.Sweep[0])
+		if len(res.Sweep) > 1 {
+			for i, s := range res.Sweep[1:] {
+				fmt.Printf("  cohort x%d partitions          %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle  (%.2fx vs 1 part, %d fenced)\n",
+					s.Parts, s.Cycles, s.Result.Cache.L1IMisses, s.IStallFrac()*100,
+					s.PerMcycle(s.Txns), res.ScalingX[i+1], s.Fenced)
+				for p, st := range s.PerPart {
+					fmt.Printf("    part %d: %3d txns, %4d steps, %3d parks, %2d wounds\n",
+						p, st.Committed, st.Steps, st.Parks, st.Wounds)
+				}
 			}
-			printStepsPair(mono, coh)
-			fmt.Printf("  L1I miss reduction: %.2fx   speedup: %.2fx\n", missRed, speedup)
-			fmt.Printf("  state digests: monolithic %#x == cohort %#x\n", mono.Digest, coh.Digest)
-			printSchedStats(coh)
-			continue
+			fmt.Printf("  state digests: all runs == monolithic %#x\n", res.Baseline.Digest)
+		} else {
+			fmt.Printf("  L1I miss reduction: %.2fx   speedup: %.2fx\n", res.L1IMissReductionX, res.SpeedupX)
+			fmt.Printf("  state digests: monolithic %#x == cohort %#x\n", res.Baseline.Digest, res.Main.Digest)
 		}
-
-		mono, runs, scaling, err := r.StagedOLTPScaling(c, opts, []int{1, parts})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		printStepsPair(mono, runs[0])
-		for i, run := range runs[1:] {
-			fmt.Printf("  cohort x%d partitions          %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle  (%.2fx vs 1 part, %d fenced)\n",
-				run.Parts, run.Cycles, run.Result.Cache.L1IMisses, run.IStallFrac()*100,
-				run.TxnsPerMcycle(), scaling[i+1], run.Fenced)
-			for p, st := range run.PerPart {
-				fmt.Printf("    part %d: %3d txns, %4d steps, %3d parks, %2d wounds\n",
-					p, st.Committed, st.Steps, st.Parks, st.Wounds)
-			}
-		}
-		fmt.Printf("  state digests: all runs == monolithic %#x\n", mono.Digest)
-		printSchedStats(runs[len(runs)-1])
+		printSchedStats(res.Main)
 	}
 }
 
 // printStepsPair prints the monolithic and single-worker cohort rows.
-func printStepsPair(mono, coh core.StagedOLTPResult) {
-	for _, res := range []core.StagedOLTPResult{mono, coh} {
+func printStepsPair(mono, coh core.Side) {
+	for _, s := range []core.Side{mono, coh} {
 		mode := "monolithic (per-txn code bodies)"
-		if res.Cohorted {
+		if s.Label != "monolithic" {
 			mode = "cohort     (shared stage segs) "
 		}
 		fmt.Printf("  %s %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle\n",
-			mode, res.Cycles, res.Result.Cache.L1IMisses, res.IStallFrac()*100, res.TxnsPerMcycle())
+			mode, s.Cycles, s.Result.Cache.L1IMisses, s.IStallFrac()*100, s.PerMcycle(s.Txns))
 	}
 }
 
 // printSchedStats prints the cohort run's summed scheduler counters.
-func printSchedStats(coh core.StagedOLTPResult) {
+func printSchedStats(coh core.Side) {
 	s := coh.Sched
 	fmt.Printf("  scheduler: %d quanta, %d stage switches, %d steps, %d parks, %d wounds, %d deadlocks\n",
 		s.Quanta, s.StageSwitches, s.Steps, s.Parks, s.Wounds, s.Deadlocks)
 }
 
-// flagWasSet reports whether the named flag was given on the command line.
-func flagWasSet(name string) bool {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
-}
-
 // runShare measures K concurrent DSS clients with and without the
 // cross-query work-sharing subsystem on identical chip geometry and
 // prints aggregate throughput for both, plus the sharing internals.
-func runShare(r *core.Runner, cell core.Cell, query, clients int) {
-	un, sh, ratio, err := r.SharedSpeedup(cell, query, clients, 7)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	qname := fmt.Sprintf("q%d", query)
-	if query == 0 {
+func runShare(r *core.Runner, req core.Request) {
+	res := run(r, req)
+	qname := fmt.Sprintf("q%d", req.Query)
+	if req.Query == 0 {
 		qname = "q1/q6/q13 mix"
 	}
+	clients := res.Request.Clients
+	cell := req.Cell
 	fmt.Printf("cross-query work sharing, %s, %d clients on %v (%d cores, %d MB L2):\n",
 		qname, clients, cell.Camp, cell.Cores, cell.L2Size>>20)
-	for _, res := range []core.SharedDSSResult{un, sh} {
+	for _, s := range []core.Side{res.Baseline, res.Main} {
 		mode := "unshared (private scans)"
-		if res.Shared {
+		if s.Label == "shared" {
 			mode = "shared   (circular scans)"
 		}
 		fmt.Printf("  %s %12d cycles  %7.3f queries/Mcycle  (IPC %.3f, %d rows)\n",
-			mode, res.Cycles, res.Throughput(), res.Result.IPC(), res.Rows)
+			mode, s.Cycles, s.PerMcycle(clients), s.Result.IPC(), s.Rows)
 	}
-	fmt.Printf("  aggregate throughput gain: %.2fx\n", ratio)
+	sh := res.Main
+	fmt.Printf("  aggregate throughput gain: %.2fx\n", res.SpeedupX)
 	fmt.Printf("  sharing: %d attaches, %d rotations, %d producer runs, %d pages scanned, %d batches\n",
 		sh.Scans.Attaches, sh.Scans.Rotations, sh.Scans.ProducerRuns, sh.Scans.PagesScanned, sh.Scans.Batches)
-	fmt.Printf("  result cache: %d hits, %d misses\n", sh.Cache.Hits, sh.Cache.Misses)
+	fmt.Printf("  result cache: %d hits, %d misses\n", sh.Reuse.Hits, sh.Reuse.Misses)
 }
 
 func pct(a, b uint64) float64 {

@@ -1,0 +1,83 @@
+// Command dbserver serves the unified execution API over HTTP/JSON:
+// POST /v1/query runs a DSS measurement, POST /v1/txn a staged-OLTP
+// transaction batch (add "async": true to either body for a pollable
+// job on GET /v1/jobs/{id}), GET /metrics exposes Prometheus-style
+// counters, and GET /healthz reports liveness. Results are byte-
+// identical to batch-mode core.Runner.Run on the same request — the
+// server is a transport, not a different engine.
+//
+// On SIGTERM or SIGINT the server drains gracefully: it stops admitting
+// (healthz flips to 503 so load balancers fail it out), waits up to
+// -drain-timeout for admitted executions to finish, then shuts the
+// listener down and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "full", "workload scale: full or test")
+	maxInflight := flag.Int("max-inflight", 8, "global cap on admitted sessions")
+	perTenant := flag.Int("per-tenant", 4, "per-tenant cap on admitted sessions (X-Tenant header)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight work on shutdown")
+	flag.Parse()
+
+	var sc core.Scale
+	switch *scale {
+	case "full":
+		sc = core.FullScale()
+	case "test":
+		sc = core.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (have full, test)\n", *scale)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Scale: &sc, MaxInFlight: *maxInflight, PerTenant: *perTenant,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dbserver: listening on %s (scale=%s, max-inflight=%d, per-tenant=%d)\n",
+			*addr, *scale, *maxInflight, *perTenant)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "dbserver: draining (no new work admitted)")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dbserver: %v (abandoning in-flight work)\n", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dbserver: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "dbserver: final counters:")
+	srv.Metrics.WritePrometheus(os.Stderr)
+	fmt.Fprintln(os.Stderr, "dbserver: drained; bye")
+}

@@ -16,32 +16,25 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/engine"
 	"repro/internal/oltp"
 	"repro/internal/workload"
 )
 
 func main() {
-	txns := flag.Int("txns", 2000, "TPC-C-like transactions to run")
-	lineitems := flag.Int("lineitems", 100000, "TPC-H-like lineitem rows")
-	workers := flag.Int("workers", 1, "morsel-parallel workers for the DSS analogs (Q1/Q6)")
-	shareFlag := flag.Bool("share", false, "run DSS analogs through the work-sharing subsystem (shared circular scans + result reuse)")
-	clients := flag.Int("clients", 8, "concurrent clients for the -share throughput comparison")
-	rowFlag := flag.Bool("row", false, "run serial DSS analogs on the row-at-a-time reference operators instead of the vectorized executor")
-	stepsFlag := flag.Bool("steps", false, "compare monolithic vs STEPS-style cohort-scheduled OLTP natively (no simulation): same inputs, byte-identical state, scheduler statistics")
-	cohortFlag := flag.Int("cohort", 16, "in-flight transactions for -steps cohort scheduling")
-	partsFlag := flag.Int("parts", 1, "with -steps: partition the cohort scheduler by home warehouse across N native workers")
-	remoteFlag := flag.Int("remote", 0, "with -steps: percent chance of remote-warehouse NewOrder lines / Payment customers (cross-partition transactions are fenced)")
+	var opts cli.Options
+	opts.RegisterNative(flag.CommandLine)
 	flag.Parse()
 
-	if *stepsFlag {
-		if err := runSteps(*txns, *cohortFlag, *partsFlag, *remoteFlag); err != nil {
+	if opts.Steps {
+		if err := runSteps(opts.Txns, opts.Cohort, opts.Parts, opts.Remote); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*txns, *lineitems, *workers, *shareFlag, *clients, *rowFlag); err != nil {
+	if err := run(opts.Txns, opts.Lineitems, opts.Workers, opts.Share, opts.Clients, opts.Row); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -21,7 +21,7 @@ func main() {
 		cell := core.DefaultCell(camp, core.OLTP, true)
 		cell.WarmRefs = 150000
 		cell.WindowCycles = 250000
-		res, err := runner.Run(cell)
+		res, err := runner.RunCell(cell)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

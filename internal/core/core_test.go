@@ -59,7 +59,7 @@ func TestSimConfigUsesCactiLatency(t *testing.T) {
 }
 
 func TestRunSaturatedOLTPCell(t *testing.T) {
-	res, err := sharedRunner.Run(shortCell(sim.FatCamp, OLTP, true))
+	res, err := sharedRunner.RunCell(shortCell(sim.FatCamp, OLTP, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRunSaturatedOLTPCell(t *testing.T) {
 func TestRunUnsaturatedDSSCellCompletes(t *testing.T) {
 	c := shortCell(sim.FatCamp, DSS, false)
 	c.UnsatQuery = 6
-	res, err := sharedRunner.Run(c)
+	res, err := sharedRunner.RunCell(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,22 +96,22 @@ func TestRunUnsaturatedDSSCellCompletes(t *testing.T) {
 func TestCampComparisonDirections(t *testing.T) {
 	// The paper's headline directional results at reduced scale: LC wins
 	// saturated throughput, FC wins unsaturated response time.
-	fcSat, err := sharedRunner.Run(shortCell(sim.FatCamp, OLTP, true))
+	fcSat, err := sharedRunner.RunCell(shortCell(sim.FatCamp, OLTP, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	lcSat, err := sharedRunner.Run(shortCell(sim.LeanCamp, OLTP, true))
+	lcSat, err := sharedRunner.RunCell(shortCell(sim.LeanCamp, OLTP, true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lcSat.Throughput <= fcSat.Throughput {
 		t.Errorf("saturated LC IPC %.2f not above FC %.2f", lcSat.Throughput, fcSat.Throughput)
 	}
-	fcU, err := sharedRunner.Run(shortCell(sim.FatCamp, OLTP, false))
+	fcU, err := sharedRunner.RunCell(shortCell(sim.FatCamp, OLTP, false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	lcU, err := sharedRunner.Run(shortCell(sim.LeanCamp, OLTP, false))
+	lcU, err := sharedRunner.RunCell(shortCell(sim.LeanCamp, OLTP, false))
 	if err != nil {
 		t.Fatal(err)
 	}

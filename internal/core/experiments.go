@@ -20,7 +20,7 @@ func (r *Runner) Figure2(clients []int) ([]Fig2Point, error) {
 	for _, n := range clients {
 		c := DefaultCell(sim.FatCamp, DSS, true)
 		c.Clients = n
-		res, err := r.Run(c)
+		res, err := r.RunCell(c)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +43,7 @@ type Fig4Result struct {
 func (r *Runner) Figure4() (Fig4Result, error) {
 	var out Fig4Result
 	run := func(camp sim.Camp, wk WorkloadKind, sat bool) (CellResult, error) {
-		res, err := r.Run(DefaultCell(camp, wk, sat))
+		res, err := r.RunCell(DefaultCell(camp, wk, sat))
 		if err == nil {
 			out.Cells = append(out.Cells, res)
 		}
@@ -64,7 +64,7 @@ func (r *Runner) Figure4() (Fig4Result, error) {
 		for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
 			cell := DefaultCell(camp, DSS, false)
 			cell.UnsatQuery = q
-			res, err := r.Run(cell)
+			res, err := r.RunCell(cell)
 			if err != nil {
 				return out, err
 			}
@@ -106,7 +106,7 @@ func (r *Runner) Figure5() ([]CellResult, error) {
 	for _, sat := range []bool{false, true} {
 		for _, wk := range []WorkloadKind{OLTP, DSS} {
 			for _, camp := range []sim.Camp{sim.FatCamp, sim.LeanCamp} {
-				res, err := r.Run(DefaultCell(camp, wk, sat))
+				res, err := r.RunCell(DefaultCell(camp, wk, sat))
 				if err != nil {
 					return nil, err
 				}
@@ -141,13 +141,13 @@ func (r *Runner) Figure6(wk WorkloadKind, sizesMB []int) ([]Fig6Point, error) {
 		cellConst := DefaultCell(sim.FatCamp, wk, true)
 		cellConst.L2Size = mb << 20
 		cellConst.L2Lat = 4
-		resConst, err := r.Run(cellConst)
+		resConst, err := r.RunCell(cellConst)
 		if err != nil {
 			return nil, err
 		}
 		cellReal := cellConst
 		cellReal.L2Lat = 0 // Cacti
-		resReal, err := r.Run(cellReal)
+		resReal, err := r.RunCell(cellReal)
 		if err != nil {
 			return nil, err
 		}
@@ -182,14 +182,14 @@ func (r *Runner) Figure7(wk WorkloadKind) (Fig7Result, error) {
 	smp := DefaultCell(sim.FatCamp, wk, true)
 	smp.SharedL2 = false
 	smp.L2Size = 4 << 20
-	smpRes, err := r.Run(smp)
+	smpRes, err := r.RunCell(smp)
 	if err != nil {
 		return Fig7Result{}, err
 	}
 	cmp := DefaultCell(sim.FatCamp, wk, true)
 	cmp.SharedL2 = true
 	cmp.L2Size = 16 << 20
-	cmpRes, err := r.Run(cmp)
+	cmpRes, err := r.RunCell(cmp)
 	if err != nil {
 		return Fig7Result{}, err
 	}
@@ -233,7 +233,7 @@ func (r *Runner) Figure8(wk WorkloadKind, cores []int) ([]Fig8Point, error) {
 		if wk == DSS {
 			c.Clients = n * 4
 		}
-		res, err := r.Run(c)
+		res, err := r.RunCell(c)
 		if err != nil {
 			return nil, err
 		}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,23 +44,49 @@ type StagedOLTPOpts struct {
 	RemotePct int
 }
 
-func (o StagedOLTPOpts) withDefaults() StagedOLTPOpts {
-	if o.Clients <= 0 {
+// WithDefaults resolves every zero-valued field to its default — THE one
+// place sane cohort/txns/parts values come from; callers must not
+// re-derive them. Negative values are left for Validate to reject.
+func (o StagedOLTPOpts) WithDefaults() StagedOLTPOpts {
+	if o.Clients == 0 {
 		o.Clients = 8
 	}
-	if o.PerClient <= 0 {
+	if o.PerClient == 0 {
 		o.PerClient = 8
 	}
-	if o.Cohort <= 0 {
+	if o.Cohort == 0 {
 		o.Cohort = 16
 	}
 	if o.Seed == 0 {
 		o.Seed = 7
 	}
-	if o.Parts <= 0 {
+	if o.Parts == 0 {
 		o.Parts = 1
 	}
 	return o
+}
+
+// Validate rejects unrunnable options with a *ValidationError instead of
+// letting a bad partition or remote draw panic deep in partitioning. It
+// assumes WithDefaults has resolved zero values; RunStagedOLTP applies
+// both.
+func (o StagedOLTPOpts) Validate() error {
+	if o.Clients < 1 {
+		return &ValidationError{Field: "clients", Reason: fmt.Sprintf("%d client streams (need >= 1)", o.Clients)}
+	}
+	if o.PerClient < 1 {
+		return &ValidationError{Field: "txns", Reason: fmt.Sprintf("%d transactions per client (need >= 1)", o.PerClient)}
+	}
+	if o.Cohort < 1 {
+		return &ValidationError{Field: "cohort", Reason: fmt.Sprintf("cohort window %d (need >= 1)", o.Cohort)}
+	}
+	if o.Parts < 1 {
+		return &ValidationError{Field: "parts", Reason: fmt.Sprintf("%d partitions (need >= 1)", o.Parts)}
+	}
+	if o.RemotePct < 0 || o.RemotePct > 100 {
+		return &ValidationError{Field: "remote", Reason: fmt.Sprintf("remote%% %d outside [0,100]", o.RemotePct)}
+	}
+	return nil
 }
 
 // StagedOLTPResult is one side of the paired measurement.
@@ -100,7 +127,10 @@ func (r StagedOLTPResult) IStallFrac() float64 {
 // reference and a single-partition cohort run use one traced worker
 // thread; a partitioned cohort run (o.Parts > 1) uses one per partition.
 func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (StagedOLTPResult, error) {
-	o = o.withDefaults()
+	o = o.WithDefaults()
+	if err := o.Validate(); err != nil {
+		return StagedOLTPResult{}, err
+	}
 	w, err := workload.BuildTPCC(r.ScaleCfg.TPCC)
 	if err != nil {
 		return StagedOLTPResult{}, err
@@ -198,23 +228,20 @@ func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (Stag
 // plus the L1I-miss reduction (monolithic misses over cohort misses) and
 // the response-time speedup (monolithic cycles over cohort cycles). It
 // fails if the two executions do not produce byte-identical state.
+//
+// Deprecated: build a Request with ModeStagedOLTP and call Run.
 func (r *Runner) StagedOLTPSpeedup(cell Cell, o StagedOLTPOpts) (mono, coh StagedOLTPResult, missReduction, speedup float64, err error) {
-	mono, err = r.RunStagedOLTP(cell, false, o)
+	o = o.WithDefaults()
+	res, err := r.Run(context.Background(), Request{
+		Mode: ModeStagedOLTP, Clients: o.Clients, Txns: o.PerClient,
+		Cohort: o.Cohort, Seed: o.Seed, Parts: o.Parts, RemotePct: o.RemotePct,
+		Cell: &cell,
+	})
 	if err != nil {
 		return mono, coh, 0, 0, err
 	}
-	coh, err = r.RunStagedOLTP(cell, true, o)
-	if err != nil {
-		return mono, coh, 0, 0, err
-	}
-	if mono.Digest != coh.Digest {
-		return mono, coh, 0, 0, fmt.Errorf(
-			"core: staged OLTP digest mismatch: monolithic %#x vs cohort %#x (determinism contract violated)",
-			mono.Digest, coh.Digest)
-	}
-	missReduction = float64(mono.Result.Cache.L1IMisses) / float64(max(coh.Result.Cache.L1IMisses, 1))
-	speedup = float64(mono.Cycles) / float64(max(coh.Cycles, 1))
-	return mono, coh, missReduction, speedup, nil
+	return res.Baseline.stagedResult(), res.Main.stagedResult(),
+		res.L1IMissReductionX, res.SpeedupX, nil
 }
 
 // PartitionSweep is the canonical partitioned staged-OLTP measurement:
@@ -249,28 +276,22 @@ func DefaultPartitionSweep() PartitionSweep {
 // byte-identical to the reference. The returned scaling factors are each
 // run's simulated-cycle speedup over the first entry of parts (pass
 // []int{1, ...} to anchor against the single-worker cohort scheduler).
+//
+// Deprecated: build a Request with ModeStagedOLTP and PartCounts and
+// call Run.
 func (r *Runner) StagedOLTPScaling(cell Cell, o StagedOLTPOpts, parts []int) (mono StagedOLTPResult, runs []StagedOLTPResult, scaling []float64, err error) {
-	mono, err = r.RunStagedOLTP(cell, false, o)
+	o = o.WithDefaults()
+	res, err := r.Run(context.Background(), Request{
+		Mode: ModeStagedOLTP, Clients: o.Clients, Txns: o.PerClient,
+		Cohort: o.Cohort, Seed: o.Seed, RemotePct: o.RemotePct,
+		Parts: o.Parts, PartCounts: parts, Cell: &cell,
+	})
 	if err != nil {
 		return mono, nil, nil, err
 	}
-	for _, p := range parts {
-		po := o
-		po.Parts = p
-		run, err := r.RunStagedOLTP(cell, true, po)
-		if err != nil {
-			return mono, runs, scaling, err
-		}
-		if run.Digest != mono.Digest {
-			return mono, runs, scaling, fmt.Errorf(
-				"core: staged OLTP digest mismatch at parts=%d: %#x vs monolithic %#x (determinism contract violated)",
-				p, run.Digest, mono.Digest)
-		}
-		runs = append(runs, run)
+	runs = make([]StagedOLTPResult, 0, len(res.Sweep))
+	for _, s := range res.Sweep {
+		runs = append(runs, s.stagedResult())
 	}
-	base := runs[0].Cycles
-	for _, run := range runs {
-		scaling = append(scaling, float64(base)/float64(max(run.Cycles, 1)))
-	}
-	return mono, runs, scaling, nil
+	return res.Baseline.stagedResult(), runs, res.ScalingX, nil
 }

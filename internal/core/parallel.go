@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -32,6 +33,11 @@ type ParallelDSSResult struct {
 	Result sim.Result
 	// Rows is result rows (queries) or join output rows (join mode).
 	Rows int
+	// Digest fingerprints the row count only: multi-worker float
+	// aggregates agree with serial runs up to addition order, and the
+	// addition order follows morsel claiming, so value bits are not
+	// stable across executions.
+	Digest uint64
 }
 
 // RunParallelDSS executes one query with the morsel-driven executor on a
@@ -118,42 +124,34 @@ func (r *Runner) RunParallelDSS(cell Cell, q, workers int, seed int64) (Parallel
 	}
 	return ParallelDSSResult{
 		Camp: cell.Camp, Query: q, Workers: workers,
-		Cycles: last, Result: res, Rows: rows,
+		Cycles: last, Result: res, Rows: rows, Digest: countDigest(rows),
 	}, nil
 }
 
 // ParallelSpeedup runs q at each worker count on the SAME chip geometry
 // (cell.Cores pinned to the largest count up front, so the ratio
 // measures executor scaling, not hardware scaling) and returns cycles
-// per count plus the speedup of the last count over the first. Each
-// count is measured twice and the faster run kept: trace production is
-// live, so a descheduled worker goroutine can inflate one measurement on
-// a loaded host, and the minimum is the schedule-noise-free response
-// time.
+// per count plus the speedup of the last count over the first.
+//
+// Deprecated: build a Request with ModeParallelDSS (WorkerCounts for a
+// custom sweep) and call Run.
 func (r *Runner) ParallelSpeedup(cell Cell, q int, counts []int, seed int64) ([]ParallelDSSResult, float64, error) {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4}
 	}
-	for _, n := range counts {
-		if cell.Cores < n {
-			cell.Cores = n
-		}
+	res, err := r.Run(context.Background(), Request{
+		Mode: ModeParallelDSS, Query: q, Seed: seed,
+		Workers: counts[len(counts)-1], WorkerCounts: counts, Cell: &cell,
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	out := make([]ParallelDSSResult, 0, len(counts))
-	for _, n := range counts {
-		best, err := r.RunParallelDSS(cell, q, n, seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		again, err := r.RunParallelDSS(cell, q, n, seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		if again.Cycles < best.Cycles {
-			best = again
-		}
-		out = append(out, best)
+	out := make([]ParallelDSSResult, 0, len(res.Sweep))
+	for _, s := range res.Sweep {
+		out = append(out, ParallelDSSResult{
+			Camp: cell.Camp, Query: q, Workers: s.Workers,
+			Cycles: s.Cycles, Result: s.Result, Rows: s.Rows, Digest: s.Digest,
+		})
 	}
-	speedup := float64(out[0].Cycles) / float64(out[len(out)-1].Cycles)
-	return out, speedup, nil
+	return out, res.SpeedupX, nil
 }

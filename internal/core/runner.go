@@ -89,10 +89,13 @@ type clientDone struct {
 	err  error
 }
 
-// Run executes one cell: it spawns one traced client per Cell.Clients,
-// binds their streams to a fresh simulated chip, functionally warms the
-// caches, measures, and tears the clients down.
-func (r *Runner) Run(c Cell) (CellResult, error) {
+// RunCell executes one characterization cell: it spawns one traced
+// client per Cell.Clients, binds their streams to a fresh simulated
+// chip, functionally warms the caches, measures, and tears the clients
+// down. The executor-comparison modes live behind Run (the unified
+// request API); RunCell is the figure/table machinery underneath the
+// paper's characterization experiments.
+func (r *Runner) RunCell(c Cell) (CellResult, error) {
 	cfg := c.SimConfig()
 	chip := sim.NewChip(cfg)
 

@@ -10,7 +10,10 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 
@@ -36,6 +39,12 @@ type SharedDSSResult struct {
 	Cycles uint64
 	Result sim.Result
 	Rows   int // result rows summed over clients
+	// Digest combines each client's RowsDigest in client order. It is
+	// reproducible for unshared runs (fixed phases, fixed seeds) but NOT
+	// comparable across the shared/unshared pair: a consumer attaches to
+	// the circular scan wherever the producer happens to be, so float
+	// aggregates accumulate in a rotated order and differ in low bits.
+	Digest uint64
 	Scans  share.Stats
 	Cache  share.CacheStats
 }
@@ -129,6 +138,7 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 	}
 
 	rows := make([]int, clients)
+	digests := make([]uint64, clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -149,7 +159,7 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 					p.Phase = float64(i%16) / 80
 					res, err = h.RunQuery(ctxs[i], queryOf(i), p)
 				}
-				rows[i], errs[i] = len(res), err
+				rows[i], digests[i], errs[i] = len(res), RowsDigest(res), err
 			}(i)
 		}
 		cwg.Wait()
@@ -178,15 +188,20 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 	wg.Wait()
 
 	out := SharedDSSResult{Camp: cell.Camp, Query: q, Clients: clients, Shared: shared, Result: simRes}
+	dh := fnv.New64a()
+	var dbuf [8]byte
 	for i := 0; i < clients; i++ {
 		if errs[i] != nil {
 			return out, fmt.Errorf("core: shared DSS client %d: %w", i, errs[i])
 		}
 		out.Rows += rows[i]
+		binary.LittleEndian.PutUint64(dbuf[:], digests[i])
+		dh.Write(dbuf[:])
 		if d := simRes.ThreadDone[i]; d > out.Cycles {
 			out.Cycles = d
 		}
 	}
+	out.Digest = dh.Sum64()
 	if out.Cycles == 0 {
 		out.Cycles = simRes.Cycles
 	}
@@ -199,31 +214,20 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 
 // SharedSpeedup measures q at clients concurrent clients in both modes on
 // identical chip geometry and returns (unshared, shared, ratio): the
-// aggregate-throughput gain of cross-query work sharing. Each mode is
-// measured twice and the faster run kept, like ParallelSpeedup, to shed
-// host scheduling noise.
+// aggregate-throughput gain of cross-query work sharing.
+//
+// Deprecated: build a Request with ModeSharedDSS and call Run.
 func (r *Runner) SharedSpeedup(cell Cell, q, clients int, seed int64) (SharedDSSResult, SharedDSSResult, float64, error) {
-	measure := func(shared bool) (SharedDSSResult, error) {
-		best, err := r.RunSharedDSS(cell, q, clients, shared, seed)
-		if err != nil {
-			return best, err
-		}
-		again, err := r.RunSharedDSS(cell, q, clients, shared, seed)
-		if err != nil {
-			return best, err
-		}
-		if again.Cycles < best.Cycles {
-			best = again
-		}
-		return best, nil
-	}
-	un, err := measure(false)
+	res, err := r.Run(context.Background(), Request{Mode: ModeSharedDSS, Query: q, Clients: clients, Seed: seed, Cell: &cell})
 	if err != nil {
-		return un, SharedDSSResult{}, 0, err
+		return SharedDSSResult{}, SharedDSSResult{}, 0, err
 	}
-	sh, err := measure(true)
-	if err != nil {
-		return un, sh, 0, err
+	unpack := func(s Side, shared bool) SharedDSSResult {
+		return SharedDSSResult{
+			Camp: cell.Camp, Query: q, Clients: clients, Shared: shared,
+			Cycles: s.Cycles, Result: s.Result, Rows: s.Rows, Digest: s.Digest,
+			Scans: s.Scans, Cache: s.Reuse,
+		}
 	}
-	return un, sh, float64(un.Cycles) / float64(sh.Cycles), nil
+	return unpack(res.Baseline, false), unpack(res.Main, true), res.SpeedupX, nil
 }

@@ -42,7 +42,7 @@ func (r *Runner) Figure3() (ValidationResult, error) {
 	cell.CtxPerCore = 1
 	cell.Clients = 4 // one per core: every core busy, no overlap to model
 	cell.RowPlans = true
-	res, err := r.Run(cell)
+	res, err := r.RunCell(cell)
 	if err != nil {
 		return ValidationResult{}, err
 	}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -28,6 +29,10 @@ type VecDSSResult struct {
 	Cycles uint64
 	Result sim.Result
 	Rows   int
+	// Digest is RowsDigest of the result set: both executors must
+	// produce byte-identical rows, and the unified API exposes this as
+	// the run's logical-output fingerprint.
+	Digest uint64
 }
 
 // Throughput returns queries per million simulated cycles.
@@ -57,6 +62,7 @@ func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64) (VecDS
 
 	p := workload.RandomParams(rand.New(rand.NewSource(seed)))
 	var rows int
+	var digest uint64
 	var runErr error
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -68,7 +74,7 @@ func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64) (VecDS
 			run = h.RunQuery
 		}
 		v, err := run(ctx, q, p)
-		rows, runErr = len(v), err
+		rows, digest, runErr = len(v), RowsDigest(v), err
 	}()
 
 	warm := cell.WarmRefs
@@ -94,37 +100,25 @@ func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64) (VecDS
 	}
 	return VecDSSResult{
 		Camp: cell.Camp, Query: q, Vectorized: vectorized,
-		Cycles: cycles, Result: res, Rows: rows,
+		Cycles: cycles, Result: res, Rows: rows, Digest: digest,
 	}, nil
 }
 
 // VectorizedSpeedup measures query q on both executors on identical chip
 // geometry and returns (row, vectorized, speedup): cycles of the
-// row-at-a-time path over cycles of the vectorized path. Each side is
-// measured twice and the faster run kept, like ParallelSpeedup, to shed
-// host scheduling noise.
+// row-at-a-time path over cycles of the vectorized path.
+//
+// Deprecated: build a Request with ModeVecDSS and call Run.
 func (r *Runner) VectorizedSpeedup(cell Cell, q int, seed int64) (VecDSSResult, VecDSSResult, float64, error) {
-	measure := func(vectorized bool) (VecDSSResult, error) {
-		best, err := r.RunVecDSS(cell, q, vectorized, seed)
-		if err != nil {
-			return best, err
-		}
-		again, err := r.RunVecDSS(cell, q, vectorized, seed)
-		if err != nil {
-			return best, err
-		}
-		if again.Cycles < best.Cycles {
-			best = again
-		}
-		return best, nil
-	}
-	row, err := measure(false)
+	res, err := r.Run(context.Background(), Request{Mode: ModeVecDSS, Query: q, Seed: seed, Cell: &cell})
 	if err != nil {
-		return row, VecDSSResult{}, 0, err
+		return VecDSSResult{}, VecDSSResult{}, 0, err
 	}
-	vec, err := measure(true)
-	if err != nil {
-		return row, vec, 0, err
+	unpack := func(s Side, vectorized bool) VecDSSResult {
+		return VecDSSResult{
+			Camp: cell.Camp, Query: q, Vectorized: vectorized,
+			Cycles: s.Cycles, Result: s.Result, Rows: s.Rows, Digest: s.Digest,
+		}
 	}
-	return row, vec, float64(row.Cycles) / float64(vec.Cycles), nil
+	return unpack(res.Baseline, false), unpack(res.Main, true), res.SpeedupX, nil
 }

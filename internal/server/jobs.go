@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/server/api"
+)
+
+// jobStore tracks submitted executions. IDs are a plain counter —
+// "job-1", "job-2" — so runs are reproducible and tests can predict
+// them; finished jobs are evicted oldest-first past cap so a long-lived
+// server does not grow without bound.
+type jobStore struct {
+	mu    sync.Mutex
+	next  int
+	cap   int
+	jobs  map[string]*api.Job
+	order []string // creation order, for eviction
+}
+
+func newJobStore(cap int) *jobStore {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &jobStore{cap: cap, jobs: make(map[string]*api.Job)}
+}
+
+// create registers a new job in the queued state and returns a copy.
+func (s *jobStore) create(tenant, mode string) api.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j := &api.Job{
+		ID:     fmt.Sprintf("job-%d", s.next),
+		Tenant: tenant, Mode: mode, Status: "queued",
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	return *j
+}
+
+// evictLocked drops the oldest finished jobs while over capacity.
+// Queued and running jobs are never evicted: their completion still has
+// to land somewhere.
+func (s *jobStore) evictLocked() {
+	for len(s.jobs) > s.cap {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j != nil && (j.Status == "done" || j.Status == "error") {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; allow temporary overshoot
+		}
+	}
+}
+
+// setRunning marks the job as executing.
+func (s *jobStore) setRunning(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		j.Status = "running"
+	}
+}
+
+// finish records the job's outcome.
+func (s *jobStore) finish(id string, res *api.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	if err != nil {
+		j.Status, j.Error = "error", err.Error()
+		return
+	}
+	j.Status, j.Result = "done", res
+}
+
+// get returns a copy of the job, if it exists.
+func (s *jobStore) get(id string) (api.Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return api.Job{}, false
+	}
+	return *j, true
+}

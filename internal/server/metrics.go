@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Metrics is the server's counter set, exposed on GET /metrics in the
+// Prometheus text exposition format. Everything is a monotonic counter
+// except InFlight, a gauge of admitted sessions currently executing.
+// The executor counters (parks, wounds, rotations, cache hits) aggregate
+// the scheduler and sharing statistics of every request the server has
+// completed — the live view of the internals the batch drivers print.
+type Metrics struct {
+	Requests         atomic.Uint64 // admitted requests, by outcome below
+	Errors           atomic.Uint64 // requests that failed (validation or run)
+	AdmissionRejects atomic.Uint64 // 429s: per-tenant or global cap hit
+	DrainRejects     atomic.Uint64 // 503s: refused because draining
+	InFlight         atomic.Int64  // gauge: admitted sessions executing now
+	JobsCreated      atomic.Uint64
+
+	// Cohort-scheduler counters summed over completed staged-oltp runs.
+	Parks         atomic.Uint64
+	Wounds        atomic.Uint64
+	Deadlocks     atomic.Uint64
+	StageSwitches atomic.Uint64
+	FencedTxns    atomic.Uint64
+	TxnsCommitted atomic.Uint64
+
+	// Work-sharing counters summed over completed shared-dss runs.
+	Rotations       atomic.Uint64
+	Attaches        atomic.Uint64
+	ResultCacheHits atomic.Uint64
+	ResultCacheMiss atomic.Uint64
+}
+
+// Observe folds one completed measurement into the counters. Scheduler
+// stats come from every cohort-scheduled side (the sweep); sharing stats
+// from the shared side only (Main) — the baselines run without either
+// subsystem and contribute nothing.
+func (m *Metrics) Observe(res core.Result) {
+	switch res.Mode {
+	case core.ModeStagedOLTP:
+		for _, s := range res.Sweep {
+			m.Parks.Add(uint64(s.Sched.Parks))
+			m.Wounds.Add(uint64(s.Sched.Wounds))
+			m.Deadlocks.Add(uint64(s.Sched.Deadlocks))
+			m.StageSwitches.Add(uint64(s.Sched.StageSwitches))
+			m.FencedTxns.Add(uint64(s.Fenced))
+			m.TxnsCommitted.Add(uint64(s.Txns))
+		}
+	case core.ModeSharedDSS:
+		m.Rotations.Add(res.Main.Scans.Rotations)
+		m.Attaches.Add(res.Main.Scans.Attaches)
+		m.ResultCacheHits.Add(res.Main.Reuse.Hits)
+		m.ResultCacheMiss.Add(res.Main.Reuse.Misses)
+	}
+}
+
+// WritePrometheus renders the counters in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("dbserver_requests_total", "Admitted execution requests.", m.Requests.Load())
+	counter("dbserver_errors_total", "Requests that failed validation or execution.", m.Errors.Load())
+	counter("dbserver_admission_rejects_total", "Requests refused by per-tenant or global caps.", m.AdmissionRejects.Load())
+	counter("dbserver_drain_rejects_total", "Requests refused because the server is draining.", m.DrainRejects.Load())
+	gauge("dbserver_inflight_sessions", "Admitted sessions currently executing.", m.InFlight.Load())
+	counter("dbserver_jobs_created_total", "Jobs created (sync and async).", m.JobsCreated.Load())
+	counter("dbserver_sched_parks_total", "Cohort-scheduler lock parks across completed runs.", m.Parks.Load())
+	counter("dbserver_sched_wounds_total", "Cohort-scheduler deadlock wounds across completed runs.", m.Wounds.Load())
+	counter("dbserver_sched_deadlocks_total", "Deadlock retries across completed runs.", m.Deadlocks.Load())
+	counter("dbserver_sched_stage_switches_total", "Cohort stage switches across completed runs.", m.StageSwitches.Load())
+	counter("dbserver_fenced_txns_total", "Cross-partition transactions run fenced.", m.FencedTxns.Load())
+	counter("dbserver_txns_committed_total", "Transactions committed by staged-oltp runs.", m.TxnsCommitted.Load())
+	counter("dbserver_scan_rotations_total", "Circular shared-scan rotations across completed runs.", m.Rotations.Load())
+	counter("dbserver_scan_attaches_total", "Consumers attached to shared scans across completed runs.", m.Attaches.Load())
+	counter("dbserver_result_cache_hits_total", "Result-reuse cache hits across completed runs.", m.ResultCacheHits.Load())
+	counter("dbserver_result_cache_misses_total", "Result-reuse cache misses across completed runs.", m.ResultCacheMiss.Load())
+}

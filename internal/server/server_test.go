@@ -1,0 +1,381 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server/api"
+)
+
+// newTestServer builds a test-scale server with room for the test's
+// concurrent load.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sc := core.TestScale()
+	s := New(Config{Scale: &sc, MaxInFlight: 8, PerTenant: 8})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func post(t *testing.T, url string, body any, tenant string) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestQueryRoundTrip submits a vec-dss query over HTTP and checks the
+// wire result against a direct batch-mode Run on the same runner: the
+// server must be a transport, not a different engine — digests
+// byte-identical.
+func TestQueryRoundTrip(t *testing.T) {
+	s, hs := newTestServer(t)
+	resp, body := post(t, hs.URL+"/v1/query", api.QueryRequest{Mode: "vec-dss", Query: 6}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wire api.Result
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatalf("bad result JSON: %v\n%s", err, body)
+	}
+	direct, err := s.Runner().Run(context.Background(), core.Request{Mode: core.ModeVecDSS, Query: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Digest != api.Digest(direct.Digest) {
+		t.Errorf("served digest %s != batch digest %s", wire.Digest, api.Digest(direct.Digest))
+	}
+	if wire.Baseline.Digest != api.Digest(direct.Baseline.Digest) {
+		t.Errorf("served baseline digest %s != batch %s", wire.Baseline.Digest, api.Digest(direct.Baseline.Digest))
+	}
+	if wire.Main.Rows != direct.Main.Rows {
+		t.Errorf("served %d rows, batch %d", wire.Main.Rows, direct.Main.Rows)
+	}
+	if d, err := api.ParseDigest(wire.Digest); err != nil || d != direct.Digest {
+		t.Errorf("digest %q does not parse back to %#x (%v)", wire.Digest, direct.Digest, err)
+	}
+}
+
+// TestTxnRoundTrip submits an OLTP batch and checks the digest against
+// a direct batch-mode Run of the same request.
+func TestTxnRoundTrip(t *testing.T) {
+	s, hs := newTestServer(t)
+	treq := api.TxnRequest{Clients: 6, Txns: 4}
+	resp, body := post(t, hs.URL+"/v1/txn", treq, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wire api.Result
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatalf("bad result JSON: %v\n%s", err, body)
+	}
+	creq, err := treq.ToCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := s.Runner().Run(context.Background(), creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Digest != api.Digest(direct.Digest) {
+		t.Errorf("served digest %s != batch digest %s", wire.Digest, api.Digest(direct.Digest))
+	}
+	if wire.Baseline.Digest != wire.Main.Digest {
+		t.Errorf("monolithic %s vs cohort %s: identity not enforced", wire.Baseline.Digest, wire.Main.Digest)
+	}
+	if wire.Main.Txns != 24 {
+		t.Errorf("committed %d, want 24", wire.Main.Txns)
+	}
+}
+
+// TestConcurrentMixedLoad serves DSS queries and OLTP batches at the
+// same time — the acceptance scenario — then checks the executor
+// counters that only a served-and-observed run can raise.
+func TestConcurrentMixedLoad(t *testing.T) {
+	s, hs := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 4)
+	run := func(path string, body any) {
+		defer wg.Done()
+		resp, out := post(t, hs.URL+path, body, "")
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Sprintf("%s: status %d: %s", path, resp.StatusCode, out)
+		}
+	}
+	wg.Add(3)
+	go run("/v1/query", api.QueryRequest{Mode: "vec-dss", Query: 6})
+	go run("/v1/query", api.QueryRequest{Mode: "shared-dss", Query: 6, Clients: 3})
+	go run("/v1/txn", api.TxnRequest{Clients: 6, Txns: 4})
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := s.Metrics.Parks.Load(); got == 0 {
+		t.Error("no parks counted after an OLTP batch")
+	}
+	if got := s.Metrics.Rotations.Load(); got == 0 {
+		t.Error("no scan rotations counted after a shared-dss query")
+	}
+	if got := s.Metrics.Requests.Load(); got != 3 {
+		t.Errorf("requests counter %d, want 3", got)
+	}
+	if got := s.Metrics.InFlight.Load(); got != 0 {
+		t.Errorf("in-flight gauge %d after all work done", got)
+	}
+}
+
+// TestAsyncJob submits an async batch, gets a queued job, and polls it
+// to completion.
+func TestAsyncJob(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp, body := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 4, Txns: 2, Async: true}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var job api.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || (job.Status != "queued" && job.Status != "running") {
+		t.Fatalf("bad job: %+v", job)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body := getBody(t, hs.URL+"/v1/jobs/"+job.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.Status == "done" {
+			break
+		}
+		if job.Status == "error" {
+			t.Fatalf("job failed: %s", job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", job.ID, job.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if job.Result == nil || job.Result.Main.Txns != 8 {
+		t.Fatalf("done job has result %+v", job.Result)
+	}
+	if resp, _ := getBody(t, hs.URL+"/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestValidationOverWire checks that bad requests come back as 400s
+// naming the offending field, without consuming a session slot.
+func TestValidationOverWire(t *testing.T) {
+	s, hs := newTestServer(t)
+	cases := []struct {
+		path  string
+		body  any
+		field string
+	}{
+		{"/v1/query", api.QueryRequest{Mode: "warp-dss"}, "mode"},
+		{"/v1/query", api.QueryRequest{Mode: "vec-dss", Query: 5}, "query"},
+		{"/v1/query", api.QueryRequest{Mode: "staged-oltp"}, "mode"},
+		{"/v1/txn", api.TxnRequest{Parts: -1}, "parts"},
+		{"/v1/txn", api.TxnRequest{RemotePct: 140}, "remote"},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, hs.URL+tc.path, tc.body, "")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %+v: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+			continue
+		}
+		var eb api.ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Field != tc.field {
+			t.Errorf("%s %+v: error body %s (want field %q)", tc.path, tc.body, body, tc.field)
+		}
+	}
+	if got := s.Metrics.Requests.Load(); got != 0 {
+		t.Errorf("rejected requests consumed %d admissions", got)
+	}
+}
+
+// TestAdmissionCaps checks the per-tenant cap: a tenant at capacity
+// gets 429 while another tenant is still admitted.
+func TestAdmissionCaps(t *testing.T) {
+	sc := core.TestScale()
+	s := New(Config{Scale: &sc, MaxInFlight: 4, PerTenant: 1})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Occupy tenant-a's single slot manually, then probe over the wire.
+	release, _, err := s.admit("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 2, Txns: 1}, "tenant-a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant-a over cap: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 2, Txns: 1}, "tenant-b"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-b blocked by tenant-a's cap: status %d: %s", resp.StatusCode, body)
+	}
+	release()
+	if got := s.Metrics.AdmissionRejects.Load(); got != 1 {
+		t.Errorf("admission rejects %d, want 1", got)
+	}
+}
+
+// TestGracefulDrain starts work, begins a drain mid-flight, and checks
+// the contract: new work is refused with 503, healthz flips to 503, the
+// admitted execution completes with a 200, and Drain returns once the
+// server is idle.
+func TestGracefulDrain(t *testing.T) {
+	s, hs := newTestServer(t)
+	started := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		close(started)
+		resp, _ := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 6, Txns: 4}, "")
+		result <- resp.StatusCode
+	}()
+	<-started
+	// Wait for the request to be admitted before draining.
+	for i := 0; s.Metrics.InFlight.Load() == 0 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Metrics.InFlight.Load() == 0 {
+		t.Fatal("request never admitted")
+	}
+	s.BeginDrain()
+
+	if resp, body := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 2, Txns: 1}, ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining server admitted work: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := getBody(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: status %d, want 503", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := <-result; code != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", code)
+	}
+	if got := s.Metrics.DrainRejects.Load(); got == 0 {
+		t.Error("no drain rejects counted")
+	}
+
+	// An expired context must not hang Drain.
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if err := s.Drain(expired); err != nil {
+		t.Fatalf("drain on idle server with expired ctx: %v", err)
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a served OLTP batch and
+// checks the exposition format and the acceptance counters.
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t)
+	if resp, body := post(t, hs.URL+"/v1/txn", api.TxnRequest{Clients: 6, Txns: 4}, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("txn: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := getBody(t, hs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"dbserver_requests_total", "dbserver_sched_parks_total",
+		"dbserver_sched_wounds_total", "dbserver_scan_rotations_total",
+		"dbserver_result_cache_hits_total", "dbserver_inflight_sessions",
+	} {
+		if !strings.Contains(text, "# TYPE "+metric+" ") || !strings.Contains(text, "\n"+metric+" ") {
+			t.Errorf("metric %s missing from exposition:\n%s", metric, text)
+		}
+	}
+	var parks int
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "dbserver_sched_parks_total ") {
+			fmt.Sscanf(line, "dbserver_sched_parks_total %d", &parks)
+		}
+	}
+	if parks == 0 {
+		t.Error("dbserver_sched_parks_total is zero after an OLTP batch")
+	}
+	if resp, _ := getBody(t, hs.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+}
+
+// TestJobEviction checks the store drops the oldest finished jobs past
+// its cap but never live ones.
+func TestJobEviction(t *testing.T) {
+	st := newJobStore(2)
+	a := st.create("default", "vec-dss")
+	st.finish(a.ID, nil, nil)
+	b := st.create("default", "vec-dss") // stays queued (live)
+	c := st.create("default", "vec-dss")
+	st.finish(c.ID, nil, nil)
+	d := st.create("default", "vec-dss")
+	st.finish(d.ID, nil, nil)
+	if _, ok := st.get(a.ID); ok {
+		t.Error("oldest finished job not evicted")
+	}
+	if _, ok := st.get(b.ID); !ok {
+		t.Error("live job evicted")
+	}
+	if _, ok := st.get(d.ID); !ok {
+		t.Error("newest job evicted")
+	}
+}

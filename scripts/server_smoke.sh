@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke of cmd/dbserver: build it, start it at test scale,
+# serve one DSS query and one OLTP transaction batch over HTTP, check
+# the executor counters on /metrics are live (non-zero parks from the
+# cohort scheduler, non-zero rotations from the shared scan), then
+# SIGTERM it mid-load and require a clean graceful-drain exit (code 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:${DBSERVER_PORT:-18844}"
+BASE="http://$ADDR"
+
+go build -o /tmp/dbserver ./cmd/dbserver
+
+/tmp/dbserver -addr "$ADDR" -scale test -max-inflight 8 -per-tenant 8 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$PID" 2>/dev/null; then echo "dbserver died on startup" >&2; exit 1; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q ok
+
+# One DSS query (shared-dss raises the rotation counters) and one OLTP
+# batch (raises the park counters), concurrently — the acceptance mix.
+curl -fsS -X POST "$BASE/v1/query" -H 'X-Tenant: smoke-dss' \
+  -d '{"mode":"shared-dss","query":6,"clients":3}' >/tmp/dbserver_query.json &
+QPID=$!
+curl -fsS -X POST "$BASE/v1/txn" -H 'X-Tenant: smoke-oltp' \
+  -d '{"clients":6,"txns":4}' >/tmp/dbserver_txn.json
+wait "$QPID"
+
+grep -q '"digest"' /tmp/dbserver_query.json
+grep -q '"digest"' /tmp/dbserver_txn.json
+# The staged pair's digests must be byte-identical (server enforces it;
+# a response that exists at all already passed, but check the fields).
+python3 - <<'EOF'
+import json
+txn = json.load(open('/tmp/dbserver_txn.json'))
+assert txn['baseline']['digest'] == txn['main']['digest'], txn
+assert txn['main']['txns'] == 24, txn
+q = json.load(open('/tmp/dbserver_query.json'))
+assert q['mode'] == 'shared-dss' and q['main']['cycles'] > 0, q
+EOF
+
+# Scrape /metrics: the executor counters must be live.
+curl -fsS "$BASE/metrics" >/tmp/dbserver_metrics.txt
+for metric in dbserver_sched_parks_total dbserver_scan_rotations_total dbserver_requests_total; do
+  val=$(awk -v m="$metric" '$1 == m {print $2}' /tmp/dbserver_metrics.txt)
+  if [ -z "$val" ] || [ "$val" -eq 0 ]; then
+    echo "metric $metric is missing or zero" >&2
+    cat /tmp/dbserver_metrics.txt >&2
+    exit 1
+  fi
+done
+
+# Graceful drain: SIGTERM mid-load; the in-flight request must finish
+# with 200 and the process must exit 0.
+curl -fsS -X POST "$BASE/v1/txn" -H 'X-Tenant: smoke-drain' \
+  -d '{"clients":6,"txns":4}' >/tmp/dbserver_drain.json &
+DPID=$!
+sleep 0.2
+kill -TERM "$PID"
+wait "$DPID"
+grep -q '"digest"' /tmp/dbserver_drain.json
+wait "$PID"
+CODE=$?
+if [ "$CODE" -ne 0 ]; then
+  echo "dbserver exited $CODE after SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+echo "server smoke OK: query + txn served, counters live, clean drain"
