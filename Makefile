@@ -46,7 +46,7 @@ bench-oltp-mt:
 # the partitioned-OLTP scaling sweep, into BENCH_pr6.json (archived as a
 # CI artifact so later PRs can diff executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -pr pr6-api-redesign -out BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -pr pr7-observability -out BENCH_pr7.json
 
 # Run the execution server on :8080 (POST /v1/query, POST /v1/txn,
 # GET /v1/jobs/{id}, GET /healthz, GET /metrics).

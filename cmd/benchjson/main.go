@@ -25,14 +25,16 @@ import (
 
 // simEntry is one simulated vectorized-vs-row measurement.
 type simEntry struct {
-	Query       int     `json:"query"`
-	RowCycles   uint64  `json:"row_cycles"`
-	VecCycles   uint64  `json:"vec_cycles"`
-	RowInstr    uint64  `json:"row_instructions"`
-	VecInstr    uint64  `json:"vec_instructions"`
-	SpeedupX    float64 `json:"speedup_x"`
-	ResultRows  int     `json:"result_rows"`
-	Description string  `json:"description"`
+	Query       int         `json:"query"`
+	RowCycles   uint64      `json:"row_cycles"`
+	VecCycles   uint64      `json:"vec_cycles"`
+	RowInstr    uint64      `json:"row_instructions"`
+	VecInstr    uint64      `json:"vec_instructions"`
+	SpeedupX    float64     `json:"speedup_x"`
+	ResultRows  int         `json:"result_rows"`
+	Description string      `json:"description"`
+	RowStalls   core.Stalls `json:"row_stalls"`
+	VecStalls   core.Stalls `json:"vec_stalls"`
 }
 
 // nativeEntry is one host-time scan-throughput measurement.
@@ -45,13 +47,14 @@ type nativeEntry struct {
 
 // oltpSide is one executor of the staged-OLTP pair.
 type oltpSide struct {
-	Mode          string  `json:"mode"`
-	Cycles        uint64  `json:"cycles"`
-	Instructions  uint64  `json:"instructions"`
-	L1IMisses     uint64  `json:"l1i_misses"`
-	IStallFrac    float64 `json:"istall_frac"`
-	Txns          int     `json:"txns"`
-	TxnsPerMcycle float64 `json:"txns_per_mcycle"`
+	Mode          string      `json:"mode"`
+	Cycles        uint64      `json:"cycles"`
+	Instructions  uint64      `json:"instructions"`
+	L1IMisses     uint64      `json:"l1i_misses"`
+	IStallFrac    float64     `json:"istall_frac"`
+	Txns          int         `json:"txns"`
+	TxnsPerMcycle float64     `json:"txns_per_mcycle"`
+	Stalls        core.Stalls `json:"stalls"`
 }
 
 // oltpEntry is one paired staged-OLTP measurement (fixed chip geometry,
@@ -73,14 +76,15 @@ type oltpEntry struct {
 // oltpPartSide is one partition count of the partitioned staged-OLTP
 // scaling sweep.
 type oltpPartSide struct {
-	Parts         int     `json:"parts"`
-	Cycles        uint64  `json:"cycles"`
-	L1IMisses     uint64  `json:"l1i_misses"`
-	Parks         int     `json:"parks"`
-	Wounds        int     `json:"wounds"`
-	Fenced        int     `json:"fenced_txns"`
-	TxnsPerMcycle float64 `json:"txns_per_mcycle"`
-	ScalingX      float64 `json:"scaling_vs_1part_x"`
+	Parts         int         `json:"parts"`
+	Cycles        uint64      `json:"cycles"`
+	L1IMisses     uint64      `json:"l1i_misses"`
+	Parks         int         `json:"parks"`
+	Wounds        int         `json:"wounds"`
+	Fenced        int         `json:"fenced_txns"`
+	TxnsPerMcycle float64     `json:"txns_per_mcycle"`
+	ScalingX      float64     `json:"scaling_vs_1part_x"`
+	Stalls        core.Stalls `json:"stalls"`
 }
 
 // oltpPartEntry is the partitioned staged-OLTP measurement: the cohort
@@ -98,6 +102,7 @@ type oltpPartEntry struct {
 }
 
 // report is the file's schema. Version bumps when fields change meaning.
+// v4 adds per-side cycle-accounting stalls breakdowns (core.Stalls).
 type report struct {
 	Version     int             `json:"version"`
 	PR          string          `json:"pr"`
@@ -109,7 +114,7 @@ type report struct {
 }
 
 func main() {
-	pr := flag.String("pr", "pr6-api-redesign", "PR label recorded in the report")
+	pr := flag.String("pr", "pr7-observability", "PR label recorded in the report")
 	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -119,7 +124,7 @@ func main() {
 
 	r := core.NewRunner(core.TestScale())
 	bg := context.Background()
-	rep := report{Version: 3, PR: *pr, Scale: "test"}
+	rep := report{Version: 4, PR: *pr, Scale: "test"}
 
 	// Native: host-time Q6 on both executors (best of 3 runs each).
 	h, err := r.TPCH()
@@ -171,6 +176,7 @@ func main() {
 			RowInstr: res.Baseline.Result.Instructions, VecInstr: res.Main.Result.Instructions,
 			SpeedupX: res.SpeedupX, ResultRows: res.Main.Rows,
 			Description: descs[q],
+			RowStalls:   res.Baseline.Stalls(), VecStalls: res.Main.Stalls(),
 		})
 	}
 
@@ -194,6 +200,7 @@ func main() {
 				Mode: mode, Cycles: s.Cycles, Instructions: s.Result.Instructions,
 				L1IMisses: s.Result.Cache.L1IMisses, IStallFrac: s.IStallFrac(),
 				Txns: s.Txns, TxnsPerMcycle: s.PerMcycle(s.Txns),
+				Stalls: s.Stalls(),
 			}
 		}
 		rep.OLTP = append(rep.OLTP, oltpEntry{
@@ -228,6 +235,7 @@ func main() {
 			L1IMisses: run.Result.Cache.L1IMisses,
 			Parks:     run.Sched.Parks, Wounds: run.Sched.Wounds, Fenced: run.Fenced,
 			TxnsPerMcycle: run.PerMcycle(run.Txns), ScalingX: partRes.ScalingX[i],
+			Stalls: run.Stalls(),
 		})
 	}
 	rep.Partitioned = append(rep.Partitioned, pe)

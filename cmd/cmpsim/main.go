@@ -24,8 +24,14 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// collected accumulates span runs across every unified-API invocation of
+// this process (runSteps runs the request twice, once per instruction-
+// delivery regime), for -trace-out.
+var collected []obs.Run
 
 func main() {
 	var opts cli.Options
@@ -54,6 +60,12 @@ func main() {
 			runShare(r, req)
 		case core.ModeParallelDSS:
 			runParallel(r, req)
+		}
+		if opts.TraceOut != "" {
+			if err := writeTrace(opts.TraceOut, collected); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -112,7 +124,42 @@ func run(r *core.Runner, req core.Request) core.Result {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	collected = append(collected, res.Traces...)
 	return res
+}
+
+// writeTrace exports the collected span runs as Chrome trace-event JSON.
+func writeTrace(path string, runs []obs.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	spans := 0
+	for _, r := range runs {
+		spans += len(r.Spans)
+	}
+	fmt.Printf("\nwrote %d spans across %d runs to %s (open in Perfetto / chrome://tracing)\n",
+		spans, len(runs), path)
+	return nil
+}
+
+// printStallMix prints one side's cycle-accounting mix: where its busy
+// core cycles went, by the paper's stall taxonomy.
+func printStallMix(indent string, s core.Side) {
+	b := s.Result.Breakdown
+	fmt.Printf("%scycle mix: %4.1f%% comp  %4.1f%% I-stall  %4.1f%% D-stall  %4.1f%% other  (%d idle cycles)\n",
+		indent,
+		b.Frac(sim.KindComp)*100,
+		(b.Frac(sim.KindIStallL2)+b.Frac(sim.KindIStallMem))*100,
+		(b.Frac(sim.KindDStallL2)+b.Frac(sim.KindDStallMem)+b.Frac(sim.KindDStallCoh))*100,
+		b.Frac(sim.KindOther)*100, b.Idle())
 }
 
 // runParallel measures one query on the morsel-driven executor at 1 and
@@ -126,6 +173,7 @@ func runParallel(r *core.Runner, req core.Request) {
 	for _, p := range res.Sweep {
 		fmt.Printf("  %2d worker(s): %12d cycles  (%d rows, IPC %.3f)\n",
 			p.Workers, p.Cycles, p.Rows, p.Result.IPC())
+		printStallMix("    ", p)
 	}
 	fmt.Printf("  speedup %dw over 1w: %.2fx\n", res.Main.Workers, res.SpeedupX)
 }
@@ -145,6 +193,7 @@ func runVec(r *core.Runner, req core.Request) {
 		}
 		fmt.Printf("  %s %12d cycles  (%d rows, IPC %.3f, %d instr)\n",
 			mode, s.Cycles, s.Rows, s.Result.IPC(), s.Result.Instructions)
+		printStallMix("    ", s)
 	}
 	fmt.Printf("  vectorized speedup: %.2fx\n", res.SpeedupX)
 	fmt.Printf("  result digests: row %#x == vectorized %#x\n", res.Baseline.Digest, res.Main.Digest)
@@ -208,6 +257,7 @@ func printStepsPair(mono, coh core.Side) {
 		}
 		fmt.Printf("  %s %10d cycles  %6d L1I misses  %5.1f%% istall  %7.2f txn/Mcycle\n",
 			mode, s.Cycles, s.Result.Cache.L1IMisses, s.IStallFrac()*100, s.PerMcycle(s.Txns))
+		printStallMix("    ", s)
 	}
 }
 
@@ -238,6 +288,7 @@ func runShare(r *core.Runner, req core.Request) {
 		}
 		fmt.Printf("  %s %12d cycles  %7.3f queries/Mcycle  (IPC %.3f, %d rows)\n",
 			mode, s.Cycles, s.PerMcycle(clients), s.Result.IPC(), s.Rows)
+		printStallMix("    ", s)
 	}
 	sh := res.Main
 	fmt.Printf("  aggregate throughput gain: %.2fx\n", res.SpeedupX)

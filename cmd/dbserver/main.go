@@ -1,10 +1,11 @@
 // Command dbserver serves the unified execution API over HTTP/JSON:
 // POST /v1/query runs a DSS measurement, POST /v1/txn a staged-OLTP
 // transaction batch (add "async": true to either body for a pollable
-// job on GET /v1/jobs/{id}), GET /metrics exposes Prometheus-style
-// counters, and GET /healthz reports liveness. Results are byte-
-// identical to batch-mode core.Runner.Run on the same request — the
-// server is a transport, not a different engine.
+// job on GET /v1/jobs/{id}, "trace": true for a Chrome trace on
+// GET /v1/jobs/{id}/trace), GET /metrics exposes Prometheus-style
+// counters and latency histograms, and GET /healthz reports liveness.
+// Results are byte-identical to batch-mode core.Runner.Run on the same
+// request — the server is a transport, not a different engine.
 //
 // On SIGTERM or SIGINT the server drains gracefully: it stops admitting
 // (healthz flips to 503 so load balancers fail it out), waits up to
@@ -17,7 +18,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,7 +36,16 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 8, "global cap on admitted sessions")
 	perTenant := flag.Int("per-tenant", 4, "per-tenant cap on admitted sessions (X-Tenant header)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight work on shutdown")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (off when empty)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var sc core.Scale
 	switch *scale {
@@ -48,36 +60,49 @@ func main() {
 
 	srv := server.New(server.Config{
 		Scale: &sc, MaxInFlight: *maxInflight, PerTenant: *perTenant,
+		Logger: logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// The pprof mux is http.DefaultServeMux (blank net/http/pprof
+		// import); serve it on its own listener so profiling endpoints
+		// never share the API port.
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "dbserver: listening on %s (scale=%s, max-inflight=%d, per-tenant=%d)\n",
-			*addr, *scale, *maxInflight, *perTenant)
+		logger.Info("listening", "addr", *addr, "scale", *scale,
+			"max_inflight", *maxInflight, "per_tenant", *perTenant)
 		errCh <- hs.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("listener failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "dbserver: draining (no new work admitted)")
+	logger.Info("draining; no new work admitted")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "dbserver: %v (abandoning in-flight work)\n", err)
+		logger.Warn("drain incomplete; abandoning in-flight work", "err", err)
 	}
 	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "dbserver: shutdown: %v\n", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	fmt.Fprintln(os.Stderr, "dbserver: final counters:")
 	srv.Metrics.WritePrometheus(os.Stderr)
-	fmt.Fprintln(os.Stderr, "dbserver: drained; bye")
+	logger.Info("drained; bye")
 }

@@ -43,6 +43,10 @@ type Options struct {
 	Window uint64
 	Warm   int
 
+	// TraceOut writes the executor-mode runs' dual-clock spans as Chrome
+	// trace-event JSON to this path.
+	TraceOut string
+
 	Lineitems int
 
 	fs *flag.FlagSet
@@ -71,6 +75,7 @@ func (o *Options) RegisterSim(fs *flag.FlagSet) {
 	fs.Uint64Var(&o.Window, "window", 400000, "measured window in cycles (saturated)")
 	fs.IntVar(&o.Warm, "warm", 400000, "functional-warming refs per thread")
 	fs.StringVar(&o.Scale, "scale", "full", "workload scale: full or test")
+	fs.StringVar(&o.TraceOut, "trace-out", "", "write executor-mode span traces (dual clock: simulated cycles + wall time) as Chrome trace-event JSON to this file (load in Perfetto)")
 }
 
 // RegisterNative binds the native driver's (cmd/dbshell) flag surface —
@@ -221,7 +226,7 @@ func (o *Options) Request() (core.Request, error) {
 	if err != nil {
 		return core.Request{}, err
 	}
-	req := core.Request{Mode: mode, Query: o.Query, Seed: 7, Cell: &cell}
+	req := core.Request{Mode: mode, Query: o.Query, Seed: 7, Cell: &cell, Trace: o.TraceOut != ""}
 	switch mode {
 	case core.ModeStagedOLTP:
 		req.Clients = o.Clients

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/oltp"
 	"repro/internal/share"
 	"repro/internal/sim"
@@ -95,6 +96,11 @@ type Request struct {
 	// Cell overrides the chip geometry; nil picks DefaultModeCell on the
 	// fat camp.
 	Cell *Cell
+	// Trace collects dual-clock spans (Result.Traces) for the subject
+	// executions. Off by default: span markers in the trace stream shift
+	// chunk boundaries, so traced and untraced runs are separate
+	// experiments — never compare cycles across the two.
+	Trace bool
 }
 
 // DefaultModeCell is the baseline geometry for mode on camp: the paper's
@@ -205,7 +211,7 @@ func (q Request) Validate() error {
 func (q Request) stagedOpts(parts int) StagedOLTPOpts {
 	return StagedOLTPOpts{
 		Clients: q.Clients, PerClient: q.Txns, Cohort: q.Cohort,
-		Seed: q.Seed, Parts: parts, RemotePct: q.RemotePct,
+		Seed: q.Seed, Parts: parts, RemotePct: q.RemotePct, Trace: q.Trace,
 	}.WithDefaults()
 }
 
@@ -234,6 +240,42 @@ type Side struct {
 	Scans   share.Stats
 	Reuse   share.CacheStats
 }
+
+// Stalls is the wire/report-friendly cycle-accounting breakdown of one
+// execution: aggregate core cycles by the paper's stall taxonomy, summed
+// over active cores for the measured window.
+type Stalls struct {
+	Computation uint64 `json:"computation"`
+	IStallL2    uint64 `json:"istall_l2"`
+	IStallMem   uint64 `json:"istall_mem"`
+	DStallL2    uint64 `json:"dstall_l2"`
+	DStallMem   uint64 `json:"dstall_mem"`
+	DStallCoh   uint64 `json:"dstall_coh"`
+	Other       uint64 `json:"other"`
+	Idle        uint64 `json:"idle"`
+	// Busy is the non-idle total — the denominator of the paper's
+	// execution-time breakdowns.
+	Busy uint64 `json:"busy"`
+}
+
+// StallsOf flattens a simulator breakdown into the wire form.
+func StallsOf(r sim.Result) Stalls {
+	b := r.Breakdown
+	return Stalls{
+		Computation: b.Cycles[sim.KindComp],
+		IStallL2:    b.Cycles[sim.KindIStallL2],
+		IStallMem:   b.Cycles[sim.KindIStallMem],
+		DStallL2:    b.Cycles[sim.KindDStallL2],
+		DStallMem:   b.Cycles[sim.KindDStallMem],
+		DStallCoh:   b.Cycles[sim.KindDStallCoh],
+		Other:       b.Cycles[sim.KindOther],
+		Idle:        b.Cycles[sim.KindIdle],
+		Busy:        b.Busy(),
+	}
+}
+
+// Stalls returns this side's cycle-accounting breakdown.
+func (s Side) Stalls() Stalls { return StallsOf(s.Result) }
 
 // IStallFrac is the fraction of busy cycles lost to instruction stalls.
 func (s Side) IStallFrac() float64 {
@@ -278,6 +320,11 @@ type Result struct {
 	// Digest is Main.Digest: the value the server's byte-identity
 	// acceptance compares against batch runs.
 	Digest uint64
+	// Traces holds one dual-clock span run per traced execution when
+	// Request.Trace is set (subject sides; sweep modes collect one per
+	// sweep point). Exportable as Chrome trace-event JSON via
+	// obs.WriteChrome.
+	Traces []obs.Run
 }
 
 // Run executes one unified request: it applies defaults, validates, runs
@@ -342,7 +389,24 @@ func (r *Runner) runVecPair(ctx context.Context, req Request, res *Result) error
 	}
 	res.Baseline = vecSide(row)
 	res.Main = vecSide(vec)
+	if req.Trace {
+		// The vectorized executor has no span plumbing yet: synthesize
+		// root-only runs so trace exports treat every mode uniformly.
+		res.Traces = append(res.Traces,
+			syntheticRun(res.Baseline.Label, res.Baseline.Cycles),
+			syntheticRun(res.Main.Label, res.Main.Cycles))
+	}
 	return nil
+}
+
+// syntheticRun builds a root-only trace for executors without span
+// plumbing: one run span covering [0, cycles].
+func syntheticRun(label string, cycles uint64) obs.Run {
+	t := obs.NewTracer()
+	sp := t.BeginAt(0, 0, label, "run")
+	t.StampStart(sp, 0)
+	sp.EndAt(cycles)
+	return t.Snapshot(label, cycles)
 }
 
 func vecSide(v VecDSSResult) Side {
@@ -358,11 +422,11 @@ func (r *Runner) runSharedPair(ctx context.Context, req Request, res *Result) er
 		if err := ctx.Err(); err != nil {
 			return SharedDSSResult{}, err
 		}
-		best, err := r.RunSharedDSS(*req.Cell, req.Query, req.Clients, shared, req.Seed)
+		best, err := r.RunSharedDSSTraced(*req.Cell, req.Query, req.Clients, shared, req.Seed, req.Trace)
 		if err != nil {
 			return best, err
 		}
-		again, err := r.RunSharedDSS(*req.Cell, req.Query, req.Clients, shared, req.Seed)
+		again, err := r.RunSharedDSSTraced(*req.Cell, req.Query, req.Clients, shared, req.Seed, req.Trace)
 		if err != nil {
 			return best, err
 		}
@@ -381,6 +445,11 @@ func (r *Runner) runSharedPair(ctx context.Context, req Request, res *Result) er
 	}
 	res.Baseline = sharedSide(un)
 	res.Main = sharedSide(sh)
+	for _, v := range []SharedDSSResult{un, sh} {
+		if v.Trace != nil {
+			res.Traces = append(res.Traces, *v.Trace)
+		}
+	}
 	return nil
 }
 
@@ -423,6 +492,10 @@ func (r *Runner) runParallelSweep(ctx context.Context, req Request, res *Result)
 			Label: fmt.Sprintf("parallel-%d", n), Cycles: best.Cycles,
 			Result: best.Result, Rows: best.Rows, Digest: best.Digest, Workers: n,
 		})
+		if req.Trace {
+			// The morsel-driven executor has no span plumbing yet.
+			res.Traces = append(res.Traces, syntheticRun(fmt.Sprintf("parallel-%d", n), best.Cycles))
+		}
 	}
 	res.Baseline = res.Sweep[0]
 	res.Main = res.Sweep[len(res.Sweep)-1]
@@ -438,6 +511,9 @@ func (r *Runner) runStagedSweep(ctx context.Context, req Request, res *Result) e
 		return err
 	}
 	res.Baseline = stagedSide(mono)
+	if mono.Trace != nil {
+		res.Traces = append(res.Traces, *mono.Trace)
+	}
 	for _, p := range req.PartCounts {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -452,6 +528,9 @@ func (r *Runner) runStagedSweep(ctx context.Context, req Request, res *Result) e
 				p, run.Digest, mono.Digest)
 		}
 		res.Sweep = append(res.Sweep, stagedSide(run))
+		if run.Trace != nil {
+			res.Traces = append(res.Traces, *run.Trace)
+		}
 	}
 	res.Main = res.Sweep[len(res.Sweep)-1]
 	for _, s := range res.Sweep {

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/oltp"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -42,6 +43,10 @@ type StagedOLTPOpts struct {
 	// customer is drawn from a non-home warehouse (default 0): remote
 	// transactions cross partitions and exercise the global fence.
 	RemotePct int
+	// Trace collects dual-clock spans (run → txn → quantum/step) into
+	// Result.Trace. Span markers shift trace-chunk boundaries, so traced
+	// cycles are not comparable to untraced cycles.
+	Trace bool
 }
 
 // WithDefaults resolves every zero-valued field to its default — THE one
@@ -100,6 +105,9 @@ type StagedOLTPResult struct {
 	Sched    oltp.Stats   // scheduler counters, summed over partitions
 	PerPart  []oltp.Stats // per-partition scheduler counters (Parts > 1)
 	Fenced   int          // cross-partition transactions run in isolation
+	// Trace is the dual-clock span run when StagedOLTPOpts.Trace was set.
+	// Its root span covers [0, Cycles] — span totals reconcile exactly.
+	Trace *obs.Run
 }
 
 // TxnsPerMcycle is the throughput in transactions per million cycles.
@@ -153,6 +161,23 @@ func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (Stag
 		ctxs[p] = w.DB.NewCtx(rec, p, 8<<20)
 	}
 
+	label := "monolithic"
+	if cohorted {
+		label = fmt.Sprintf("cohort-%d", parts)
+	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if o.Trace {
+		tracer = obs.NewTracer()
+		chip.SetMarkHandler(tracer.OnMark)
+		// The root run span is virtual: a fresh chip starts at cycle 0 and
+		// the run ends at the reported cycle count, so child span totals
+		// reconcile against [0, Cycles] exactly.
+		root = tracer.BeginAt(0, 0, label, "run")
+		tracer.StampStart(root, 0)
+	}
+	sc := obs.Scope{T: tracer, Parent: root.ID()}
+
 	res := StagedOLTPResult{Cohorted: cohorted, Parts: parts}
 	var runErr error
 	var wg sync.WaitGroup
@@ -166,14 +191,20 @@ func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (Stag
 		}()
 		switch {
 		case !cohorted:
-			res.Sched, runErr = oltp.RunMonolithic(ctxs[0], progs)
+			res.Sched, runErr = oltp.RunMonolithicTraced(ctxs[0], progs, sc)
 		case parts == 1:
-			sched := oltp.NewScheduler(w.DB.Codes, oltp.Config{Cohort: o.Cohort, Generation: w.Mgr.LM.Generation})
+			sched := oltp.NewScheduler(w.DB.Codes, oltp.Config{
+				Cohort: o.Cohort, Generation: w.Mgr.LM.Generation,
+				Obs: sc, Metrics: r.Sched,
+			})
 			res.Sched, runErr = sched.Run(ctxs[0], progs)
 		default:
 			plan := w.PartitionPlan(ins, parts)
 			res.Fenced = len(plan.Fences())
-			cfg := oltp.Config{Cohort: oltp.SplitWindow(o.Cohort, parts), Generation: w.Mgr.LM.Generation}
+			cfg := oltp.Config{
+				Cohort: oltp.SplitWindow(o.Cohort, parts), Generation: w.Mgr.LM.Generation,
+				Obs: sc, Metrics: r.Sched,
+			}
 			res.PerPart, runErr = oltp.RunPartitioned(ctxs, w.DB.Codes, progs, plan, cfg)
 			for _, st := range res.PerPart {
 				res.Sched.Add(st)
@@ -220,6 +251,14 @@ func (r *Runner) RunStagedOLTP(cell Cell, cohorted bool, o StagedOLTPOpts) (Stag
 	}
 	res.Result, res.Cycles = sres, cycles
 	res.Txns, res.Digest = res.Sched.Committed, digest
+	if tracer != nil {
+		root.EndAt(cycles)
+		// Spans whose end markers were lost in the teardown drain close at
+		// the run's final cycle, so nothing extends past the root.
+		tracer.Finish(cycles)
+		run := tracer.Snapshot(label, cycles)
+		res.Trace = &run
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -39,6 +40,12 @@ func TestScale() Scale {
 // workload databases.
 type Runner struct {
 	ScaleCfg Scale
+
+	// Sched, when its histogram fields are set (obs.Registry-backed in
+	// the server), receives scheduler-internals observations — quantum
+	// lengths, park durations — from every staged-OLTP run. The zero
+	// value discards them.
+	Sched obs.SchedMetrics
 
 	mu   sync.Mutex
 	tpcc *workload.TPCC

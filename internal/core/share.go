@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/share"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -47,6 +48,9 @@ type SharedDSSResult struct {
 	Digest uint64
 	Scans  share.Stats
 	Cache  share.CacheStats
+	// Trace is the dual-clock span run (run → query → rotation) when
+	// tracing was requested.
+	Trace *obs.Run
 }
 
 // Throughput returns queries completed per million simulated cycles.
@@ -79,6 +83,15 @@ func sharedTables(q int) []string {
 // multi-client DSS clients use today. The chip geometry is identical in
 // both modes, so the cycle ratio isolates the work-sharing effect.
 func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64) (SharedDSSResult, error) {
+	return r.RunSharedDSSTraced(cell, q, clients, shared, seed, false)
+}
+
+// RunSharedDSSTraced is RunSharedDSS with optional dual-clock span
+// collection: a root run span, one query span per client (on the
+// client's simulated thread), and — on the shared side — a "rotation"
+// span nested inside each query covering the client's attach-to-detach
+// window on the circular scan (one full rotation).
+func (r *Runner) RunSharedDSSTraced(cell Cell, q, clients int, shared bool, seed int64, traced bool) (SharedDSSResult, error) {
 	if clients <= 0 {
 		return SharedDSSResult{}, fmt.Errorf("core: shared DSS with %d clients", clients)
 	}
@@ -90,6 +103,19 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 		return SharedDSSResult{}, err
 	}
 	chip := sim.NewChip(cell.SimConfig())
+
+	label := "unshared"
+	if shared {
+		label = "shared"
+	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if traced {
+		tracer = obs.NewTracer()
+		chip.SetMarkHandler(tracer.OnMark)
+		root = tracer.BeginAt(0, 0, label, "run")
+		tracer.StampStart(root, 0)
+	}
 
 	// Client threads first (thread ids 0..clients-1), producers after, so
 	// ThreadDone[0:clients] are the query completion times.
@@ -150,15 +176,23 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 			go func(i int) {
 				defer cwg.Done()
 				defer recs[i].Close()
+				sc := obs.Scope{T: tracer, Thread: i, Parent: root.ID()}
+				qsp := sc.Begin(recs[i], fmt.Sprintf("client-%d-q%d", i, queryOf(i)), "query")
 				p := workload.RandomParams(rand.New(rand.NewSource(seed + int64(i))))
 				var res [][]engine.Value
 				var err error
 				if shared {
+					// One attach-to-detach on the circular scan is exactly
+					// one full rotation: the consumer joins wherever the
+					// producer is and leaves when it comes back around.
+					rsp := sc.Under(qsp).Begin(recs[i], "rotation", "rotation")
 					res, err = h.RunQueryShared(ctxs[i], queryOf(i), p, env)
+					rsp.End(recs[i])
 				} else {
 					p.Phase = float64(i%16) / 80
 					res, err = h.RunQuery(ctxs[i], queryOf(i), p)
 				}
+				qsp.End(recs[i])
 				rows[i], digests[i], errs[i] = len(res), RowsDigest(res), err
 			}(i)
 		}
@@ -208,6 +242,12 @@ func (r *Runner) RunSharedDSS(cell Cell, q, clients int, shared bool, seed int64
 	if env != nil {
 		out.Scans = env.Reg.Stats()
 		out.Cache = env.Cache.Stats()
+	}
+	if tracer != nil {
+		root.EndAt(out.Cycles)
+		tracer.Finish(out.Cycles)
+		run := tracer.Snapshot(label, out.Cycles)
+		out.Trace = &run
 	}
 	return out, nil
 }

@@ -1,0 +1,84 @@
+// Chrome trace-event export: the "JSON Object Format" that Perfetto and
+// chrome://tracing load. Each Run becomes one process (pid = run index,
+// process_name = run label); each simulated software thread becomes one
+// thread row. The timeline unit is the simulated cycle, rendered as one
+// microsecond per cycle; host wall time travels in each event's args so
+// both clocks survive the export. Nested spans are complete ("X")
+// events; spans marked async (overlapping in-flight transactions on one
+// scheduler thread) are async begin/end ("b"/"e") pairs.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders runs as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, runs []Run) error {
+	var t chromeTrace
+	t.DisplayTimeUnit = "ms"
+	for pi, run := range runs {
+		pid := pi + 1
+		t.TraceEvents = append(t.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("%s (%d cycles)", run.Label, run.Cycles)},
+		})
+		threads := map[int]bool{}
+		for _, sp := range run.Spans {
+			if !threads[sp.Thread] {
+				threads[sp.Thread] = true
+				t.TraceEvents = append(t.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: sp.Thread,
+					Args: map[string]any{"name": fmt.Sprintf("sim-thread-%d", sp.Thread)},
+				})
+			}
+			args := map[string]any{
+				"id": sp.ID, "cycles": sp.Cycles(), "wall_us": sp.WallUS(),
+			}
+			if sp.Parent != 0 {
+				args["parent"] = sp.Parent
+			}
+			if sp.Async {
+				// Async pair: overlapping spans on one thread row.
+				t.TraceEvents = append(t.TraceEvents,
+					chromeEvent{
+						Name: sp.Name, Cat: sp.Cat, Ph: "b", Ts: float64(sp.CycStart),
+						Pid: pid, Tid: sp.Thread, ID: fmt.Sprintf("0x%x", sp.ID), Args: args,
+					},
+					chromeEvent{
+						Name: sp.Name, Cat: sp.Cat, Ph: "e", Ts: float64(sp.CycEnd),
+						Pid: pid, Tid: sp.Thread, ID: fmt.Sprintf("0x%x", sp.ID),
+					})
+				continue
+			}
+			dur := float64(sp.Cycles())
+			t.TraceEvents = append(t.TraceEvents, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X", Ts: float64(sp.CycStart), Dur: &dur,
+				Pid: pid, Tid: sp.Thread, Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}

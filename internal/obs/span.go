@@ -1,0 +1,277 @@
+// Dual-clock span tracing. A Span measures one unit of work — a
+// request, a transaction, a scheduler quantum, one continuation step —
+// on two clocks at once: host wall time, stamped producer-side when the
+// span opens and closes, and simulated cycles, stamped consumer-side
+// when the simulator retires the begin/end markers the span emitted
+// into its trace stream (trace.Mark records, which cost zero simulated
+// cycles). Spans nest through parent ids, so an exported trace shows
+// run → txn → stage/quantum → step attribution on the simulated
+// timeline with the host timeline riding along in the span arguments.
+
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Span is one in-flight or completed unit of work. Fields are written
+// under the owning Tracer's lock; read them through Snapshot.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	cat    string
+	thread int
+	async  bool
+
+	wallStart time.Duration // since tracer epoch
+	wallEnd   time.Duration // 0 = still open
+	cycStart  uint64
+	cycEnd    uint64
+	cycStartSet,
+	cycEndSet bool
+}
+
+// ID returns the span id (0 for a nil span), usable as a Scope parent.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAsync marks the span for async rendering in the Chrome export —
+// required for spans that overlap others on the same thread (in-flight
+// transactions of one cohort-scheduled worker).
+func (s *Span) SetAsync() *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	s.async = true
+	s.t.mu.Unlock()
+	return s
+}
+
+// End closes the span: wall clock now, and an end marker into rec for
+// the simulated clock (nil rec records wall time only).
+func (s *Span) End(rec *trace.Recorder) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.wallEnd == 0 {
+		s.wallEnd = time.Since(s.t.epoch)
+	}
+	s.t.mu.Unlock()
+	rec.Mark(s.id, false)
+}
+
+// EndAt closes the span at an explicit simulated cycle, for virtual
+// spans (no trace stream) such as a whole run.
+func (s *Span) EndAt(cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.wallEnd == 0 {
+		s.wallEnd = time.Since(s.t.epoch)
+	}
+	s.cycEnd, s.cycEndSet = cycle, true
+	s.t.mu.Unlock()
+}
+
+// SpanData is one completed span, immutable.
+type SpanData struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Cat    string `json:"cat"`
+	Thread int    `json:"thread"`
+	Async  bool   `json:"async,omitempty"`
+	// CycStart/CycEnd are simulated cycles (the primary timeline).
+	CycStart uint64 `json:"cyc_start"`
+	CycEnd   uint64 `json:"cyc_end"`
+	// WallStartUS/WallEndUS are host microseconds since the tracer epoch.
+	WallStartUS float64 `json:"wall_start_us"`
+	WallEndUS   float64 `json:"wall_end_us"`
+}
+
+// Cycles returns the span's simulated-cycle duration.
+func (s SpanData) Cycles() uint64 { return s.CycEnd - s.CycStart }
+
+// WallUS returns the span's host duration in microseconds.
+func (s SpanData) WallUS() float64 { return s.WallEndUS - s.WallStartUS }
+
+// Run is one traced execution: a label, its reported cycle count, and
+// every span collected during it. The root span (parent 0, cat "run")
+// covers [0, Cycles] — span totals reconcile against Cycles exactly.
+type Run struct {
+	Label  string     `json:"label"`
+	Cycles uint64     `json:"cycles"`
+	Spans  []SpanData `json:"spans"`
+}
+
+// Tracer collects spans for one run. A nil Tracer discards everything,
+// so instrumented code calls it unconditionally. Safe for concurrent
+// use: producer goroutines open and close spans while the simulator
+// goroutine stamps cycle times through OnMark.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	nextID uint64
+	spans  []*Span
+	byID   map[uint64]*Span
+}
+
+// NewTracer builds a tracer whose wall clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), byID: make(map[uint64]*Span)}
+}
+
+// Begin opens a span on thread under parent (0 = root), stamping wall
+// time now and emitting a begin marker into rec so the simulator stamps
+// the simulated start cycle when it reaches this point of the stream.
+func (t *Tracer) Begin(rec *trace.Recorder, thread int, parent uint64, name, cat string) *Span {
+	sp := t.BeginAt(thread, parent, name, cat)
+	if sp != nil {
+		rec.Mark(sp.id, true)
+	}
+	return sp
+}
+
+// BeginAt opens a span without emitting a marker — for virtual spans
+// whose cycle bounds are set explicitly (StampStart/EndAt), or spans
+// that only carry wall time.
+func (t *Tracer) BeginAt(thread int, parent uint64, name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	sp := &Span{
+		t: t, id: t.nextID, parent: parent, name: name, cat: cat,
+		thread: thread, wallStart: time.Since(t.epoch),
+	}
+	t.spans = append(t.spans, sp)
+	t.byID[sp.id] = sp
+	return sp
+}
+
+// StampStart sets a span's simulated start cycle directly (virtual
+// spans; marker-carrying spans are stamped through OnMark).
+func (t *Tracer) StampStart(sp *Span, cycle uint64) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.mu.Lock()
+	sp.cycStart, sp.cycStartSet = cycle, true
+	t.mu.Unlock()
+}
+
+// OnMark is the simulator's callback (sim.Chip.SetMarkHandler): the
+// core model retired a begin or end marker for span id on thread at the
+// given simulated cycle. Unknown ids are ignored (markers from a
+// previous tracer cannot occur — ids are per-tracer — but a stream
+// drained after Finish may still deliver them).
+func (t *Tracer) OnMark(threadID int, id uint64, begin bool, cycle uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.byID[id]
+	if sp == nil {
+		return
+	}
+	if begin {
+		sp.cycStart, sp.cycStartSet = cycle, true
+		sp.thread = threadID
+	} else {
+		sp.cycEnd, sp.cycEndSet = cycle, true
+	}
+}
+
+// Finish closes every open span at finalCycle: spans whose end marker
+// never reached the simulator (the teardown drain bypasses the core
+// models) end at the run's final cycle; spans whose begin marker never
+// arrived collapse to zero width there. Call after the simulation ends,
+// before Snapshot.
+func (t *Tracer) Finish(finalCycle uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.wallEnd == 0 {
+			sp.wallEnd = time.Since(t.epoch)
+		}
+		if !sp.cycStartSet {
+			sp.cycStart, sp.cycStartSet = finalCycle, true
+		}
+		if !sp.cycEndSet || sp.cycEnd < sp.cycStart {
+			sp.cycEnd, sp.cycEndSet = finalCycle, true
+		}
+	}
+}
+
+// Snapshot returns the collected spans as a Run, in creation order.
+func (t *Tracer) Snapshot(label string, cycles uint64) Run {
+	if t == nil {
+		return Run{Label: label, Cycles: cycles}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := Run{Label: label, Cycles: cycles, Spans: make([]SpanData, 0, len(t.spans))}
+	for _, sp := range t.spans {
+		out.Spans = append(out.Spans, SpanData{
+			ID: sp.id, Parent: sp.parent, Name: sp.name, Cat: sp.cat,
+			Thread: sp.thread, Async: sp.async,
+			CycStart: sp.cycStart, CycEnd: sp.cycEnd,
+			WallStartUS: float64(sp.wallStart) / float64(time.Microsecond),
+			WallEndUS:   float64(sp.wallEnd) / float64(time.Microsecond),
+		})
+	}
+	return out
+}
+
+// Scope is a tracer position — which tracer, which software thread,
+// which parent span — threaded through instrumented layers so each can
+// open child spans without knowing the whole ancestry. The zero Scope
+// is disabled.
+type Scope struct {
+	T      *Tracer
+	Thread int
+	Parent uint64
+}
+
+// Enabled reports whether spans opened through this scope are recorded.
+func (sc Scope) Enabled() bool { return sc.T != nil }
+
+// Begin opens a span at this scope's position (nil when disabled).
+func (sc Scope) Begin(rec *trace.Recorder, name, cat string) *Span {
+	if sc.T == nil {
+		return nil
+	}
+	return sc.T.Begin(rec, sc.Thread, sc.Parent, name, cat)
+}
+
+// Under returns the scope for children of sp (unchanged if sp is nil).
+func (sc Scope) Under(sp *Span) Scope {
+	if sp == nil {
+		return sc
+	}
+	return Scope{T: sc.T, Thread: sc.Thread, Parent: sp.ID()}
+}
+
+// OnThread returns the scope relocated to software thread n.
+func (sc Scope) OnThread(n int) Scope {
+	sc.Thread = n
+	return sc
+}

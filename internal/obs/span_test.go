@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// drainMarks consumes every record of s, delivering Mark records to tr at
+// the synthetic cycles in order — a stand-in for the simulator's retire
+// path.
+func drainMarks(tr *Tracer, s *trace.Stream, cycles []uint64) {
+	i := 0
+	for {
+		r, ok := s.Next()
+		if !ok {
+			return
+		}
+		if r.Kind() != trace.Mark {
+			continue
+		}
+		tr.OnMark(0, r.MarkID(), r.MarkBegin(), cycles[i])
+		i++
+	}
+}
+
+func TestTracerStampsSpansFromMarks(t *testing.T) {
+	tr := NewTracer()
+	rec, s := trace.Pipe()
+	root := tr.BeginAt(0, 0, "run", "run")
+	tr.StampStart(root, 0)
+	sp := tr.Begin(rec, 0, root.ID(), "txn-0", "txn")
+	child := tr.Begin(rec, 0, sp.ID(), "probe", "step")
+	child.End(rec)
+	sp.End(rec)
+	rec.Close()
+	drainMarks(tr, s, []uint64{10, 20, 80, 100})
+	root.EndAt(150)
+	tr.Finish(150)
+
+	run := tr.Snapshot("run", 150)
+	if len(run.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(run.Spans))
+	}
+	rd, td, cd := run.Spans[0], run.Spans[1], run.Spans[2]
+	if rd.CycStart != 0 || rd.CycEnd != 150 || rd.Cat != "run" || rd.Parent != 0 {
+		t.Errorf("root span misrendered: %+v", rd)
+	}
+	if td.CycStart != 10 || td.CycEnd != 100 || td.Parent != rd.ID {
+		t.Errorf("txn span misrendered: %+v", td)
+	}
+	if cd.CycStart != 20 || cd.CycEnd != 80 || cd.Parent != td.ID {
+		t.Errorf("step span misrendered: %+v", cd)
+	}
+	if cd.Cycles() != 60 {
+		t.Errorf("step Cycles() = %d, want 60", cd.Cycles())
+	}
+	for _, d := range run.Spans {
+		if d.WallEndUS < d.WallStartUS {
+			t.Errorf("span %q wall clock runs backwards: %+v", d.Name, d)
+		}
+	}
+}
+
+func TestTracerFinishClosesLostSpans(t *testing.T) {
+	tr := NewTracer()
+	rec, s := trace.Pipe()
+	sp := tr.Begin(rec, 0, 0, "drained", "step")
+	rec.Close()
+	drainMarks(tr, s, []uint64{40})
+	// End marker never reaches the consumer (teardown drain); Finish must
+	// close the span at the final cycle.
+	sp.End(nil)
+	tr.Finish(90)
+	run := tr.Snapshot("x", 90)
+	if run.Spans[0].CycStart != 40 || run.Spans[0].CycEnd != 90 {
+		t.Errorf("lost span closed at [%d,%d], want [40,90]", run.Spans[0].CycStart, run.Spans[0].CycEnd)
+	}
+}
+
+func TestNilTracerAndZeroScope(t *testing.T) {
+	var tr *Tracer
+	sp := tr.BeginAt(0, 0, "x", "y")
+	tr.StampStart(sp, 1)
+	tr.OnMark(0, 1, true, 1)
+	tr.Finish(1)
+	if run := tr.Snapshot("empty", 5); len(run.Spans) != 0 || run.Cycles != 5 {
+		t.Errorf("nil tracer snapshot: %+v", run)
+	}
+	var sc Scope
+	if sc.Enabled() {
+		t.Error("zero Scope reports enabled")
+	}
+	s2 := sc.Begin(nil, "a", "b")
+	if s2 != nil {
+		t.Error("disabled scope returned a span")
+	}
+	s2.End(nil)
+	s2.EndAt(3)
+	if s2.ID() != 0 {
+		t.Error("nil span has a nonzero id")
+	}
+	if sc.Under(s2) != sc {
+		t.Error("Under(nil) changed the scope")
+	}
+}
+
+func TestScopeUnderAndOnThread(t *testing.T) {
+	tr := NewTracer()
+	sc := Scope{T: tr, Thread: 1}
+	sp := tr.BeginAt(1, 0, "p", "c")
+	child := sc.Under(sp)
+	if child.Parent != sp.ID() || child.Thread != 1 {
+		t.Errorf("Under: %+v", child)
+	}
+	if got := child.OnThread(3).Thread; got != 3 {
+		t.Errorf("OnThread = %d, want 3", got)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	runs := []Run{{
+		Label:  "demo",
+		Cycles: 100,
+		Spans: []SpanData{
+			{ID: 1, Name: "run", Cat: "run", CycStart: 0, CycEnd: 100, WallEndUS: 5},
+			{ID: 2, Parent: 1, Name: "txn-0", Cat: "txn", CycStart: 10, CycEnd: 90, Async: true},
+			{ID: 3, Parent: 2, Name: "probe", Cat: "step", CycStart: 20, CycEnd: 30},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	byPh := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byPh[e.Ph]++
+	}
+	// One process_name + one thread_name metadata record, two complete
+	// spans, one async begin/end pair.
+	if byPh["M"] != 2 || byPh["X"] != 2 || byPh["b"] != 1 || byPh["e"] != 1 {
+		t.Fatalf("event phases %v, want M:2 X:2 b:1 e:1", byPh)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Name != "probe" {
+			continue
+		}
+		if e.Ts != 20 || e.Dur == nil || *e.Dur != 10 {
+			t.Errorf("probe rendered at ts=%g dur=%v, want ts=20 dur=10", e.Ts, e.Dur)
+		}
+		if e.Args["parent"] != float64(2) || e.Args["cycles"] != float64(10) {
+			t.Errorf("probe args %v", e.Args)
+		}
+		if _, ok := e.Args["wall_us"]; !ok {
+			t.Error("probe args missing wall_us — the second clock must survive export")
+		}
+	}
+}

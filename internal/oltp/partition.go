@@ -116,6 +116,9 @@ func RunPartitioned(ctxs []*engine.Ctx, codes *mem.CodeMap, progs []Program, pla
 		go func(p int) {
 			defer wg.Done()
 			core := s.coreConfig()
+			// Each partition is one worker thread: relocate the span scope
+			// so its txn/quantum spans land on simulated thread p.
+			core.Obs = cfg.Obs.OnThread(p)
 			core.Ready = func(it sched.Item) bool {
 				pi := it.(*partItem)
 				if pi.Kind() == int(StageCommit) {
@@ -124,8 +127,14 @@ func RunPartitioned(ctxs []*engine.Ctx, codes *mem.CodeMap, progs []Program, pla
 				return pi.clock.StepReady(pi.gseq)
 			}
 			var seen uint64
+			rec := ctxs[p].Rec
 			core.Wait = func() bool {
+				// Commit-clock waits are host-side only (no simulated
+				// cycles accrue), but the span still shows where the
+				// partition sat blocked on another's commit.
+				wsp := core.Obs.Begin(rec, "clock-wait", "wait")
 				g, ok := clock.WaitChange(seen)
+				wsp.End(rec)
 				seen = g
 				return ok
 			}

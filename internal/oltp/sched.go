@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -21,6 +22,14 @@ type Config struct {
 	// scheduler keep a parked continuation dormant until some lock has
 	// actually been released — skipping pointless retry probes.
 	Generation func() uint64
+	// Obs, when enabled, opens dual-clock spans for every in-flight
+	// transaction, scheduling quantum, and stage step. Partitioned runs
+	// relocate the scope to software thread p for partition p and wrap
+	// commit-clock waits in "clock-wait" spans.
+	Obs obs.Scope
+	// Metrics feeds the scheduler-internals histograms (nil fields are
+	// simply not fed).
+	Metrics obs.SchedMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +103,11 @@ func (s *Scheduler) coreConfig() sched.Config {
 		Overhead: func(rec *trace.Recorder, n int) {
 			rec.Exec(s.code, 30+6*n)
 		},
+		Obs:          s.cfg.Obs,
+		ItemName:     func(it sched.Item, seq int) string { return fmt.Sprintf("txn-%d", seq) },
+		KindName:     func(k int) string { return StageKind(k).String() },
+		QuantumSteps: s.cfg.Metrics.QuantumSteps,
+		ParkQuanta:   s.cfg.Metrics.ParkQuanta,
 	}
 }
 
@@ -146,10 +160,22 @@ func (it progItem) Step(ctx *engine.Ctx) (sched.Outcome, error) {
 // instruction stream cycles through whole transaction code bodies. Parks
 // cannot happen — there is never another lock holder.
 func RunMonolithic(ctx *engine.Ctx, progs []Program) (Stats, error) {
+	return RunMonolithicTraced(ctx, progs, obs.Scope{})
+}
+
+// RunMonolithicTraced is RunMonolithic with dual-clock span tracing:
+// one span per transaction, one per stage step under it. Transactions
+// are strictly sequential here, so the spans nest as plain complete
+// events on the single worker thread.
+func RunMonolithicTraced(ctx *engine.Ctx, progs []Program, sc obs.Scope) (Stats, error) {
 	var st Stats
 	for i, p := range progs {
+		tsp := sc.Begin(ctx.Rec, fmt.Sprintf("txn-%d", i), "txn")
+		steps := sc.Under(tsp)
 		for {
+			ssp := steps.Begin(ctx.Rec, p.Stage().String(), "step")
 			out, err := p.Step(ctx)
+			ssp.End(ctx.Rec)
 			st.Steps++
 			if err != nil {
 				return st, fmt.Errorf("oltp: monolithic txn %d: %w", i, err)
@@ -162,6 +188,7 @@ func RunMonolithic(ctx *engine.Ctx, progs []Program) (Stats, error) {
 				break
 			}
 		}
+		tsp.End(ctx.Rec)
 	}
 	return st, nil
 }

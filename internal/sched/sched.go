@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -104,6 +105,22 @@ type Config struct {
 	// MaxQuanta overrides the runaway-schedule guard (0 = derived from
 	// the number of admitted items).
 	MaxQuanta int
+
+	// Obs, when enabled, opens dual-clock spans (internal/obs) for the
+	// scheduler's work: one async span per admitted item (ended on
+	// completion), one span per scheduling quantum, and one span per
+	// executed continuation step, parented under its item. The zero
+	// Scope disables tracing at no cost.
+	Obs obs.Scope
+	// ItemName and KindName label the item and step spans; nil falls
+	// back to "item-<seq>" / "kind-<k>".
+	ItemName func(it Item, seq int) string
+	KindName func(kind int) string
+	// QuantumSteps observes continuation steps executed per quantum;
+	// ParkQuanta observes quanta an item stayed parked before resuming.
+	// Nil histograms are not fed.
+	QuantumSteps *obs.Histogram
+	ParkQuanta   *obs.Histogram
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +148,8 @@ type slot struct {
 
 	parked    bool   // waiting on older lock holders
 	parkedGen uint64 // release generation at park time
+	parkedAt  int    // quantum index of the park, for the park histogram
+	span      *obs.Span
 }
 
 // Cohort drives items to completion with cohort scheduling. It runs on
@@ -176,6 +195,22 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 	fed := false // next returned nil: no more items, ever
 	active := make([]*slot, 0, cfg.Window)
 
+	itemName := cfg.ItemName
+	if itemName == nil {
+		itemName = func(_ Item, seq int) string { return fmt.Sprintf("item-%d", seq) }
+	}
+	kindName := cfg.KindName
+	if kindName == nil {
+		kindName = func(k int) string { return fmt.Sprintf("kind-%d", k) }
+	}
+	// unpark closes a park episode, feeding its quantum distance.
+	unpark := func(m *slot) {
+		if m.parked {
+			cfg.ParkQuanta.Observe(float64(st.Quanta - m.parkedAt))
+			m.parked = false
+		}
+	}
+
 	for {
 		for !fed && len(active) < cfg.Window {
 			it, err := next()
@@ -186,7 +221,12 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 				fed = true
 				break
 			}
-			active = append(active, &slot{seq: admitted, item: it})
+			m := &slot{seq: admitted, item: it}
+			if cfg.Obs.Enabled() {
+				// Async: in-flight items overlap on this worker's thread.
+				m.span = cfg.Obs.Begin(rec, itemName(it, admitted), "txn").SetAsync()
+			}
+			active = append(active, m)
 			admitted++
 		}
 		if len(active) == 0 {
@@ -209,6 +249,8 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 			return st, fmt.Errorf("sched: runaway schedule after %d quanta (%d done):%s", st.Quanta, st.Done, desc)
 		}
 		st.Quanta++
+		qsp := cfg.Obs.Begin(rec, fmt.Sprintf("quantum-%d", st.Quanta), "quantum")
+		stepsBefore := st.Steps
 		progress := false
 		gated := 0
 
@@ -256,7 +298,9 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 				}
 			steps:
 				for {
+					ssp := cfg.Obs.Under(m.span).Begin(rec, kindName(kind), "step")
 					out, err := m.item.Step(ctx)
+					ssp.End(rec)
 					st.Steps++
 					switch {
 					case err != nil:
@@ -277,6 +321,8 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 						}
 						progress = true // wounded: retry immediately
 					case out.Done:
+						unpark(m)
+						m.span.End(rec)
 						active = remove(active, m)
 						st.Done++
 						progress = true
@@ -290,6 +336,9 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 						// step runs later in the quantum. With only older
 						// blockers left, stay parked.
 						if wound(active, m, out.Blockers, rec, &st) == 0 {
+							if !m.parked {
+								m.parkedAt = st.Quanta
+							}
 							m.parked = true
 							if cfg.Generation != nil {
 								m.parkedGen = cfg.Generation()
@@ -298,13 +347,15 @@ func (c *Cohort) RunFeed(ctx *engine.Ctx, next func() (Item, error)) (Stats, err
 						}
 						progress = true
 					default:
-						m.parked = false
+						unpark(m)
 						progress = true
 						break steps
 					}
 				}
 			}
 		}
+		qsp.End(rec)
+		cfg.QuantumSteps.Observe(float64(st.Steps - stepsBefore))
 		if !progress {
 			if gated > 0 && cfg.Wait != nil {
 				// Every runnable item is held back by the external gate:

@@ -32,6 +32,9 @@ type QueryRequest struct {
 	// Async makes the server return 202 with a queued Job instead of
 	// blocking until the measurement completes.
 	Async bool `json:"async,omitempty"`
+	// Trace collects dual-clock spans, served afterwards as Chrome
+	// trace-event JSON on GET /v1/jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ToCore maps the wire request onto a core.Request.
@@ -51,6 +54,7 @@ func (q QueryRequest) ToCore() (core.Request, error) {
 	return core.Request{
 		Mode: mode, Query: q.Query, Clients: q.Clients,
 		Workers: q.Workers, WorkerCounts: q.WorkerCounts, Seed: q.Seed,
+		Trace: q.Trace,
 	}, nil
 }
 
@@ -71,6 +75,9 @@ type TxnRequest struct {
 	RemotePct int   `json:"remote_pct,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
 	Async     bool  `json:"async,omitempty"`
+	// Trace collects dual-clock spans, served afterwards as Chrome
+	// trace-event JSON on GET /v1/jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ToCore maps the wire request onto a core.Request.
@@ -78,7 +85,7 @@ func (t TxnRequest) ToCore() (core.Request, error) {
 	return core.Request{
 		Mode: core.ModeStagedOLTP, Clients: t.Clients, Txns: t.Txns,
 		Cohort: t.Cohort, Parts: t.Parts, PartCounts: t.PartCounts,
-		RemotePct: t.RemotePct, Seed: t.Seed,
+		RemotePct: t.RemotePct, Seed: t.Seed, Trace: t.Trace,
 	}, nil
 }
 
@@ -105,6 +112,8 @@ type Side struct {
 	Rotations       uint64 `json:"rotations,omitempty"`
 	ResultCacheHits uint64 `json:"result_cache_hits,omitempty"`
 	ResultCacheMiss uint64 `json:"result_cache_misses,omitempty"`
+	// Stalls is the cycle-accounting breakdown of this execution.
+	Stalls core.Stalls `json:"stalls"`
 }
 
 // Result is the wire form of core.Result.
@@ -119,6 +128,9 @@ type Result struct {
 	// Digest echoes Main's fingerprint: the value clients compare against
 	// batch-mode core.Runner.Run results for byte-identity.
 	Digest string `json:"digest"`
+	// TraceSpans counts collected spans for traced runs; the spans
+	// themselves are served on GET /v1/jobs/{id}/trace.
+	TraceSpans int `json:"trace_spans,omitempty"`
 }
 
 // Job is one submitted execution and its lifecycle.
@@ -161,6 +173,9 @@ func FromCore(res core.Result) Result {
 	for _, s := range res.Sweep {
 		out.Sweep = append(out.Sweep, sideFromCore(s))
 	}
+	for _, t := range res.Traces {
+		out.TraceSpans += len(t.Spans)
+	}
 	return out
 }
 
@@ -176,5 +191,6 @@ func sideFromCore(s core.Side) Side {
 		Parks: s.Sched.Parks, Wounds: s.Sched.Wounds, Deadlocks: s.Sched.Deadlocks,
 		Attaches: s.Scans.Attaches, Rotations: s.Scans.Rotations,
 		ResultCacheHits: s.Reuse.Hits, ResultCacheMiss: s.Reuse.Misses,
+		Stalls: s.Stalls(),
 	}
 }

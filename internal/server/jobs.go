@@ -3,27 +3,38 @@ package server
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server/api"
 )
 
 // jobStore tracks submitted executions. IDs are a plain counter —
 // "job-1", "job-2" — so runs are reproducible and tests can predict
 // them; finished jobs are evicted oldest-first past cap so a long-lived
-// server does not grow without bound.
+// server does not grow without bound. Span traces of traced runs are
+// kept next to the job (served on GET /v1/jobs/{id}/trace, not embedded
+// in the job body) and evicted with it.
 type jobStore struct {
-	mu    sync.Mutex
-	next  int
-	cap   int
-	jobs  map[string]*api.Job
-	order []string // creation order, for eviction
+	mu      sync.Mutex
+	next    int
+	cap     int
+	jobs    map[string]*api.Job
+	created map[string]time.Time
+	traces  map[string][]obs.Run
+	order   []string // creation order, for eviction
 }
 
 func newJobStore(cap int) *jobStore {
 	if cap <= 0 {
 		cap = 256
 	}
-	return &jobStore{cap: cap, jobs: make(map[string]*api.Job)}
+	return &jobStore{
+		cap:     cap,
+		jobs:    make(map[string]*api.Job),
+		created: make(map[string]time.Time),
+		traces:  make(map[string][]obs.Run),
+	}
 }
 
 // create registers a new job in the queued state and returns a copy.
@@ -36,6 +47,7 @@ func (s *jobStore) create(tenant, mode string) api.Job {
 		Tenant: tenant, Mode: mode, Status: "queued",
 	}
 	s.jobs[j.ID] = j
+	s.created[j.ID] = time.Now()
 	s.order = append(s.order, j.ID)
 	s.evictLocked()
 	return *j
@@ -51,6 +63,8 @@ func (s *jobStore) evictLocked() {
 			j := s.jobs[id]
 			if j != nil && (j.Status == "done" || j.Status == "error") {
 				delete(s.jobs, id)
+				delete(s.created, id)
+				delete(s.traces, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -62,17 +76,22 @@ func (s *jobStore) evictLocked() {
 	}
 }
 
-// setRunning marks the job as executing.
-func (s *jobStore) setRunning(id string) {
+// setRunning marks the job as executing and returns how long it sat
+// queued since creation.
+func (s *jobStore) setRunning(id string) time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j := s.jobs[id]; j != nil {
 		j.Status = "running"
 	}
+	if t, ok := s.created[id]; ok {
+		return time.Since(t)
+	}
+	return 0
 }
 
-// finish records the job's outcome.
-func (s *jobStore) finish(id string, res *api.Result, err error) {
+// finish records the job's outcome and keeps any collected span traces.
+func (s *jobStore) finish(id string, res *api.Result, traces []obs.Run, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -84,6 +103,9 @@ func (s *jobStore) finish(id string, res *api.Result, err error) {
 		return
 	}
 	j.Status, j.Result = "done", res
+	if len(traces) > 0 {
+		s.traces[id] = traces
+	}
 }
 
 // get returns a copy of the job, if it exists.
@@ -95,4 +117,11 @@ func (s *jobStore) get(id string) (api.Job, bool) {
 		return api.Job{}, false
 	}
 	return *j, true
+}
+
+// getTraces returns the span runs collected for a finished traced job.
+func (s *jobStore) getTraces(id string) []obs.Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces[id]
 }

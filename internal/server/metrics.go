@@ -1,87 +1,129 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// Metrics is the server's counter set, exposed on GET /metrics in the
-// Prometheus text exposition format. Everything is a monotonic counter
-// except InFlight, a gauge of admitted sessions currently executing.
-// The executor counters (parks, wounds, rotations, cache hits) aggregate
+// Histogram bucket ladders. Request latencies are host seconds (an
+// admitted request runs a whole simulation, so the ladder reaches
+// minutes); run cycles are simulated; the scheduler ladders are small
+// integer counts.
+var (
+	secondsBuckets = obs.LogBuckets(0.001, 2, 20) // 1ms .. ~8.7m
+	cyclesBuckets  = obs.LogBuckets(1e4, 4, 14)   // 10k .. ~671M cycles
+	stepsBuckets   = obs.LogBuckets(1, 2, 12)     // 1 .. 2048
+)
+
+// Metrics is the server's metric set, backed by one obs.Registry and
+// exposed on GET /metrics in the Prometheus text exposition format. The
+// executor counters (parks, wounds, rotations, cache hits) aggregate
 // the scheduler and sharing statistics of every request the server has
 // completed — the live view of the internals the batch drivers print.
 type Metrics struct {
-	Requests         atomic.Uint64 // admitted requests, by outcome below
-	Errors           atomic.Uint64 // requests that failed (validation or run)
-	AdmissionRejects atomic.Uint64 // 429s: per-tenant or global cap hit
-	DrainRejects     atomic.Uint64 // 503s: refused because draining
-	InFlight         atomic.Int64  // gauge: admitted sessions executing now
-	JobsCreated      atomic.Uint64
+	Registry *obs.Registry
+
+	Requests         *obs.Counter
+	Errors           *obs.Counter
+	AdmissionRejects *obs.Counter
+	DrainRejects     *obs.Counter
+	InFlight         *obs.Gauge
+	JobsCreated      *obs.Counter
 
 	// Cohort-scheduler counters summed over completed staged-oltp runs.
-	Parks         atomic.Uint64
-	Wounds        atomic.Uint64
-	Deadlocks     atomic.Uint64
-	StageSwitches atomic.Uint64
-	FencedTxns    atomic.Uint64
-	TxnsCommitted atomic.Uint64
+	Parks         *obs.Counter
+	Wounds        *obs.Counter
+	Deadlocks     *obs.Counter
+	StageSwitches *obs.Counter
+	FencedTxns    *obs.Counter
+	TxnsCommitted *obs.Counter
 
 	// Work-sharing counters summed over completed shared-dss runs.
-	Rotations       atomic.Uint64
-	Attaches        atomic.Uint64
-	ResultCacheHits atomic.Uint64
-	ResultCacheMiss atomic.Uint64
+	Rotations       *obs.Counter
+	Attaches        *obs.Counter
+	ResultCacheHits *obs.Counter
+	ResultCacheMiss *obs.Counter
+
+	// RequestSeconds is end-to-end host latency of admitted requests by
+	// mode; QueueWait is the host delay between job creation and
+	// execution start (async jobs queue here); RunCycles is the subject
+	// side's simulated length per completed execution, by mode.
+	RequestSeconds *obs.HistogramVec
+	QueueWait      *obs.Histogram
+	RunCycles      *obs.HistogramVec
+
+	// Sched receives scheduler-internals observations from inside every
+	// staged-OLTP run (plumbed down through core.Runner.Sched).
+	Sched obs.SchedMetrics
 }
 
-// Observe folds one completed measurement into the counters. Scheduler
-// stats come from every cohort-scheduled side (the sweep); sharing stats
-// from the shared side only (Main) — the baselines run without either
-// subsystem and contribute nothing.
+// NewMetrics builds the server metric set on a fresh registry.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		Registry:         r,
+		Requests:         r.Counter("dbserver_requests_total", "Admitted execution requests."),
+		Errors:           r.Counter("dbserver_errors_total", "Requests that failed validation or execution."),
+		AdmissionRejects: r.Counter("dbserver_admission_rejects_total", "Requests refused by per-tenant or global caps."),
+		DrainRejects:     r.Counter("dbserver_drain_rejects_total", "Requests refused because the server is draining."),
+		InFlight:         r.Gauge("dbserver_inflight_sessions", "Admitted sessions currently executing."),
+		JobsCreated:      r.Counter("dbserver_jobs_created_total", "Jobs created (sync and async)."),
+
+		Parks:         r.Counter("dbserver_sched_parks_total", "Cohort-scheduler lock parks across completed runs."),
+		Wounds:        r.Counter("dbserver_sched_wounds_total", "Cohort-scheduler deadlock wounds across completed runs."),
+		Deadlocks:     r.Counter("dbserver_sched_deadlocks_total", "Deadlock retries across completed runs."),
+		StageSwitches: r.Counter("dbserver_sched_stage_switches_total", "Cohort stage switches across completed runs."),
+		FencedTxns:    r.Counter("dbserver_fenced_txns_total", "Cross-partition transactions run fenced."),
+		TxnsCommitted: r.Counter("dbserver_txns_committed_total", "Transactions committed by staged-oltp runs."),
+
+		Rotations:       r.Counter("dbserver_scan_rotations_total", "Circular shared-scan rotations across completed runs."),
+		Attaches:        r.Counter("dbserver_scan_attaches_total", "Consumers attached to shared scans across completed runs."),
+		ResultCacheHits: r.Counter("dbserver_result_cache_hits_total", "Result-reuse cache hits across completed runs."),
+		ResultCacheMiss: r.Counter("dbserver_result_cache_misses_total", "Result-reuse cache misses across completed runs."),
+
+		RequestSeconds: r.HistogramVec("dbserver_request_seconds", "End-to-end host latency of admitted requests.", secondsBuckets, "mode"),
+		QueueWait:      r.Histogram("dbserver_queue_wait_seconds", "Host delay between job creation and execution start.", secondsBuckets),
+		RunCycles:      r.HistogramVec("dbserver_run_cycles", "Simulated cycles of each completed subject execution.", cyclesBuckets, "mode"),
+		Sched: obs.SchedMetrics{
+			QuantumSteps: r.Histogram("dbserver_sched_quantum_steps", "Continuation steps executed per scheduling quantum.", stepsBuckets),
+			ParkQuanta:   r.Histogram("dbserver_sched_park_quanta", "Quanta a transaction stayed parked before resuming.", stepsBuckets),
+		},
+	}
+}
+
+// Observe folds one completed measurement into the counters. Every
+// subject side is folded the same way regardless of mode — sides that
+// never touched a subsystem contribute zeros — so a new mode can't be
+// silently dropped by a forgotten switch arm. Subjects are the sweep
+// points when the mode sweeps, otherwise Main (which aliases the last
+// sweep entry, so folding both would double-count). Baselines are the
+// reference twin and contribute nothing.
 func (m *Metrics) Observe(res core.Result) {
-	switch res.Mode {
-	case core.ModeStagedOLTP:
-		for _, s := range res.Sweep {
-			m.Parks.Add(uint64(s.Sched.Parks))
-			m.Wounds.Add(uint64(s.Sched.Wounds))
-			m.Deadlocks.Add(uint64(s.Sched.Deadlocks))
-			m.StageSwitches.Add(uint64(s.Sched.StageSwitches))
-			m.FencedTxns.Add(uint64(s.Fenced))
-			m.TxnsCommitted.Add(uint64(s.Txns))
-		}
-	case core.ModeSharedDSS:
-		m.Rotations.Add(res.Main.Scans.Rotations)
-		m.Attaches.Add(res.Main.Scans.Attaches)
-		m.ResultCacheHits.Add(res.Main.Reuse.Hits)
-		m.ResultCacheMiss.Add(res.Main.Reuse.Misses)
+	subjects := res.Sweep
+	if len(subjects) == 0 {
+		subjects = []core.Side{res.Main}
+	}
+	mode := string(res.Mode)
+	for _, s := range subjects {
+		m.Parks.Add(uint64(s.Sched.Parks))
+		m.Wounds.Add(uint64(s.Sched.Wounds))
+		m.Deadlocks.Add(uint64(s.Sched.Deadlocks))
+		m.StageSwitches.Add(uint64(s.Sched.StageSwitches))
+		m.FencedTxns.Add(uint64(s.Fenced))
+		m.TxnsCommitted.Add(uint64(s.Txns))
+
+		m.Rotations.Add(s.Scans.Rotations)
+		m.Attaches.Add(s.Scans.Attaches)
+		m.ResultCacheHits.Add(s.Reuse.Hits)
+		m.ResultCacheMiss.Add(s.Reuse.Misses)
+
+		m.RunCycles.With(mode).Observe(float64(s.Cycles))
 	}
 }
 
-// WritePrometheus renders the counters in the text exposition format.
+// WritePrometheus renders every family in the text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("dbserver_requests_total", "Admitted execution requests.", m.Requests.Load())
-	counter("dbserver_errors_total", "Requests that failed validation or execution.", m.Errors.Load())
-	counter("dbserver_admission_rejects_total", "Requests refused by per-tenant or global caps.", m.AdmissionRejects.Load())
-	counter("dbserver_drain_rejects_total", "Requests refused because the server is draining.", m.DrainRejects.Load())
-	gauge("dbserver_inflight_sessions", "Admitted sessions currently executing.", m.InFlight.Load())
-	counter("dbserver_jobs_created_total", "Jobs created (sync and async).", m.JobsCreated.Load())
-	counter("dbserver_sched_parks_total", "Cohort-scheduler lock parks across completed runs.", m.Parks.Load())
-	counter("dbserver_sched_wounds_total", "Cohort-scheduler deadlock wounds across completed runs.", m.Wounds.Load())
-	counter("dbserver_sched_deadlocks_total", "Deadlock retries across completed runs.", m.Deadlocks.Load())
-	counter("dbserver_sched_stage_switches_total", "Cohort stage switches across completed runs.", m.StageSwitches.Load())
-	counter("dbserver_fenced_txns_total", "Cross-partition transactions run fenced.", m.FencedTxns.Load())
-	counter("dbserver_txns_committed_total", "Transactions committed by staged-oltp runs.", m.TxnsCommitted.Load())
-	counter("dbserver_scan_rotations_total", "Circular shared-scan rotations across completed runs.", m.Rotations.Load())
-	counter("dbserver_scan_attaches_total", "Consumers attached to shared scans across completed runs.", m.Attaches.Load())
-	counter("dbserver_result_cache_hits_total", "Result-reuse cache hits across completed runs.", m.ResultCacheHits.Load())
-	counter("dbserver_result_cache_misses_total", "Result-reuse cache misses across completed runs.", m.ResultCacheMiss.Load())
+	m.Registry.WritePrometheus(w)
 }

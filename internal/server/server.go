@@ -11,10 +11,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server/api"
 )
 
@@ -32,6 +36,10 @@ type Config struct {
 	PerTenant int
 	// JobCap bounds retained finished jobs (default 256).
 	JobCap int
+	// Logger receives structured request logs (id, tenant, mode,
+	// outcome, duration). Nil discards them — tests and embedders that
+	// don't care stay quiet.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +56,9 @@ func (c Config) withDefaults() Config {
 	if c.JobCap == 0 {
 		c.JobCap = 256
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -57,7 +68,8 @@ type Server struct {
 	runner  *core.Runner
 	jobs    *jobStore
 	mux     *http.ServeMux
-	Metrics Metrics
+	log     *slog.Logger
+	Metrics *Metrics
 
 	mu       sync.Mutex
 	tenants  map[string]int
@@ -73,12 +85,17 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		runner:  core.NewRunner(*cfg.Scale),
 		jobs:    newJobStore(cfg.JobCap),
+		log:     cfg.Logger,
+		Metrics: NewMetrics(),
 		tenants: make(map[string]int),
 	}
+	// Staged-OLTP runs feed the scheduler-internals histograms directly.
+	s.runner.Sched = s.Metrics.Sched
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/txn", s.handleTxn)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -97,15 +114,15 @@ func (s *Server) admit(tenant string) (release func(), status int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.Metrics.DrainRejects.Add(1)
+		s.Metrics.DrainRejects.Inc()
 		return nil, http.StatusServiceUnavailable, errors.New("server is draining; not admitting new work")
 	}
 	if s.inflight >= s.cfg.MaxInFlight {
-		s.Metrics.AdmissionRejects.Add(1)
+		s.Metrics.AdmissionRejects.Inc()
 		return nil, http.StatusTooManyRequests, fmt.Errorf("server at capacity (%d sessions in flight)", s.inflight)
 	}
 	if s.tenants[tenant] >= s.cfg.PerTenant {
-		s.Metrics.AdmissionRejects.Add(1)
+		s.Metrics.AdmissionRejects.Inc()
 		return nil, http.StatusTooManyRequests, fmt.Errorf("tenant %q at capacity (%d sessions in flight)", tenant, s.tenants[tenant])
 	}
 	s.inflight++
@@ -220,53 +237,75 @@ func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
 // admission slot stays held until the job finishes, so async work
 // counts against capacity and drain like everything else).
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, creq core.Request, async bool) {
+	start := time.Now()
+	tenant := tenantOf(r)
 	// Validate before admission: a malformed request should get its 400
 	// without consuming a session slot.
 	if err := creq.WithDefaults().Validate(); err != nil {
-		s.Metrics.Errors.Add(1)
+		s.Metrics.Errors.Inc()
+		s.log.Warn("request rejected", "tenant", tenant, "mode", string(creq.Mode), "outcome", "invalid", "err", err)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	release, status, err := s.admit(tenantOf(r))
+	release, status, err := s.admit(tenant)
 	if err != nil {
+		s.log.Warn("request refused", "tenant", tenant, "mode", string(creq.Mode), "outcome", "refused", "status", status, "err", err)
 		writeErr(w, status, err)
 		return
 	}
-	s.Metrics.Requests.Add(1)
-	s.Metrics.JobsCreated.Add(1)
-	job := s.jobs.create(tenantOf(r), string(creq.Mode))
+	s.Metrics.Requests.Inc()
+	s.Metrics.JobsCreated.Inc()
+	job := s.jobs.create(tenant, string(creq.Mode))
+	logger := s.log.With("id", job.ID, "tenant", tenant, "mode", string(creq.Mode))
 
 	if async {
+		logger.Info("job queued", "trace", creq.Trace)
 		// Detach from the request context: the submitter's connection
 		// closing must not cancel a queued job.
 		go func() {
 			defer release()
-			s.execute(context.Background(), job.ID, creq)
+			_, err := s.execute(context.Background(), job.ID, creq)
+			s.finishRequest(logger, string(creq.Mode), start, err)
 		}()
 		writeJSON(w, http.StatusAccepted, job)
 		return
 	}
 	defer release()
 	res, err := s.execute(r.Context(), job.ID, creq)
+	s.finishRequest(logger, string(creq.Mode), start, err)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	w.Header().Set("X-Job-Id", job.ID)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// finishRequest observes the end-to-end latency histogram and emits the
+// structured outcome log line for one admitted request.
+func (s *Server) finishRequest(logger *slog.Logger, mode string, start time.Time, err error) {
+	d := time.Since(start)
+	s.Metrics.RequestSeconds.With(mode).Observe(d.Seconds())
+	if err != nil {
+		logger.Error("request failed", "outcome", "error", "duration", d, "err", err)
+		return
+	}
+	logger.Info("request done", "outcome", "ok", "duration", d)
 }
 
 // execute runs one admitted request and records its job outcome.
 func (s *Server) execute(ctx context.Context, jobID string, creq core.Request) (*api.Result, error) {
-	s.jobs.setRunning(jobID)
+	wait := s.jobs.setRunning(jobID)
+	s.Metrics.QueueWait.Observe(wait.Seconds())
 	res, err := s.runner.Run(ctx, creq)
 	if err != nil {
-		s.Metrics.Errors.Add(1)
-		s.jobs.finish(jobID, nil, err)
+		s.Metrics.Errors.Inc()
+		s.jobs.finish(jobID, nil, nil, err)
 		return nil, err
 	}
 	s.Metrics.Observe(res)
 	wres := api.FromCore(res)
-	s.jobs.finish(jobID, &wres, nil)
+	s.jobs.finish(jobID, &wres, res.Traces, nil)
 	return &wres, nil
 }
 
@@ -278,6 +317,31 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the job's dual-clock
+// spans as Chrome trace-event JSON (load into Perfetto or
+// chrome://tracing). Only jobs submitted with "trace": true have one.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	if job.Status == "queued" || job.Status == "running" {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %q is %s; trace is available once it finishes", id, job.Status))
+		return
+	}
+	runs := s.jobs.getTraces(id)
+	if len(runs) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("job %q has no trace (submit with \"trace\": true)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChrome(w, runs); err != nil {
+		s.log.Error("trace export failed", "id", id, "err", err)
+	}
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load

@@ -141,16 +141,16 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	for e := range errs {
 		t.Error(e)
 	}
-	if got := s.Metrics.Parks.Load(); got == 0 {
+	if got := s.Metrics.Parks.Value(); got == 0 {
 		t.Error("no parks counted after an OLTP batch")
 	}
-	if got := s.Metrics.Rotations.Load(); got == 0 {
+	if got := s.Metrics.Rotations.Value(); got == 0 {
 		t.Error("no scan rotations counted after a shared-dss query")
 	}
-	if got := s.Metrics.Requests.Load(); got != 3 {
+	if got := s.Metrics.Requests.Value(); got != 3 {
 		t.Errorf("requests counter %d, want 3", got)
 	}
-	if got := s.Metrics.InFlight.Load(); got != 0 {
+	if got := s.Metrics.InFlight.Value(); got != 0 {
 		t.Errorf("in-flight gauge %d after all work done", got)
 	}
 }
@@ -238,7 +238,7 @@ func TestValidationOverWire(t *testing.T) {
 			t.Errorf("%s %+v: error body %s (want field %q)", tc.path, tc.body, body, tc.field)
 		}
 	}
-	if got := s.Metrics.Requests.Load(); got != 0 {
+	if got := s.Metrics.Requests.Value(); got != 0 {
 		t.Errorf("rejected requests consumed %d admissions", got)
 	}
 }
@@ -264,7 +264,7 @@ func TestAdmissionCaps(t *testing.T) {
 		t.Fatalf("tenant-b blocked by tenant-a's cap: status %d: %s", resp.StatusCode, body)
 	}
 	release()
-	if got := s.Metrics.AdmissionRejects.Load(); got != 1 {
+	if got := s.Metrics.AdmissionRejects.Value(); got != 1 {
 		t.Errorf("admission rejects %d, want 1", got)
 	}
 }
@@ -284,10 +284,10 @@ func TestGracefulDrain(t *testing.T) {
 	}()
 	<-started
 	// Wait for the request to be admitted before draining.
-	for i := 0; s.Metrics.InFlight.Load() == 0 && i < 2000; i++ {
+	for i := 0; s.Metrics.InFlight.Value() == 0 && i < 2000; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	if s.Metrics.InFlight.Load() == 0 {
+	if s.Metrics.InFlight.Value() == 0 {
 		t.Fatal("request never admitted")
 	}
 	s.BeginDrain()
@@ -307,7 +307,7 @@ func TestGracefulDrain(t *testing.T) {
 	if code := <-result; code != http.StatusOK {
 		t.Errorf("in-flight request finished with %d, want 200", code)
 	}
-	if got := s.Metrics.DrainRejects.Load(); got == 0 {
+	if got := s.Metrics.DrainRejects.Value(); got == 0 {
 		t.Error("no drain rejects counted")
 	}
 
@@ -363,12 +363,12 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestJobEviction(t *testing.T) {
 	st := newJobStore(2)
 	a := st.create("default", "vec-dss")
-	st.finish(a.ID, nil, nil)
+	st.finish(a.ID, nil, nil, nil)
 	b := st.create("default", "vec-dss") // stays queued (live)
 	c := st.create("default", "vec-dss")
-	st.finish(c.ID, nil, nil)
+	st.finish(c.ID, nil, nil, nil)
 	d := st.create("default", "vec-dss")
-	st.finish(d.ID, nil, nil)
+	st.finish(d.ID, nil, nil, nil)
 	if _, ok := st.get(a.ID); ok {
 		t.Error("oldest finished job not evicted")
 	}

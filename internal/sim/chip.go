@@ -34,6 +34,10 @@ type Chip struct {
 	doneAt     []uint64 // completion cycle per thread
 	live       int
 
+	// onMark, when set, receives every retired trace.Mark record with
+	// the simulated cycle at which the surrounding work executed.
+	onMark func(thread int, id uint64, begin bool, cycle uint64)
+
 	now uint64
 }
 
@@ -143,6 +147,20 @@ func (ch *Chip) pump(t *Thread) bool {
 	}
 }
 
+// SetMarkHandler installs the span-marker callback (obs.Tracer.OnMark).
+// Marks cost zero simulated cycles, so installing a handler never
+// changes timing; a chip without one discards markers.
+func (ch *Chip) SetMarkHandler(f func(thread int, id uint64, begin bool, cycle uint64)) {
+	ch.onMark = f
+}
+
+// mark delivers one retired span marker at the current cycle.
+func (ch *Chip) mark(t *Thread, r trace.Ref) {
+	if ch.onMark != nil {
+		ch.onMark(t.ID, r.MarkID(), r.MarkBegin(), ch.now)
+	}
+}
+
 // threadFinished records a thread's completion.
 func (ch *Chip) threadFinished(t *Thread, now uint64) {
 	if ch.doneAt[t.ID] == 0 {
@@ -169,6 +187,12 @@ func (ch *Chip) Warm(refs int) {
 				ch.hier.WarmRead(core, r.Addr())
 			case trace.Store:
 				ch.hier.WarmWrite(core, r.Addr())
+			case trace.Mark:
+				// Free: stamp it (warming does not advance the clock)
+				// without consuming warm budget, so traced and untraced
+				// runs warm the identical reference prefix.
+				ch.mark(t, r)
+				n--
 			}
 		}
 	}

@@ -157,6 +157,9 @@ issue:
 			c.chip.hier.Write(c.id, r.Addr(), now)
 			issued++
 			c.instrIdx++
+		case trace.Mark:
+			// Span markers are free: no issue slot, no instruction.
+			c.chip.mark(t, r)
 		}
 	}
 	if issued == 0 {

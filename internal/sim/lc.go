@@ -104,6 +104,9 @@ issue:
 			// Stores retire through the write buffer without blocking.
 			c.chip.hier.Write(c.id, r.Addr(), now)
 			issued++
+		case trace.Mark:
+			// Span markers are free: no issue slot, no instruction.
+			c.chip.mark(t, r)
 		}
 	}
 	if issued == 0 {

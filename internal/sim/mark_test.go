@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// markedScan is streamScan work bracketed by span markers around every
+// iteration when marked is set; the workload itself is identical.
+func markedScan(n int, marked bool) func(r *trace.Recorder) {
+	next := uint64(0)
+	id := uint64(0)
+	return func(r *trace.Recorder) {
+		for i := 0; i < n; i++ {
+			if marked {
+				id++
+				r.Mark(id, true)
+			}
+			r.Exec(testSeg, 8)
+			r.Load(mem.HeapBase+mem.Addr(next), false)
+			next += mem.LineSize
+			if marked {
+				r.Mark(id, false)
+			}
+		}
+	}
+}
+
+// TestMarksAreCycleFree runs the same reference stream with and without
+// span markers: marks must consume no issue slots, no instructions, and
+// no cycles, so both runs retire in the identical cycle count.
+func TestMarksAreCycleFree(t *testing.T) {
+	for _, camp := range []Camp{FatCamp, LeanCamp} {
+		run := func(marked bool) Result {
+			ch := NewChip(testConfig(camp, 1))
+			ch.AddThread(feed(1, markedScan(2000, marked)))
+			return ch.Run(10 << 20)
+		}
+		plain, traced := run(false), run(true)
+		if plain.Cycles != traced.Cycles {
+			t.Errorf("%v: marks cost cycles: %d plain vs %d marked", camp, plain.Cycles, traced.Cycles)
+		}
+		if plain.Instructions != traced.Instructions {
+			t.Errorf("%v: marks counted as instructions: %d vs %d", camp, plain.Instructions, traced.Instructions)
+		}
+	}
+}
+
+// TestMarkHandlerStampsCycles checks the retire-path callback: begin/end
+// pairs arrive in stream order with non-decreasing cycle stamps bounded
+// by the run's final cycle, and carry the emitting thread's id.
+func TestMarkHandlerStampsCycles(t *testing.T) {
+	ch := NewChip(testConfig(FatCamp, 1))
+	type ev struct {
+		thread int
+		id     uint64
+		begin  bool
+		cycle  uint64
+	}
+	var got []ev
+	ch.SetMarkHandler(func(thread int, id uint64, begin bool, cycle uint64) {
+		got = append(got, ev{thread, id, begin, cycle})
+	})
+	ch.AddThread(feed(1, markedScan(50, true)))
+	res := ch.Run(10 << 20)
+	if len(got) != 100 {
+		t.Fatalf("handler saw %d marks, want 100", len(got))
+	}
+	var last uint64
+	for i, e := range got {
+		if e.thread != 0 {
+			t.Fatalf("mark %d on thread %d, want 0", i, e.thread)
+		}
+		wantID, wantBegin := uint64(i/2+1), i%2 == 0
+		if e.id != wantID || e.begin != wantBegin {
+			t.Fatalf("mark %d = id %d begin %v, want id %d begin %v", i, e.id, e.begin, wantID, wantBegin)
+		}
+		if e.cycle < last || e.cycle > res.Cycles {
+			t.Fatalf("mark %d stamped at cycle %d (prev %d, run end %d)", i, e.cycle, last, res.Cycles)
+		}
+		last = e.cycle
+	}
+}
+
+// TestWarmDeliversMarks checks that functional warming retires markers
+// (at cycle 0) without spending its reference budget on them.
+func TestWarmDeliversMarks(t *testing.T) {
+	ch := NewChip(testConfig(FatCamp, 1))
+	var marks int
+	ch.SetMarkHandler(func(thread int, id uint64, begin bool, cycle uint64) {
+		if cycle != 0 {
+			t.Errorf("warm-phase mark stamped at cycle %d, want 0", cycle)
+		}
+		marks++
+	})
+	ch.AddThread(feed(1, markedScan(50, true)))
+	ch.Warm(1 << 20)
+	if marks != 100 {
+		t.Errorf("warming delivered %d marks, want 100", marks)
+	}
+}

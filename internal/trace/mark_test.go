@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkEncoding(t *testing.T) {
+	b := MakeMark(42, true)
+	if b.Kind() != Mark || b.MarkID() != 42 || !b.MarkBegin() {
+		t.Errorf("begin decode: kind=%v id=%d begin=%v", b.Kind(), b.MarkID(), b.MarkBegin())
+	}
+	e := MakeMark(maxMarkID, false)
+	if e.Kind() != Mark || e.MarkID() != maxMarkID || e.MarkBegin() {
+		t.Errorf("end decode: kind=%v id=%d begin=%v", e.Kind(), e.MarkID(), e.MarkBegin())
+	}
+	if !strings.Contains(b.String(), "begin 42") || !strings.Contains(e.String(), "end") {
+		t.Errorf("mark String: %q / %q", b, e)
+	}
+}
+
+func TestMarkEncodingProperty(t *testing.T) {
+	f := func(id uint64, begin bool) bool {
+		id = id%maxMarkID + 1
+		r := MakeMark(id, begin)
+		return r.Kind() == Mark && r.MarkID() == id && r.MarkBegin() == begin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkZeroIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mark id 0")
+		}
+	}()
+	MakeMark(0, true)
+}
+
+// TestMarkSkipsCounters checks that marks are observability metadata, not
+// workload: they travel through the pipe but never count as instructions,
+// loads, or stores.
+func TestMarkSkipsCounters(t *testing.T) {
+	r, s := Pipe()
+	go func() {
+		r.Mark(7, true)
+		r.Load(0x1000, false)
+		r.Mark(7, false)
+		r.Close()
+	}()
+	var marks, others int
+	for {
+		ref, ok := s.Next()
+		if !ok {
+			break
+		}
+		if ref.Kind() == Mark {
+			marks++
+		} else {
+			others++
+		}
+	}
+	if marks != 2 || others != 1 {
+		t.Fatalf("consumed %d marks / %d other refs, want 2 / 1", marks, others)
+	}
+	if r.Instructions != 0 || r.Loads != 1 || r.Stores != 0 {
+		t.Errorf("counters %d/%d/%d, want 0/1/0 — marks must not count", r.Instructions, r.Loads, r.Stores)
+	}
+}

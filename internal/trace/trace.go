@@ -31,6 +31,12 @@ const (
 	Load
 	// Store is a data write of the line containing Addr.
 	Store
+	// Mark is a zero-cost observability marker: the begin or end of a
+	// span (internal/obs) flowing through the stream so the simulator
+	// can stamp it with the simulated cycle at which the surrounding
+	// work actually executed. Marks consume no issue slots, no
+	// instructions, and no warming budget.
+	Mark
 )
 
 func (k Kind) String() string {
@@ -41,6 +47,8 @@ func (k Kind) String() string {
 		return "load"
 	case Store:
 		return "store"
+	case Mark:
+		return "mark"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -80,6 +88,32 @@ func MakeStore(a mem.Addr) Ref {
 	return Ref(uint64(Store) | uint64(a&addrMask)<<16)
 }
 
+// maxMarkID bounds span ids to the 61 bits a Mark record can carry.
+const maxMarkID = 1<<61 - 1
+
+// MakeMark builds a span marker: begin or end of span id. Marks reuse
+// the kind bits and pack the id above the begin flag:
+//
+//	bits 0..1  kind (Mark)
+//	bit  2     begin flag
+//	bits 3..63 span id
+func MakeMark(id uint64, begin bool) Ref {
+	if id == 0 || id > maxMarkID {
+		panic(fmt.Sprintf("trace: bad mark id %d", id))
+	}
+	r := Ref(uint64(Mark) | id<<3)
+	if begin {
+		r |= 1 << 2
+	}
+	return r
+}
+
+// MarkID returns the span id of a Mark record.
+func (r Ref) MarkID() uint64 { return uint64(r >> 3) }
+
+// MarkBegin reports whether a Mark record opens its span.
+func (r Ref) MarkBegin() bool { return r&(1<<2) != 0 }
+
 // Kind returns the record kind.
 func (r Ref) Kind() Kind { return Kind(r & 3) }
 
@@ -101,6 +135,11 @@ func (r Ref) String() string {
 			return fmt.Sprintf("load* %#x", uint64(r.Addr()))
 		}
 		return fmt.Sprintf("load %#x", uint64(r.Addr()))
+	case Mark:
+		if r.MarkBegin() {
+			return fmt.Sprintf("mark begin %d", r.MarkID())
+		}
+		return fmt.Sprintf("mark end %d", r.MarkID())
 	default:
 		return fmt.Sprintf("store %#x", uint64(r.Addr()))
 	}
@@ -281,6 +320,16 @@ func (r *Recorder) LoadRangeDep(a mem.Addr, n int) {
 		r.emit(MakeLoad(l, dep))
 		dep = false
 	}
+}
+
+// Mark records a span begin/end marker. Marks do not count toward the
+// analytical instruction/load/store counters — they are observability
+// metadata, not workload.
+func (r *Recorder) Mark(id uint64, begin bool) {
+	if r == nil || r.stopped {
+		return
+	}
+	r.emit(MakeMark(id, begin))
 }
 
 // Store records a data write at a.

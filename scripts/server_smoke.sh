@@ -46,12 +46,41 @@ q = json.load(open('/tmp/dbserver_query.json'))
 assert q['mode'] == 'shared-dss' and q['main']['cycles'] > 0, q
 EOF
 
-# Scrape /metrics: the executor counters must be live.
+# A traced async batch must serve a Chrome trace once done.
+curl -fsS -X POST "$BASE/v1/txn" -H 'X-Tenant: smoke-trace' \
+  -d '{"clients":4,"txns":2,"async":true,"trace":true}' >/tmp/dbserver_job.json
+JOB=$(python3 -c "import json; print(json.load(open('/tmp/dbserver_job.json'))['id'])")
+for i in $(seq 1 600); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB" | python3 -c "import json,sys; print(json.load(sys.stdin)['status'])")
+  [ "$STATUS" = done ] && break
+  if [ "$STATUS" = error ]; then echo "traced job failed" >&2; exit 1; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/v1/jobs/$JOB/trace" >/tmp/dbserver_trace.json
+python3 - <<'EOF'
+import json
+t = json.load(open('/tmp/dbserver_trace.json'))
+evs = t['traceEvents']
+assert any(e['ph'] == 'X' and e['cat'] == 'run' for e in evs), 'no run span'
+assert any('wall_us' in e.get('args', {}) for e in evs), 'no wall clock in args'
+assert len(evs) > 10, f'only {len(evs)} events'
+EOF
+
+# Scrape /metrics: the executor counters and the latency histograms must
+# be live.
 curl -fsS "$BASE/metrics" >/tmp/dbserver_metrics.txt
 for metric in dbserver_sched_parks_total dbserver_scan_rotations_total dbserver_requests_total; do
   val=$(awk -v m="$metric" '$1 == m {print $2}' /tmp/dbserver_metrics.txt)
   if [ -z "$val" ] || [ "$val" -eq 0 ]; then
     echo "metric $metric is missing or zero" >&2
+    cat /tmp/dbserver_metrics.txt >&2
+    exit 1
+  fi
+done
+for hist in dbserver_request_seconds dbserver_queue_wait_seconds dbserver_run_cycles; do
+  if ! grep -q "^# TYPE $hist histogram" /tmp/dbserver_metrics.txt ||
+     ! grep -q "^${hist}_bucket" /tmp/dbserver_metrics.txt; then
+    echo "histogram $hist missing from /metrics" >&2
     cat /tmp/dbserver_metrics.txt >&2
     exit 1
   fi
