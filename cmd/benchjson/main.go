@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -101,12 +102,45 @@ type oltpPartEntry struct {
 	Parts       []oltpPartSide `json:"parts"`
 }
 
+// nativePoint is one native fast-path sweep point: query Query at
+// Workers morsel-parallel workers, wall-clock best of 3. The leading
+// interpreted point (compiled predicates and selection vectors off) is
+// the reference the 1-worker compiled_vs_interpreted_x ratio divides
+// against; multi-worker points carry scaling_vs_1worker_x instead.
+type nativePoint struct {
+	Query       int     `json:"query"`
+	Workers     int     `json:"workers"`
+	Interpreted bool    `json:"interpreted"`
+	RowsScanned int     `json:"rows_scanned"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	ResultRows  int     `json:"result_rows"`
+	// Digest fingerprints the result rows: typed-value FNV for serial
+	// points (byte-identical across interpreted/compiled), a row-count
+	// digest for multi-worker points whose float sums reassociate.
+	Digest    string  `json:"digest"`
+	CompiledX float64 `json:"compiled_vs_interpreted_x,omitempty"`
+	ScalingX  float64 `json:"scaling_vs_1worker_x,omitempty"`
+}
+
+// nativeSection is the v5 native fast-path sweep: every query × worker
+// count, plus the host CPU count that contextualizes the scaling ratios
+// (a 1-CPU CI runner cannot express parallel speedup).
+type nativeSection struct {
+	HostCPUs     int           `json:"host_cpus"`
+	WorkerCounts []int         `json:"worker_counts"`
+	Points       []nativePoint `json:"points"`
+}
+
 // report is the file's schema. Version bumps when fields change meaning.
 // v4 adds per-side cycle-accounting stalls breakdowns (core.Stalls).
+// v5 adds the native fast-path sweep (compiled predicates + selection
+// vectors vs interpreted, morsel-parallel worker scaling) and host_cpus.
 type report struct {
 	Version     int             `json:"version"`
 	PR          string          `json:"pr"`
 	Scale       string          `json:"scale"`
+	NativeFast  nativeSection   `json:"native"`
 	Native      []nativeEntry   `json:"native_q6"`
 	Simulated   []simEntry      `json:"simulated"`
 	OLTP        []oltpEntry     `json:"oltp_staged"`
@@ -114,7 +148,7 @@ type report struct {
 }
 
 func main() {
-	pr := flag.String("pr", "pr7-observability", "PR label recorded in the report")
+	pr := flag.String("pr", "pr8-native", "PR label recorded in the report")
 	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -124,7 +158,41 @@ func main() {
 
 	r := core.NewRunner(core.TestScale())
 	bg := context.Background()
-	rep := report{Version: 4, PR: *pr, Scale: "test"}
+	rep := report{Version: 5, PR: *pr, Scale: "test"}
+
+	// Native fast path: the compiled+selection sweep over every native
+	// query at 1/2/4 workers, led by the interpreted reference.
+	rep.NativeFast = nativeSection{HostCPUs: runtime.NumCPU(), WorkerCounts: []int{1, 2, 4}}
+	for _, q := range []int{1, 6, 13} {
+		runs, err := r.RunNativeDSS(q, rep.NativeFast.WorkerCounts, 7)
+		if err != nil {
+			fatal(err)
+		}
+		var interp, w1 core.NativeRun
+		for _, n := range runs {
+			switch {
+			case n.Interpreted:
+				interp = n
+			case n.Workers == 1:
+				w1 = n
+			}
+		}
+		for _, n := range runs {
+			pt := nativePoint{
+				Query: n.Query, Workers: n.Workers, Interpreted: n.Interpreted,
+				RowsScanned: n.Rows, ElapsedSec: float64(n.Nanos) / 1e9,
+				RowsPerSec: n.RowsPerSec, ResultRows: n.ResultRows,
+				Digest: fmt.Sprintf("%016x", n.Digest),
+			}
+			if !n.Interpreted && n.Workers == 1 && interp.Nanos > 0 {
+				pt.CompiledX = float64(interp.Nanos) / float64(n.Nanos)
+			}
+			if n.Workers > 1 && w1.Nanos > 0 {
+				pt.ScalingX = float64(w1.Nanos) / float64(n.Nanos)
+			}
+			rep.NativeFast.Points = append(rep.NativeFast.Points, pt)
+		}
+	}
 
 	// Native: host-time Q6 on both executors (best of 3 runs each).
 	h, err := r.TPCH()
@@ -249,6 +317,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	for _, p := range rep.NativeFast.Points {
+		tag := "compiled"
+		if p.Interpreted {
+			tag = "interpreted"
+		}
+		extra := ""
+		if p.CompiledX > 0 {
+			extra = fmt.Sprintf("  %.2fx vs interpreted", p.CompiledX)
+		}
+		if p.ScalingX > 0 {
+			extra = fmt.Sprintf("  %.2fx vs 1 worker", p.ScalingX)
+		}
+		fmt.Printf("  native q%-2d %-11s x%d %12.0f rows/sec%s\n", p.Query, tag, p.Workers, p.RowsPerSec, extra)
+	}
 	for _, e := range rep.Simulated {
 		fmt.Printf("  %-15s %6.2fx simulated speedup (%d -> %d cycles)\n", e.Description, e.SpeedupX, e.RowCycles, e.VecCycles)
 	}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/oltp"
 	"repro/internal/workload"
@@ -27,17 +29,88 @@ func main() {
 	opts.RegisterNative(flag.CommandLine)
 	flag.Parse()
 
-	if opts.Steps {
-		if err := runSteps(opts.Txns, opts.Cohort, opts.Parts, opts.Remote); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(opts.Txns, opts.Lineitems, opts.Workers, opts.Share, opts.Clients, opts.Row); err != nil {
+	if err := dispatch(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// dispatch routes the mode flags, bracketing the whole run with a CPU
+// profile when -cpuprofile is given (deferred so the profile is flushed
+// on error paths too).
+func dispatch(opts *cli.Options) error {
+	if opts.CPUProfile != "" {
+		f, err := os.Create(opts.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	counts, err := opts.NativeWorkerCounts()
+	if err != nil {
+		return err
+	}
+	if len(counts) > 0 {
+		return runNative(opts.Lineitems, counts)
+	}
+	if opts.Steps {
+		return runSteps(opts.Txns, opts.Cohort, opts.Parts, opts.Remote)
+	}
+	return run(opts.Txns, opts.Lineitems, opts.Workers, opts.Share, opts.Clients, opts.Row)
+}
+
+// runNative sweeps the trace-free fast path over Q1/Q6/Q13: the
+// interpreted 1-worker reference first, then compiled predicates +
+// selection vectors at each requested worker count.
+func runNative(lineitems int, counts []int) error {
+	fmt.Println("== Native fast path: compiled predicates + selection vectors ==")
+	scale := core.FullScale()
+	scale.TPCH = workload.TPCHConfig{Lineitems: lineitems, ArenaBytes: 256 << 20}
+	r := core.NewRunner(scale)
+
+	start := time.Now()
+	if _, err := r.TPCH(); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d lineitem rows in %s\n", lineitems, time.Since(start).Truncate(time.Millisecond))
+
+	for _, q := range []int{1, 6, 13} {
+		runs, err := r.RunNativeDSS(q, counts, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		var ref, w1 core.NativeRun
+		for _, n := range runs {
+			switch {
+			case n.Interpreted:
+				ref = n
+			case n.Workers == 1:
+				w1 = n
+			}
+			label := "compiled   "
+			if n.Interpreted {
+				label = "interpreted"
+			}
+			line := fmt.Sprintf("Q%-2d %s x%d: %6.1fM rows/s (%d result rows, best of 11)",
+				q, label, n.Workers, n.RowsPerSec/1e6, n.ResultRows)
+			if !n.Interpreted && ref.Nanos > 0 && n.Workers == 1 {
+				line += fmt.Sprintf("  %.2fx vs interpreted", float64(ref.Nanos)/float64(n.Nanos))
+			}
+			if n.Workers > 1 && w1.Nanos > 0 {
+				line += fmt.Sprintf("  %.2fx vs x1", float64(w1.Nanos)/float64(n.Nanos))
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
 }
 
 // runSteps executes the same deterministic transaction stream on fresh

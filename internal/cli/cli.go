@@ -9,6 +9,8 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -46,6 +48,15 @@ type Options struct {
 	// TraceOut writes the executor-mode runs' dual-clock spans as Chrome
 	// trace-event JSON to this path.
 	TraceOut string
+
+	// CPUProfile writes a pprof CPU profile of the whole run to this
+	// path, so a perf regression caught by the bench gates is diagnosable
+	// straight from the artifact.
+	CPUProfile string
+
+	// NativeWorkers is the comma-separated worker-count sweep for the
+	// native fast path (e.g. "1,2,4").
+	NativeWorkers string
 
 	Lineitems int
 
@@ -92,6 +103,25 @@ func (o *Options) RegisterNative(fs *flag.FlagSet) {
 	fs.IntVar(&o.Cohort, "cohort", 16, "in-flight transactions for -steps cohort scheduling")
 	fs.IntVar(&o.Parts, "parts", 1, "with -steps: partition the cohort scheduler by home warehouse across N native workers")
 	fs.IntVar(&o.Remote, "remote", 0, "with -steps: percent chance of remote-warehouse NewOrder lines / Payment customers (cross-partition transactions are fenced)")
+	fs.StringVar(&o.NativeWorkers, "native-workers", "", "comma-separated worker counts (e.g. 1,2,4): sweep the native fast path on Q1/Q6/Q13 — compiled predicates + selection vectors vs the interpreted reference, morsel-parallel at each count")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+}
+
+// NativeWorkerCounts parses the -native-workers sweep; nil means the
+// flag was not given.
+func (o *Options) NativeWorkerCounts() ([]int, error) {
+	if o.NativeWorkers == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, s := range strings.Split(o.NativeWorkers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -native-workers entry %q (want positive integers, e.g. 1,2,4)", s)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 // WasSet reports whether the named flag was given on the command line.

@@ -91,6 +91,10 @@ type Request struct {
 	PartCounts []int
 	// RemotePct is the staged-oltp cross-warehouse draw percentage.
 	RemotePct int
+	// NativeWorkers, when non-empty, additionally runs the query natively
+	// on the host (trace-free, wall-clock timed) at each listed worker
+	// count, populating Result.Native. DSS modes with a single query only.
+	NativeWorkers []int
 	// Seed drives every deterministic input stream. Default 7.
 	Seed int64
 	// Cell overrides the chip geometry; nil picks DefaultModeCell on the
@@ -190,6 +194,19 @@ func (q Request) Validate() error {
 	for _, n := range q.WorkerCounts {
 		if n < 1 {
 			return &ValidationError{Field: "workers", Reason: fmt.Sprintf("worker count %d (need >= 1)", n)}
+		}
+	}
+	if len(q.NativeWorkers) > 0 {
+		if q.Mode == ModeStagedOLTP {
+			return &ValidationError{Field: "native_workers", Reason: "native execution is DSS-only (staged-oltp has no native path)"}
+		}
+		if q.Query != 1 && q.Query != 6 && q.Query != 13 {
+			return &ValidationError{Field: "native_workers", Reason: fmt.Sprintf("native execution needs a single query 1, 6, or 13 (query %d)", q.Query)}
+		}
+		for _, n := range q.NativeWorkers {
+			if n < 1 {
+				return &ValidationError{Field: "native_workers", Reason: fmt.Sprintf("native worker count %d (need >= 1)", n)}
+			}
 		}
 	}
 	if q.Mode == ModeStagedOLTP {
@@ -325,6 +342,14 @@ type Result struct {
 	// sweep point). Exportable as Chrome trace-event JSON via
 	// obs.WriteChrome.
 	Traces []obs.Run
+	// Native holds the host-execution sweep when Request.NativeWorkers is
+	// set: the interpreted 1-worker reference first, then one compiled
+	// point per requested worker count (wall-clock, best of 3).
+	Native []NativeRun
+	// NativeRows / NativeRowsPerSec headline the best compiled native
+	// point: base-table rows scanned and host throughput.
+	NativeRows       int
+	NativeRowsPerSec float64
 }
 
 // Run executes one unified request: it applies defaults, validates, runs
@@ -357,6 +382,21 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 	res.Digest = res.Main.Digest
 	if res.Main.Cycles > 0 {
 		res.SpeedupX = float64(res.Baseline.Cycles) / float64(res.Main.Cycles)
+	}
+	if len(req.NativeWorkers) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		native, err := r.RunNativeDSS(req.Query, req.NativeWorkers, req.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Native = native
+		for _, n := range native {
+			if !n.Interpreted && n.RowsPerSec > res.NativeRowsPerSec {
+				res.NativeRows, res.NativeRowsPerSec = n.Rows, n.RowsPerSec
+			}
+		}
 	}
 	return res, nil
 }

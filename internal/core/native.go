@@ -1,0 +1,150 @@
+// Native (trace-free) host execution: the same DSS plans the simulator
+// traces, run flat-out on the host with a nil trace recorder. This is
+// the repo's second clock — wall time instead of simulated cycles — and
+// the first measurement whose headline is host rows/sec: compiled
+// predicates, selection vectors, batch hash tables, and morsel-driven
+// parallelism across real cores. Each sweep point is the best of many
+// short runs after a warmup, shaving scheduler noise; float sums across
+// worker counts agree only up to
+// addition order (the merge is exact for keys, counts, and integer
+// sums), which is why parallel digests fingerprint the row count, not
+// the float bits.
+
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// NativeRun is one native host-execution measurement point: query Query
+// at Workers native workers (wall-clock timed, best of 3).
+type NativeRun struct {
+	Query   int
+	Workers int
+	// Interpreted marks the 1-worker reference point with compiled
+	// predicates and selection vectors disabled, so the compiled-path
+	// speedup is self-contained in the sweep.
+	Interpreted bool
+	// Rows is base-table rows scanned per run; Nanos the best wall time.
+	Rows  int
+	Nanos int64
+	// RowsPerSec is Rows divided by the best wall time.
+	RowsPerSec float64
+	// ResultRows counts result rows; Digest fingerprints them (RowsDigest
+	// for serial points, a row-count digest for multi-worker points whose
+	// float addition order varies with morsel claiming).
+	ResultRows int
+	Digest     uint64
+}
+
+// nativeWorkBytes sizes each native worker's workspace arena.
+const nativeWorkBytes = 64 << 20
+
+// RunNativeDSS measures query q natively at each worker count, preceded
+// by the interpreted single-worker reference. Worker counts beyond the
+// host's cores still run (goroutines share cores); their scaling numbers
+// just reflect the hardware they got.
+func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64) ([]NativeRun, error) {
+	if q != 1 && q != 6 && q != 13 {
+		return nil, fmt.Errorf("core: native DSS query %d (have 1, 6, 13)", q)
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1}
+	}
+	h, err := r.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	p := workload.RandomParams(rand.New(rand.NewSource(seed)))
+	scanned := h.NativeRowsScanned(q)
+
+	maxW := 1
+	for _, w := range workerCounts {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// One nil-recorder Ctx per native worker, reused (arena reset) across
+	// every point of the sweep. Worker slots 90+ keep the simulated
+	// workspace addresses clear of the traced experiments' slots.
+	ctxs := make([]*engine.Ctx, maxW)
+	for w := range ctxs {
+		ctxs[w] = h.DB.NewCtx(nil, 90+w, nativeWorkBytes)
+	}
+	// Collect before timing: earlier sweeps' worker arenas (64 MB each)
+	// otherwise linger on the heap and GC assists tax the timed runs.
+	runtime.GC()
+
+	// Each point is one untimed warmup (page in the scan range, size the
+	// hash tables) then best-of-11 — test-scale queries run in under a
+	// millisecond, where any single timing is one descheduling away from
+	// garbage; the minimum of many short runs is the stable statistic.
+	measure := func(run func() ([][]engine.Value, error)) (rows [][]engine.Value, best int64, err error) {
+		for i := 0; i < 12; i++ {
+			for _, c := range ctxs {
+				c.Work.Reset()
+			}
+			start := time.Now()
+			rows, err = run()
+			d := time.Since(start).Nanoseconds()
+			if err != nil {
+				return nil, 0, err
+			}
+			if i > 0 && (best == 0 || d < best) {
+				best = d
+			}
+		}
+		return rows, best, nil
+	}
+	point := func(workers int, interpreted bool, rows [][]engine.Value, nanos int64) NativeRun {
+		n := NativeRun{
+			Query: q, Workers: workers, Interpreted: interpreted,
+			Rows: scanned, Nanos: nanos, ResultRows: len(rows),
+		}
+		if nanos > 0 {
+			n.RowsPerSec = float64(scanned) / (float64(nanos) / 1e9)
+		}
+		if workers == 1 {
+			n.Digest = RowsDigest(rows)
+		} else {
+			n.Digest = countDigest(len(rows))
+		}
+		return n
+	}
+
+	var out []NativeRun
+	rows, nanos, err := measure(func() ([][]engine.Value, error) {
+		return h.RunQueryNative(ctxs[0], q, p, workload.NativeOpts{Interpret: true, Compact: true})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: native q%d interpreted: %w", q, err)
+	}
+	out = append(out, point(1, true, rows, nanos))
+
+	for _, w := range workerCounts {
+		w := w
+		var run func() ([][]engine.Value, error)
+		if w == 1 {
+			run = func() ([][]engine.Value, error) {
+				return h.RunQueryNative(ctxs[0], q, p, workload.NativeOpts{})
+			}
+		} else {
+			wctxs := ctxs[:w]
+			run = func() ([][]engine.Value, error) {
+				return h.RunQueryParallel(wctxs, q, p)
+			}
+		}
+		rows, nanos, err := measure(run)
+		if err != nil {
+			return nil, fmt.Errorf("core: native q%d workers=%d: %w", q, w, err)
+		}
+		out = append(out, point(w, false, rows, nanos))
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+// Tests for the native host-execution sweep: point structure and digest
+// contracts always, and — under BENCH_NATIVE=1 — the CI speedup gates
+// (compiled+selection ≥ 1.5× interpreted at one worker; ≥ 2.5× scaling
+// at four workers when the host actually has four cores to give).
+
+package core
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestRunNativeDSSSweepShape: the sweep leads with the interpreted
+// 1-worker reference, carries one compiled point per requested count,
+// and every serial digest is byte-identical (interpreted, compiled, and
+// 1-worker parallel all execute the same row order).
+func TestRunNativeDSSSweepShape(t *testing.T) {
+	for _, q := range []int{1, 6, 13} {
+		runs, err := sharedRunner.RunNativeDSS(q, []int{1, 2}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 3 {
+			t.Fatalf("q%d: %d points, want 3 (interpreted + 2 counts)", q, len(runs))
+		}
+		ref := runs[0]
+		if !ref.Interpreted || ref.Workers != 1 {
+			t.Fatalf("q%d: first point %+v is not the interpreted reference", q, ref)
+		}
+		for i, r := range runs {
+			if r.Query != q || r.Rows <= 0 || r.Nanos <= 0 || r.RowsPerSec <= 0 || r.ResultRows <= 0 {
+				t.Fatalf("q%d point %d: incomplete measurement %+v", q, i, r)
+			}
+			if i > 0 && r.Interpreted {
+				t.Fatalf("q%d point %d: unexpected interpreted point", q, i)
+			}
+		}
+		if runs[1].Workers != 1 || runs[2].Workers != 2 {
+			t.Fatalf("q%d: worker counts %d,%d, want 1,2", q, runs[1].Workers, runs[2].Workers)
+		}
+		if runs[1].Digest != ref.Digest {
+			t.Fatalf("q%d: compiled serial digest %#x != interpreted %#x (fast path changed the result)",
+				q, runs[1].Digest, ref.Digest)
+		}
+		if runs[2].Digest != countDigest(runs[2].ResultRows) {
+			t.Fatalf("q%d: parallel digest is not the row-count digest", q)
+		}
+		if runs[2].ResultRows != ref.ResultRows {
+			t.Fatalf("q%d: parallel result rows %d != serial %d", q, runs[2].ResultRows, ref.ResultRows)
+		}
+	}
+}
+
+// TestRequestNativeWorkersValidation: native sweeps are DSS-only, need a
+// concrete query, and reject non-positive counts.
+func TestRequestNativeWorkersValidation(t *testing.T) {
+	bad := []Request{
+		{Mode: ModeStagedOLTP, NativeWorkers: []int{1}},
+		{Mode: ModeVecDSS, NativeWorkers: []int{0}},
+		{Mode: ModeSharedDSS, Query: 0, NativeWorkers: []int{1}}, // mix has no single native plan
+		{Mode: ModeParallelDSS, NativeWorkers: []int{2, -1}},
+	}
+	for i, req := range bad {
+		req = req.WithDefaults()
+		if req.Mode == ModeSharedDSS {
+			req.Query = 0
+		}
+		err := req.Validate()
+		if err == nil {
+			t.Fatalf("case %d: invalid native request validated: %+v", i, req)
+		}
+		if verr, ok := err.(*ValidationError); !ok || verr.Field != "native_workers" {
+			t.Fatalf("case %d: error %v does not name native_workers", i, err)
+		}
+	}
+	good := Request{Mode: ModeVecDSS, Query: 6, NativeWorkers: []int{1, 4}}.WithDefaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid native request rejected: %v", err)
+	}
+}
+
+// TestNativeSpeedupGate is the CI gate (run with BENCH_NATIVE=1): the
+// compiled+selection-vector fast path must beat the interpreted
+// reference by ≥ 1.5× on Q6 at one worker, and four workers must scale
+// ≥ 2.5× over one — the latter asserted only when the host has at least
+// four CPUs (a single-core container cannot express parallel speedup).
+func TestNativeSpeedupGate(t *testing.T) {
+	if os.Getenv("BENCH_NATIVE") == "" {
+		t.Skip("set BENCH_NATIVE=1 to run the native speedup gate")
+	}
+	runs, err := sharedRunner.RunNativeDSS(6, []int{1, 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]bool]NativeRun{}
+	var w1, w4 NativeRun
+	for _, r := range runs {
+		switch {
+		case r.Interpreted:
+			byKey[[2]bool{true, false}] = r
+		case r.Workers == 1:
+			w1 = r
+		case r.Workers == 4:
+			w4 = r
+		}
+	}
+	interp := byKey[[2]bool{true, false}]
+	if interp.Nanos == 0 || w1.Nanos == 0 || w4.Nanos == 0 {
+		t.Fatalf("sweep incomplete: %+v", runs)
+	}
+	compiledX := float64(interp.Nanos) / float64(w1.Nanos)
+	t.Logf("q6 compiled+sel vs interpreted @1 worker: %.2fx (%.0f vs %.0f rows/sec)",
+		compiledX, w1.RowsPerSec, interp.RowsPerSec)
+	if compiledX < 1.5 {
+		t.Fatalf("compiled fast path %.2fx < 1.5x gate", compiledX)
+	}
+	scalingX := float64(w1.Nanos) / float64(w4.Nanos)
+	t.Logf("q6 scaling @4 workers: %.2fx on %d host CPUs", scalingX, runtime.NumCPU())
+	if runtime.NumCPU() < 4 {
+		t.Skipf("host has %d CPUs; skipping the 4-worker scaling gate", runtime.NumCPU())
+	}
+	if scalingX < 2.5 {
+		t.Fatalf("4-worker scaling %.2fx < 2.5x gate", scalingX)
+	}
+}

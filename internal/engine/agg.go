@@ -127,7 +127,15 @@ func (a *HashAgg) prepare(ctx *Ctx) Schema {
 // with the insert's trace stores — on first sight. Serial absorption and
 // ParallelAgg's gather merge share it, so both charge the same traffic.
 func (a *HashAgg) findOrInsertGroup(rec *trace.Recorder, gkey []byte) ([]byte, mem.Addr) {
-	h := hashBytes(gkey)
+	return a.findOrInsertGroupH(rec, hashBytes(gkey), gkey)
+}
+
+// findOrInsertGroupH is findOrInsertGroup with the group hash
+// precomputed: the vectorized aggregate hashes a whole block of group
+// keys into a scratch array before walking the table, keeping the hash
+// arithmetic out of the probe loop. The traced probe/insert work is
+// identical either way.
+func (a *HashAgg) findOrInsertGroupH(rec *trace.Recorder, h uint64, gkey []byte) ([]byte, mem.Addr) {
 	payload, at := a.findGroup(rec, h, gkey)
 	if payload == nil {
 		payload, at = a.ht.Insert(rec, h, nil)
@@ -151,6 +159,14 @@ func (a *HashAgg) absorb(ctx *Ctx, cs Schema, gkey, row []byte) {
 func (a *HashAgg) absorbRow(ctx *Ctx, cs Schema, gkey, row []byte) {
 	a.groupBytes(cs, row, gkey)
 	payload, at := a.findOrInsertGroup(ctx.Rec, gkey)
+	a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))
+}
+
+// absorbHashed is absorbRow for the batch path: the group key and its
+// hash were extracted in a prior pass over the whole block, so the probe
+// loop goes straight to the table.
+func (a *HashAgg) absorbHashed(ctx *Ctx, cs Schema, gkey []byte, h uint64, row []byte) {
+	payload, at := a.findOrInsertGroupH(ctx.Rec, h, gkey)
 	a.update(ctx.Rec, cs, row, payload[a.groupW:], at+mem.Addr(a.groupW))
 }
 

@@ -103,12 +103,24 @@ func (h *HashTable) Insert(rec *trace.Recorder, key uint64, payload []byte) ([]b
 	return eb[htEntryHeader:], ea + htEntryHeader
 }
 
+// BucketOf returns the simulated address of key's bucket head without
+// touching the table: batch probe loops hash a whole block of keys up
+// front (pure host arithmetic, no memory traffic) and walk the chains in
+// a second pass through IterAt.
+func (h *HashTable) BucketOf(key uint64) mem.Addr { return h.bucketAddr(key) }
+
 // Iter walks all entries matching key, calling fn with each payload and
 // its simulated address; fn returns false to stop. The chain walk loads
 // are dependent: each entry's address comes from the previous entry.
 func (h *HashTable) Iter(rec *trace.Recorder, key uint64, fn func(payload []byte, at mem.Addr) bool) {
+	h.IterAt(rec, h.bucketAddr(key), key, fn)
+}
+
+// IterAt is Iter with the bucket address precomputed via BucketOf; the
+// traced work — instruction charge and dependent chain loads — is
+// exactly Iter's.
+func (h *HashTable) IterAt(rec *trace.Recorder, ba mem.Addr, key uint64, fn func(payload []byte, at mem.Addr) bool) {
 	rec.Exec(h.code, 35)
-	ba := h.bucketAddr(key)
 	rec.Load(ba, true)
 	cur := binary.LittleEndian.Uint64(h.arena.Bytes(ba, 8))
 	for cur != 0 {

@@ -65,6 +65,7 @@ type SharedScan struct {
 
 	out  Schema
 	blk  *Block
+	cp   *CompiledPreds
 	code mem.CodeSeg
 }
 
@@ -91,7 +92,7 @@ func (s *SharedScan) NextBlock(ctx *Ctx) (*Block, bool, error) {
 		s.blk.Pages = in.Pages
 		for i := 0; i < n; i++ {
 			row := in.RowAt(i)
-			if predsPass(s.Preds, s.Table.Schema, s.Table.Offs, row) {
+			if s.cp.Pass(row) {
 				projectInto(s.blk, row, s.Table.Schema, s.Table.Offs, s.Cols)
 			}
 		}
@@ -123,6 +124,12 @@ func (s *SharedScan) Open(ctx *Ctx) error {
 		return fmt.Errorf("engine: shared scan of %q without a source", s.Table.Name)
 	}
 	s.Schema()
+	if s.cp == nil {
+		// Shared scans always run the compiled conjunction: it evaluates
+		// the same comparisons in the same order as the interpreted path,
+		// and the flat per-row filter charge above is unchanged.
+		s.cp = CompilePreds(s.Preds, s.Table.Schema, s.Table.Offs)
+	}
 	s.code = ctx.DB.Codes.Register("op:sharedscan", 1536)
 	return nil
 }

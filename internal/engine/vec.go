@@ -51,6 +51,16 @@ type Block struct {
 	// coordinators key rotation bookkeeping on it.
 	Pages PageRange
 
+	// Sel is an optional selection vector: when non-nil, only the rows at
+	// these (ascending) indexes are live and every other row of [0, N) is
+	// dead. Filters on the native fast path mark survivors here instead of
+	// copy-compacting them; consumers honor the selection in their row
+	// loops and compact only when they genuinely need dense rows (their
+	// own output blocks are always dense). Sel aliases the producing
+	// operator's buffer and is valid exactly as long as the block's
+	// contents; Reset and ring recycling clear it.
+	Sel []int32
+
 	buf  []byte
 	addr mem.Addr
 	rowW int
@@ -70,11 +80,32 @@ func NewBlock(work *mem.Arena, capRows, rowW int) *Block {
 }
 
 // Reset empties the block for reuse; a reused block keeps its simulated
-// address, which is what makes recycled batches cache-resident.
-func (b *Block) Reset() { b.n = 0; b.Pages = PageRange{} }
+// address, which is what makes recycled batches cache-resident. Any
+// attached selection vector is detached — a refilled block must never
+// carry a stale selection into its next life.
+func (b *Block) Reset() { b.n = 0; b.Pages = PageRange{}; b.Sel = nil }
 
-// N returns the row count.
+// N returns the row count, counting rows a selection vector marks dead.
 func (b *Block) N() int { return b.n }
+
+// Live returns the number of live rows: len(Sel) under a selection
+// vector, N() otherwise.
+func (b *Block) Live() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// LiveAt maps a live-row ordinal k in [0, Live()) to its physical row
+// index. Hot loops branch on Sel == nil instead; this is the convenience
+// form for row-at-a-time adapters.
+func (b *Block) LiveAt(k int) int {
+	if b.Sel != nil {
+		return int(b.Sel[k])
+	}
+	return k
+}
 
 // Cap returns the row capacity.
 func (b *Block) Cap() int { return b.cap }
@@ -161,6 +192,9 @@ func (b *Block) CopyFrom(rec *trace.Recorder, src *Block, from int) int {
 	if b.rowW != src.rowW {
 		panic(fmt.Sprintf("engine: block copy across row widths %d -> %d", src.rowW, b.rowW))
 	}
+	if src.Sel != nil {
+		return b.copySelected(rec, src, from)
+	}
 	k := src.n - from
 	if room := b.cap - b.n; k > room {
 		k = room
@@ -175,6 +209,26 @@ func (b *Block) CopyFrom(rec *trace.Recorder, src *Block, from int) int {
 	return k
 }
 
+// copySelected is CopyFrom for a selection-vector source: it compacts
+// live rows [from, Live()) into b (a packet ring genuinely needs dense
+// rows). from indexes live ordinals, matching CopyFrom's contract that
+// consecutive calls with advancing from cover the source exactly once.
+func (b *Block) copySelected(rec *trace.Recorder, src *Block, from int) int {
+	k := len(src.Sel) - from
+	if room := b.cap - b.n; k > room {
+		k = room
+	}
+	if k <= 0 {
+		return 0
+	}
+	start := b.n
+	for _, i := range src.Sel[from : from+k] {
+		copy(b.slot(), src.RowAt(int(i)))
+	}
+	rec.StoreRange(b.addr+mem.Addr(start*b.rowW), k*b.rowW)
+	return k
+}
+
 // SetHome attaches the recycle ring the block returns to when its
 // reference count drops to zero.
 func (b *Block) SetHome(home chan *Block) { b.home = home }
@@ -186,9 +240,14 @@ func (b *Block) ResetRefs(n int32) { b.refs.Store(n) }
 func (b *Block) Retain() { b.refs.Add(1) }
 
 // Release drops one reference; the last release recycles the block to
-// its home ring, if any.
+// its home ring, if any. The selection vector (which aliases a consumer
+// operator's buffer) is detached before the block re-enters the ring, so
+// a producer that claims the recycled block can never observe — or
+// deliver to another consumer — a stale selection, even if it refills
+// without calling Reset.
 func (b *Block) Release() {
 	if b.refs.Add(-1) == 0 && b.home != nil {
+		b.Sel = nil
 		b.home <- b
 	}
 }
@@ -279,17 +338,18 @@ func (a *RowAdapter) Close(ctx *Ctx) {
 
 // Next implements Op. The returned row aliases the current block and is
 // valid until the block is exhausted (the producer reuses it only after
-// the adapter asks for the next one).
+// the adapter asks for the next one). Blocks carrying a selection vector
+// hand out live rows only.
 func (a *RowAdapter) Next(ctx *Ctx) ([]byte, bool, error) {
-	for a.blk == nil || a.idx >= a.blk.N() {
+	for a.blk == nil || a.idx >= a.blk.Live() {
 		blk, ok, err := a.Vec.NextBlock(ctx)
 		if err != nil || !ok {
 			return nil, false, err
 		}
 		a.blk, a.idx = blk, 0
-		ctx.Rec.Exec(a.code, 8+2*blk.N())
+		ctx.Rec.Exec(a.code, 8+2*blk.Live())
 	}
-	row := a.blk.RowAt(a.idx)
+	row := a.blk.RowAt(a.blk.LiveAt(a.idx))
 	a.idx++
 	return row, true, nil
 }
@@ -361,6 +421,10 @@ type ScanVec struct {
 	// BlockRows caps rows per emitted block (0 = the L1-sized default,
 	// never below one page of rows).
 	BlockRows int
+	// Interpret forces the per-row interpreted Pred.Eval path instead of
+	// the compiled predicate closures (the golden equivalence suite's
+	// reference; results and charged instruction counts are identical).
+	Interpret bool
 
 	out      Schema
 	blk      *Block
@@ -369,6 +433,8 @@ type ScanVec struct {
 	code     mem.CodeSeg
 	predCols []Schema // single-column schema per pred (PAX column eval)
 	preds0   []Pred   // preds rebased to column 0 (PAX column eval)
+	cp       *CompiledPreds
+	colFns   []ColPred // compiled per-column predicates (PAX column eval)
 	selbuf   []int
 }
 
@@ -405,6 +471,13 @@ func (s *ScanVec) Open(ctx *Ctx) error {
 			q := p
 			q.Col = 0
 			s.preds0[i] = q
+		}
+	}
+	if !s.Interpret && s.cp == nil {
+		s.cp = CompilePreds(s.Preds, s.Table.Schema, s.Table.Offs)
+		s.colFns = make([]ColPred, len(s.Preds))
+		for i, p := range s.Preds {
+			s.colFns[i] = CompileColPred(p, s.Table.Schema[p.Col])
 		}
 	}
 	s.code = ctx.DB.Codes.Register("op:scanvec", 2048)
@@ -494,16 +567,35 @@ func (s *ScanVec) scanPage(ctx *Ctx, idx int, blk *Block) error {
 	nrows, evals := 0, 0
 	if h.Layout() == storage.NSM {
 		sp := storage.AsSlotted(ref.Data, ref.Addr)
-		sp.ScanTuples(ctx.Rec, func(_ int, tuple []byte) {
-			nrows++
-			for _, p := range s.Preds {
-				evals++
-				if !p.Eval(s.Table.Schema, s.Table.Offs, tuple) {
-					return
+		if ctx.Rec == nil && len(s.Preds) == 0 && s.Cols == nil {
+			// Native full-row scan: bulk-copy the page's tuples straight
+			// into the block, skipping the per-tuple visit dispatch. Row
+			// order (slot order) is identical to the visiting path.
+			k := sp.CopyTuples(blk.buf[blk.n*blk.rowW:], blk.rowW)
+			blk.n += k
+			nrows = k
+		} else if s.cp != nil {
+			// Fast path: one fused compiled-conjunction call per tuple.
+			sp.ScanTuples(ctx.Rec, func(_ int, tuple []byte) {
+				nrows++
+				pass, k := s.cp.EvalCount(tuple)
+				evals += k
+				if pass {
+					projectInto(blk, tuple, s.Table.Schema, s.Table.Offs, s.Cols)
 				}
-			}
-			projectInto(blk, tuple, s.Table.Schema, s.Table.Offs, s.Cols)
-		})
+			})
+		} else {
+			sp.ScanTuples(ctx.Rec, func(_ int, tuple []byte) {
+				nrows++
+				for _, p := range s.Preds {
+					evals++
+					if !p.Eval(s.Table.Schema, s.Table.Offs, tuple) {
+						return
+					}
+				}
+				projectInto(blk, tuple, s.Table.Schema, s.Table.Offs, s.Cols)
+			})
+		}
 	} else {
 		nrows, evals = s.scanPAXPage(ctx, ref, blk)
 	}
@@ -528,12 +620,24 @@ func (s *ScanVec) scanPAXPage(ctx *Ctx, ref *storage.PageRef, blk *Block) (nrows
 		col := s.Preds[pi].Col
 		w := s.Table.Schema[col].Width
 		mini := px.ColumnBytes(col)
+		// The column loop runs the compiled per-column closure when
+		// available, the interpreted rebased Pred otherwise; both see the
+		// identical field bytes in the identical order.
+		var pass func(field []byte) bool
+		if s.colFns != nil {
+			pass = s.colFns[pi]
+		} else {
+			pi := pi
+			pass = func(field []byte) bool {
+				return s.preds0[pi].Eval(s.predCols[pi], colOffs0, field)
+			}
+		}
 		if pi == 0 {
 			// First predicate: stream the whole minipage.
 			px.LoadColumn(ctx.Rec, col, 0, n)
 			for i := 0; i < n; i++ {
 				evals++
-				if s.preds0[pi].Eval(s.predCols[pi], colOffs0, mini[i*w:(i+1)*w]) {
+				if pass(mini[i*w : (i+1)*w]) {
 					sel = append(sel, i)
 				}
 			}
@@ -547,7 +651,7 @@ func (s *ScanVec) scanPAXPage(ctx *Ctx, ref *storage.PageRef, blk *Block) (nrows
 		kept := sel[:0]
 		for _, i := range sel {
 			evals++
-			if s.preds0[pi].Eval(s.predCols[pi], colOffs0, mini[i*w:(i+1)*w]) {
+			if pass(mini[i*w : (i+1)*w]) {
 				kept = append(kept, i)
 			}
 		}
@@ -569,22 +673,18 @@ func (s *ScanVec) scanPAXPage(ctx *Ctx, ref *storage.PageRef, blk *Block) (nrows
 	}
 	// Gather: reserve the qualifying rows' slots, then fill them column
 	// by column — one ranged load per projected minipage over the
-	// qualifying span and a tight copy loop per column.
+	// qualifying span and one tight gather loop per column.
 	base := blk.N()
 	for range sel {
 		blk.slot()
 	}
 	lo, hi := sel[0], sel[len(sel)-1]+1
+	dst := blk.buf[base*blk.rowW:]
 	off := 0
 	for _, c := range cols {
 		px.LoadColumn(ctx.Rec, c, lo, hi)
-		w := s.Table.Schema[c].Width
-		mini := px.ColumnBytes(c)
-		for k, i := range sel {
-			row := blk.RowAt(base + k)
-			copy(row[off:off+w], mini[i*w:(i+1)*w])
-		}
-		off += w
+		px.GatherColumn(dst, blk.rowW, off, c, sel)
+		off += s.Table.Schema[c].Width
 	}
 	return n, evals
 }
@@ -656,15 +756,31 @@ func (s *ScanVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	}
 }
 
-// FilterVec drops block rows failing the conjunction, compacting
-// survivors into its own block.
+// FilterVec drops block rows failing the conjunction. In traced
+// execution it compacts survivors into its own block (copy costs are part
+// of the simulated story). On the native fast path — nil Recorder,
+// Compact unset, and a private (non-ring) input block — it instead marks
+// survivors in a selection vector attached to the child's block,
+// deferring the compaction copy to whichever downstream operator
+// genuinely needs dense rows. Ring-delivered blocks are never annotated:
+// they are shared with other consumers and recycled by refcount, so
+// mutating them would race.
 type FilterVec struct {
 	Child VecOp
 	Preds []Pred
+	// Compact forces survivor compaction even on the native fast path
+	// (the golden equivalence suite's selection-vector-off reference).
+	Compact bool
+	// Interpret forces the interpreted Pred.Eval path instead of the
+	// compiled predicate closures (the golden reference).
+	Interpret bool
 
-	offs []int
-	blk  *Block
-	code mem.CodeSeg
+	offs      []int
+	blk       *Block
+	cp        *CompiledPreds
+	sel       []int32
+	annotated *Block // input block currently carrying f.sel as its Sel
+	code      mem.CodeSeg
 }
 
 // Schema implements VecOp.
@@ -673,20 +789,56 @@ func (f *FilterVec) Schema() Schema { return f.Child.Schema() }
 // Open implements VecOp.
 func (f *FilterVec) Open(ctx *Ctx) error {
 	f.offs = f.Child.Schema().Offsets()
+	if !f.Interpret && f.cp == nil {
+		f.cp = CompilePreds(f.Preds, f.Child.Schema(), f.offs)
+	}
+	f.annotated = nil
 	f.code = ctx.DB.Codes.Register("op:filtervec", 1024)
 	return f.Child.Open(ctx)
 }
 
-// Close implements VecOp.
-func (f *FilterVec) Close(ctx *Ctx) { f.Child.Close(ctx) }
+// Close implements VecOp. A selection vector this filter attached to the
+// child's current block is detached first: the child (or its ring) may
+// reuse that block after Close, and f.sel's backing array is about to be
+// reused for the next open cycle. Without the detach, a Close mid-stream
+// would leave a stale Sel aliasing our scratch on a block we no longer
+// own — exactly the lifecycle the ring-recycle audit covers.
+func (f *FilterVec) Close(ctx *Ctx) {
+	if f.annotated != nil {
+		f.annotated.Sel = nil
+		f.annotated = nil
+	}
+	f.Child.Close(ctx)
+}
+
+// pass evaluates the conjunction over row via the compiled closures when
+// available, the interpreted path otherwise.
+func (f *FilterVec) pass(cs Schema, row []byte) bool {
+	if f.cp != nil {
+		return f.cp.Pass(row)
+	}
+	return predsPass(f.Preds, cs, f.offs, row)
+}
 
 // NextBlock implements VecOp.
 func (f *FilterVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	cs := f.Child.Schema()
+	if f.annotated != nil {
+		// The previous output's selection is dead the moment the consumer
+		// asks for the next block; detach before the child refills it.
+		f.annotated.Sel = nil
+		f.annotated = nil
+	}
 	for {
 		in, ok, err := f.Child.NextBlock(ctx)
 		if err != nil || !ok {
 			return nil, false, err
+		}
+		if ctx.Rec == nil && !f.Compact && in.home == nil {
+			if out, any := f.selectInto(cs, in); any {
+				return out, true, nil
+			}
+			continue
 		}
 		if f.blk == nil || f.blk.Cap() < in.Cap() {
 			f.blk = NewBlock(ctx.Work, in.Cap(), in.RowWidth())
@@ -694,10 +846,19 @@ func (f *FilterVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 		f.blk.Reset()
 		n := in.N()
 		in.TraceRows(ctx.Rec)
-		for i := 0; i < n; i++ {
-			row := in.RowAt(i)
-			if predsPass(f.Preds, cs, f.offs, row) {
-				f.blk.Push(row)
+		if in.Sel != nil {
+			for _, i := range in.Sel {
+				row := in.RowAt(int(i))
+				if f.pass(cs, row) {
+					f.blk.Push(row)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				row := in.RowAt(i)
+				if f.pass(cs, row) {
+					f.blk.Push(row)
+				}
 			}
 		}
 		ctx.Rec.Exec(f.code, vecBlockCost+n*(vecRowCost+vecPredCost*len(f.Preds))+f.blk.N()*vecProjCost)
@@ -706,6 +867,47 @@ func (f *FilterVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 			return f.blk, true, nil
 		}
 	}
+}
+
+// selectInto marks in's surviving rows in a selection vector (reusing
+// f.sel's backing array) and attaches it to in. It reports whether any
+// row survived; a block with no survivors is left untouched. With
+// compiled predicates the conjunction runs block-at-a-time through the
+// selection kernels; the interpreted escape hatch keeps the per-row
+// loop.
+func (f *FilterVec) selectInto(cs Schema, in *Block) (*Block, bool) {
+	sel := f.sel[:0]
+	switch {
+	case f.cp != nil && in.Sel != nil:
+		// A stacked native filter: copy the upstream selection (its
+		// backing array belongs to the upstream filter) and refine ours
+		// in place.
+		sel = append(sel, in.Sel...)
+		sel = f.cp.SelectRefine(in.buf, in.rowW, sel)
+	case f.cp != nil:
+		sel = f.cp.SelectDense(in.buf, in.rowW, in.N(), sel)
+	case in.Sel != nil:
+		for _, i := range in.Sel {
+			if f.pass(cs, in.RowAt(int(i))) {
+				sel = append(sel, i)
+			}
+		}
+	default:
+		n := in.N()
+		for i := 0; i < n; i++ {
+			if f.pass(cs, in.RowAt(i)) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	f.sel = sel
+	if len(sel) == 0 {
+		in.Sel = nil
+		return nil, false
+	}
+	in.Sel = sel
+	f.annotated = in
+	return in, true
 }
 
 // ProjectVec narrows block rows to the given columns.
@@ -751,8 +953,16 @@ func (p *ProjectVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	cs := p.Child.Schema()
 	n := in.N()
 	in.TraceRows(ctx.Rec)
-	for i := 0; i < n; i++ {
-		projectInto(p.blk, in.RowAt(i), cs, p.offs, p.Cols)
+	if in.Sel != nil {
+		// Selection-vector input (native fast path): project live rows
+		// only. The output block is dense.
+		for _, i := range in.Sel {
+			projectInto(p.blk, in.RowAt(int(i)), cs, p.offs, p.Cols)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			projectInto(p.blk, in.RowAt(i), cs, p.offs, p.Cols)
+		}
 	}
 	ctx.Rec.Exec(p.code, vecBlockCost+n*vecProjCost)
 	p.blk.TraceAppended(ctx.Rec, 0)
@@ -800,8 +1010,15 @@ func (m *MapVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	m.blk.Reset()
 	n := in.N()
 	in.TraceRows(ctx.Rec)
-	for i := 0; i < n; i++ {
-		m.Fn(in.RowAt(i), m.blk.slot())
+	if in.Sel != nil {
+		// Selection-vector input (native fast path): map live rows only.
+		for _, i := range in.Sel {
+			m.Fn(in.RowAt(int(i)), m.blk.slot())
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			m.Fn(in.RowAt(i), m.blk.slot())
+		}
 	}
 	ctx.Rec.Exec(m.code, vecBlockCost+n*m.Cost)
 	m.blk.TraceAppended(ctx.Rec, 0)
@@ -816,10 +1033,15 @@ type HashAggVec struct {
 	Child     VecOp
 	GroupCols []int
 	Aggs      []AggSpec
-	Expected  int
+	// Expected is the cardinality hint the group table is pre-sized from
+	// (default 1024 groups); plans pass it so the table never rehashes—
+	// it is allocated once at roughly twice the expected group count.
+	Expected int
 
 	inner   *HashAgg
 	blk     *Block
+	keys    []byte   // batch scratch: live rows' group keys, groupW each
+	hashes  []uint64 // batch scratch: live rows' group-key hashes
 	results [][]byte
 	resIdx  int
 	code    mem.CodeSeg
@@ -853,7 +1075,6 @@ func (a *HashAggVec) Open(ctx *Ctx) error {
 		return err
 	}
 	defer a.Child.Close(ctx)
-	gkey := make([]byte, in.groupW)
 	for {
 		blk, ok, err := a.Child.NextBlock(ctx)
 		if err != nil {
@@ -862,12 +1083,52 @@ func (a *HashAggVec) Open(ctx *Ctx) error {
 		if !ok {
 			return nil
 		}
-		n := blk.N()
-		ctx.Rec.Exec(a.code, vecBlockCost+n*vecAggCost)
+		ctx.Rec.Exec(a.code, vecBlockCost+blk.N()*vecAggCost)
 		blk.TraceRows(ctx.Rec)
-		for i := 0; i < n; i++ {
-			in.absorbRow(ctx, cs, gkey, blk.RowAt(i))
+		a.absorbBlock(ctx, in, cs, blk)
+	}
+}
+
+// absorbBlock folds one block into the group table batch-at-a-time: a
+// first pass extracts every live row's group key and hashes it into
+// scratch arrays (pure host arithmetic — the table is untouched, so
+// nothing is traced), then a second pass probes/inserts in row order.
+// The traced probe/update sequence is identical to absorbing row by row,
+// so simulated results match the row path byte for byte; natively, the
+// key/hash work runs as a tight loop with the table walk out of it.
+func (a *HashAggVec) absorbBlock(ctx *Ctx, in *HashAgg, cs Schema, blk *Block) {
+	live := blk.Live()
+	gw := in.groupW
+	need := live * gw
+	if gw == 0 {
+		need = 1 // keep zero-width slicing trivially valid
+	}
+	if cap(a.keys) < need {
+		a.keys = make([]byte, need)
+	}
+	a.keys = a.keys[:need]
+	if cap(a.hashes) < live {
+		a.hashes = make([]uint64, live)
+	}
+	a.hashes = a.hashes[:live]
+	if blk.Sel != nil {
+		for k, i := range blk.Sel {
+			gk := a.keys[k*gw : (k+1)*gw]
+			in.groupBytes(cs, blk.RowAt(int(i)), gk)
+			a.hashes[k] = hashBytes(gk)
 		}
+		for k, i := range blk.Sel {
+			in.absorbHashed(ctx, cs, a.keys[k*gw:(k+1)*gw], a.hashes[k], blk.RowAt(int(i)))
+		}
+		return
+	}
+	for k := 0; k < live; k++ {
+		gk := a.keys[k*gw : (k+1)*gw]
+		in.groupBytes(cs, blk.RowAt(k), gk)
+		a.hashes[k] = hashBytes(gk)
+	}
+	for k := 0; k < live; k++ {
+		in.absorbHashed(ctx, cs, a.keys[k*gw:(k+1)*gw], a.hashes[k], blk.RowAt(k))
 	}
 }
 
@@ -921,17 +1182,28 @@ type HashJoinVec struct {
 	Probe, Build       VecOp
 	ProbeCol, BuildCol int
 	Type               JoinType
+	// Expected is the build-side cardinality hint the hash table is
+	// pre-sized from (default 4096); plans pass it so a large build never
+	// degenerates into long chains.
+	Expected int
 
 	out      Schema
 	ht       *HashTable
 	blk      *Block
 	probeBlk *Block
-	probeIdx int
+	probeIdx int      // next live ordinal within the probe scratch arrays
 	curRow   []byte   // probe row whose matches are being emitted
 	pending  [][]byte // remaining matches of curRow (stable ht payloads)
-	keyOff   int
-	probeW   int
-	code     mem.CodeSeg
+	// Batch-probe scratch, filled once per probe block: the live rows'
+	// physical indexes, their join keys, and the keys' bucket addresses
+	// (hashed up front, pure host arithmetic; the traced chain walks then
+	// run in row order via IterAt, identical to per-row Iter).
+	probeRows    []int32
+	probeKeys    []uint64
+	probeBuckets []mem.Addr
+	keyOff       int
+	probeW       int
+	code         mem.CodeSeg
 }
 
 // Schema implements VecOp.
@@ -949,6 +1221,7 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 	j.keyOff = j.Probe.Schema().Offsets()[j.ProbeCol]
 	j.probeW = j.Probe.Schema().RowWidth()
 	j.probeBlk, j.probeIdx, j.curRow, j.pending = nil, 0, nil, nil
+	j.probeRows = j.probeRows[:0]
 
 	bOff := j.Build.Schema().Offsets()[j.BuildCol]
 	bWidth := j.Build.Schema().RowWidth()
@@ -956,7 +1229,11 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 		return err
 	}
 	defer j.Build.Close(ctx)
-	j.ht = NewHashTable(ctx, 4096, bWidth)
+	expected := j.Expected
+	if expected == 0 {
+		expected = 4096
+	}
+	j.ht = NewHashTable(ctx, expected, bWidth)
 	for {
 		blk, ok, err := j.Build.NextBlock(ctx)
 		if err != nil {
@@ -965,12 +1242,19 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 		if !ok {
 			break
 		}
-		n := blk.N()
-		ctx.Rec.Exec(j.code, vecBlockCost+n*vecBuildCost)
+		ctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecBuildCost)
 		blk.TraceRows(ctx.Rec)
-		for i := 0; i < n; i++ {
-			row := blk.RowAt(i)
-			j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+		if blk.Sel != nil {
+			for _, i := range blk.Sel {
+				row := blk.RowAt(int(i))
+				j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+			}
+		} else {
+			n := blk.N()
+			for i := 0; i < n; i++ {
+				row := blk.RowAt(i)
+				j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+			}
 		}
 	}
 	return j.Probe.Open(ctx)
@@ -1009,7 +1293,7 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 			j.pending = j.pending[1:]
 			continue
 		}
-		if j.probeBlk == nil || j.probeIdx >= j.probeBlk.N() {
+		if j.probeBlk == nil || j.probeIdx >= len(j.probeRows) {
 			blk, ok, err := j.Probe.NextBlock(ctx)
 			if err != nil {
 				return nil, false, err
@@ -1021,12 +1305,14 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 			j.probeBlk, j.probeIdx = blk, 0
 			ctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecProbeCost)
 			blk.TraceRows(ctx.Rec)
+			j.hashProbeBlock(blk)
+			continue
 		}
-		j.curRow = j.probeBlk.RowAt(j.probeIdx)
+		k := j.probeIdx
 		j.probeIdx++
-		key := uint64(RowInt(j.curRow, j.keyOff))
+		j.curRow = j.probeBlk.RowAt(int(j.probeRows[k]))
 		j.pending = j.pending[:0]
-		j.ht.Iter(ctx.Rec, key, func(payload []byte, _ mem.Addr) bool {
+		j.ht.IterAt(ctx.Rec, j.probeBuckets[k], j.probeKeys[k], func(payload []byte, _ mem.Addr) bool {
 			j.pending = append(j.pending, payload)
 			return true
 		})
@@ -1036,6 +1322,30 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	}
 	j.blk.TraceAppended(ctx.Rec, 0)
 	return j.blk, true, nil
+}
+
+// hashProbeBlock is the batch key pass over one probe block: every live
+// row's join key is extracted, hashed, and resolved to its bucket
+// address in one tight loop before any chain is walked. The hashing is
+// pure host arithmetic (no table memory is touched), so the traced
+// accesses — the chain walks IterAt performs in row order — are
+// identical to hashing inside the per-row loop.
+func (j *HashJoinVec) hashProbeBlock(blk *Block) {
+	j.probeRows = j.probeRows[:0]
+	j.probeKeys = j.probeKeys[:0]
+	j.probeBuckets = j.probeBuckets[:0]
+	if blk.Sel != nil {
+		j.probeRows = append(j.probeRows, blk.Sel...)
+	} else {
+		for i := 0; i < blk.N(); i++ {
+			j.probeRows = append(j.probeRows, int32(i))
+		}
+	}
+	for _, i := range j.probeRows {
+		key := uint64(RowInt(blk.RowAt(int(i)), j.keyOff))
+		j.probeKeys = append(j.probeKeys, key)
+		j.probeBuckets = append(j.probeBuckets, j.ht.BucketOf(key))
+	}
 }
 
 // MorselScanVec is ScanVec's morsel-driven form: workers sharing one
@@ -1049,6 +1359,9 @@ type MorselScanVec struct {
 	Cols   []int
 	Pool   *MorselPool
 	Worker int
+	// Interpret forces the interpreted predicate path on the inner scan
+	// (the golden equivalence suite's reference).
+	Interpret bool
 
 	inner  *ScanVec
 	active bool
@@ -1057,7 +1370,7 @@ type MorselScanVec struct {
 // scan returns the reusable inner ScanVec.
 func (s *MorselScanVec) scan() *ScanVec {
 	if s.inner == nil {
-		s.inner = &ScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols}
+		s.inner = &ScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols, Interpret: s.Interpret}
 	}
 	return s.inner
 }

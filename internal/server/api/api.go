@@ -28,7 +28,12 @@ type QueryRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// WorkerCounts sweeps parallel-dss worker counts on pinned geometry.
 	WorkerCounts []int `json:"worker_counts,omitempty"`
-	Seed         int64 `json:"seed,omitempty"`
+	// NativeWorkers additionally sweeps the trace-free native fast path
+	// (compiled predicates + selection vectors, morsel-parallel) at these
+	// worker counts; host wall-clock numbers ride back on the result's
+	// native section.
+	NativeWorkers []int `json:"native_workers,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
 	// Async makes the server return 202 with a queued Job instead of
 	// blocking until the measurement completes.
 	Async bool `json:"async,omitempty"`
@@ -53,7 +58,8 @@ func (q QueryRequest) ToCore() (core.Request, error) {
 	}
 	return core.Request{
 		Mode: mode, Query: q.Query, Clients: q.Clients,
-		Workers: q.Workers, WorkerCounts: q.WorkerCounts, Seed: q.Seed,
+		Workers: q.Workers, WorkerCounts: q.WorkerCounts,
+		NativeWorkers: q.NativeWorkers, Seed: q.Seed,
 		Trace: q.Trace,
 	}, nil
 }
@@ -116,6 +122,22 @@ type Side struct {
 	Stalls core.Stalls `json:"stalls"`
 }
 
+// NativeRun is one native fast-path measurement on the wire: query
+// Query at Workers host workers, wall-clock timed (best of 3). Serial
+// digests are byte-comparable across interpreted and compiled points;
+// multi-worker digests fingerprint the row count only (parallel float
+// sums agree up to addition order).
+type NativeRun struct {
+	Query       int     `json:"query"`
+	Workers     int     `json:"workers"`
+	Interpreted bool    `json:"interpreted,omitempty"`
+	Rows        int     `json:"rows_scanned"`
+	Nanos       int64   `json:"nanos"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	ResultRows  int     `json:"result_rows"`
+	Digest      string  `json:"digest"`
+}
+
 // Result is the wire form of core.Result.
 type Result struct {
 	Mode              string    `json:"mode"`
@@ -128,6 +150,12 @@ type Result struct {
 	// Digest echoes Main's fingerprint: the value clients compare against
 	// batch-mode core.Runner.Run results for byte-identity.
 	Digest string `json:"digest"`
+	// Native is the fast-path sweep when the request asked for one, led
+	// by the interpreted reference; NativeRowsPerSec is the best compiled
+	// point's throughput (the headline host number).
+	Native           []NativeRun `json:"native,omitempty"`
+	NativeRows       int         `json:"native_rows,omitempty"`
+	NativeRowsPerSec float64     `json:"native_rows_per_sec,omitempty"`
 	// TraceSpans counts collected spans for traced runs; the spans
 	// themselves are served on GET /v1/jobs/{id}/trace.
 	TraceSpans int `json:"trace_spans,omitempty"`
@@ -173,6 +201,15 @@ func FromCore(res core.Result) Result {
 	for _, s := range res.Sweep {
 		out.Sweep = append(out.Sweep, sideFromCore(s))
 	}
+	for _, n := range res.Native {
+		out.Native = append(out.Native, NativeRun{
+			Query: n.Query, Workers: n.Workers, Interpreted: n.Interpreted,
+			Rows: n.Rows, Nanos: n.Nanos, RowsPerSec: n.RowsPerSec,
+			ResultRows: n.ResultRows, Digest: Digest(n.Digest),
+		})
+	}
+	out.NativeRows = res.NativeRows
+	out.NativeRowsPerSec = res.NativeRowsPerSec
 	for _, t := range res.Traces {
 		out.TraceSpans += len(t.Spans)
 	}

@@ -86,6 +86,52 @@ func TestQueryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestQueryNativeOnTheWire asks for the native fast-path sweep alongside
+// a vec-dss measurement and checks the sweep rides back on the result:
+// the interpreted reference first, a compiled point per worker count,
+// byte-identical serial digests, and the headline rows/sec populated.
+func TestQueryNativeOnTheWire(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp, body := post(t, hs.URL+"/v1/query",
+		api.QueryRequest{Mode: "vec-dss", Query: 6, NativeWorkers: []int{1}}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wire api.Result
+	if err := json.Unmarshal(body, &wire); err != nil {
+		t.Fatalf("bad result JSON: %v\n%s", err, body)
+	}
+	if len(wire.Native) != 2 {
+		t.Fatalf("%d native points, want 2 (interpreted + 1 worker count)", len(wire.Native))
+	}
+	if !wire.Native[0].Interpreted || wire.Native[1].Interpreted {
+		t.Fatalf("native points out of order: %+v", wire.Native)
+	}
+	if wire.Native[0].Digest != wire.Native[1].Digest {
+		t.Errorf("serial native digests differ: %s vs %s (fast path changed the result)",
+			wire.Native[0].Digest, wire.Native[1].Digest)
+	}
+	for i, n := range wire.Native {
+		if n.Query != 6 || n.Workers != 1 || n.RowsPerSec <= 0 || n.ResultRows <= 0 {
+			t.Errorf("native point %d incomplete: %+v", i, n)
+		}
+	}
+	if wire.NativeRowsPerSec <= 0 || wire.NativeRows <= 0 {
+		t.Errorf("headline native throughput missing: rows=%d rows/sec=%v",
+			wire.NativeRows, wire.NativeRowsPerSec)
+	}
+
+	resp, body = post(t, hs.URL+"/v1/query",
+		api.QueryRequest{Mode: "vec-dss", Query: 6, NativeWorkers: []int{0}}, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("native_workers 0 accepted: status %d: %s", resp.StatusCode, body)
+	}
+	var eb api.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Field != "native_workers" {
+		t.Errorf("error %s does not name native_workers (%v)", body, err)
+	}
+}
+
 // TestTxnRoundTrip submits an OLTP batch and checks the digest against
 // a direct batch-mode Run of the same request.
 func TestTxnRoundTrip(t *testing.T) {

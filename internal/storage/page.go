@@ -139,6 +139,28 @@ func (p Slotted) ScanTuples(rec *trace.Recorder, visit func(slot int, tuple []by
 	}
 }
 
+// CopyTuples copies every live tuple's bytes into dst at stride-spaced
+// row slots, in slot order, returning the rows copied. It is the
+// untraced bulk companion to ScanTuples for the native fast path: the
+// caller traces (or skips tracing) the page read itself, and the
+// per-tuple work collapses to one slot-directory decode and one copy —
+// no callback dispatch.
+func (p Slotted) CopyTuples(dst []byte, stride int) int {
+	n := p.NumSlots()
+	k := 0
+	for s := 0; s < n; s++ {
+		so := p.slotOff(s)
+		off := int(binary.LittleEndian.Uint16(p.data[so:]))
+		ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+		if ln == 0 {
+			continue
+		}
+		copy(dst[k*stride:k*stride+ln], p.data[off:off+ln])
+		k++
+	}
+	return k
+}
+
 // TupleAddr returns the simulated address of slot's body (for callers that
 // trace field-level access themselves).
 func (p Slotted) TupleAddr(slot int) (mem.Addr, int) {
@@ -277,6 +299,20 @@ func (p PAX) ColumnBytes(c int) []byte {
 	w := p.widths[c]
 	off := p.offs[c]
 	return p.data[off : off+p.N()*w]
+}
+
+// GatherColumn copies column c's values at the selected slots into a
+// row-major destination: the value of selected slot sel[k] lands at
+// dst[k*stride+off]. It is the untraced scatter-gather companion to
+// ColumnBytes — vectorized scans trace the minipage read once with
+// LoadColumn and then gather qualifying tuples through this one loop.
+func (p PAX) GatherColumn(dst []byte, stride, off, c int, sel []int) {
+	w := p.widths[c]
+	mini := p.data[p.offs[c]:]
+	for k, i := range sel {
+		d := k*stride + off
+		copy(dst[d:d+w], mini[i*w:(i+1)*w])
+	}
 }
 
 // LoadColumn traces the read of column c's fields for slots [lo, hi) as

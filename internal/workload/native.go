@@ -1,0 +1,137 @@
+// Native fast-path plan shapes of the DSS query analogs: the same
+// semantics as Q1/Q6/Q13, rebuilt so the filter runs as a FilterVec
+// stage — the operator that marks survivors in a selection vector on the
+// trace-free native path — with compiled predicates throughout. Run with
+// a nil-Recorder Ctx these plans are the repo's host-throughput subject;
+// run with NativeOpts{Interpret: true, Compact: true} they become the
+// interpreted, copy-compacting reference the golden equivalence suite
+// and the CI speedup gate compare against. Either way the row order and
+// aggregate machinery match the simulated plans, so results are
+// byte-identical to RunQuery at the same parameters.
+
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// NativeOpts selects the execution flavor of a native-shape plan.
+type NativeOpts struct {
+	// Interpret forces interpreted Pred.Eval instead of the compiled
+	// predicate closures.
+	Interpret bool
+	// Compact forces survivor compaction instead of selection-vector
+	// annotation. Interpret+Compact together is the slow-path reference.
+	Compact bool
+}
+
+// Q1Native is Q1 in its native fast-path shape: a predicate-free scan
+// feeding a FilterVec (Q1's date filter keeps ~95% of lineitem, the case
+// where marking survivors beats copying them), then the shared Q1 map
+// and aggregate fragments.
+func (h *TPCH) Q1Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
+	preds, mapped, fn, aggs := h.q1Pieces(p)
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
+			Child: &engine.FilterVec{
+				Child: &engine.ScanVec{
+					Table:     h.lineitem,
+					StartPage: h.scanOrigin(h.lineitem, p),
+					Interpret: o.Interpret,
+				},
+				Preds:     preds,
+				Compact:   o.Compact,
+				Interpret: o.Interpret,
+			},
+			Out:  mapped,
+			Fn:   fn,
+			Cost: 18,
+		},
+		GroupCols: []int{0, 1},
+		Aggs:      aggs,
+		Expected:  8,
+	}
+	return engine.Collect(ctx, &engine.Sort{Child: &engine.RowAdapter{Vec: plan}, Col: 0})
+}
+
+// Q6Native is Q6 in its native fast-path shape: scan, a three-predicate
+// FilterVec (compiled into fused type-specialized closures), and the
+// shared revenue map/sum fragments.
+func (h *TPCH) Q6Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
+	preds, mapped, fn, aggs := h.q6Pieces(p)
+	plan := &engine.HashAggVec{
+		Child: &engine.MapVec{
+			Child: &engine.FilterVec{
+				Child: &engine.ScanVec{
+					Table:     h.lineitem,
+					StartPage: h.scanOrigin(h.lineitem, p),
+					Interpret: o.Interpret,
+				},
+				Preds:     preds,
+				Compact:   o.Compact,
+				Interpret: o.Interpret,
+			},
+			Out:  mapped,
+			Fn:   fn,
+			Cost: 12,
+		},
+		GroupCols: []int{0},
+		Aggs:      aggs,
+		Expected:  2,
+	}
+	return engine.CollectVec(ctx, plan)
+}
+
+// Q13Native is Q13 in its native fast-path shape: the orders filter
+// (~98% survivors) runs as a FilterVec whose selection-vector output
+// feeds the join build loop directly, and the join table is pre-sized
+// from the orders cardinality.
+func (h *TPCH) Q13Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
+	os := h.orders.Schema
+	join := &engine.HashJoinVec{
+		Probe: &engine.ScanVec{Table: h.customer, Cols: []int{0}, Interpret: o.Interpret},
+		Build: &engine.FilterVec{
+			Child: &engine.ScanVec{
+				Table:     h.orders,
+				StartPage: h.scanOrigin(h.orders, p),
+				Interpret: o.Interpret,
+			},
+			Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+			Compact:   o.Compact,
+			Interpret: o.Interpret,
+		},
+		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
+		Type:     engine.LeftOuter,
+		Expected: h.nOrders,
+	}
+	return engine.Collect(ctx, h.q13TailVec(join))
+}
+
+// RunQueryNative executes query q (1, 6, or 13) in its native fast-path
+// plan shape.
+func (h *TPCH) RunQueryNative(ctx *engine.Ctx, q int, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
+	switch q {
+	case 1:
+		return h.Q1Native(ctx, p, o)
+	case 6:
+		return h.Q6Native(ctx, p, o)
+	case 13:
+		return h.Q13Native(ctx, p, o)
+	}
+	return nil, fmt.Errorf("workload: no native fast-path plan for query %d (have 1, 6, 13)", q)
+}
+
+// NativeRowsScanned returns the base-table rows one native run of query
+// q reads — the numerator of the rows/sec throughput the native bench
+// reports.
+func (h *TPCH) NativeRowsScanned(q int) int {
+	switch q {
+	case 1, 6:
+		return h.Cfg.Lineitems
+	case 13:
+		return h.nCustomers + h.nOrders
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+// Golden equivalence tests for the native fast path: compiled
+// predicates, selection vectors, and batch hash tables must never change
+// a result — only how fast it arrives. Serial native plans (compiled and
+// interpreted, annotating and compacting) are byte-identical to the
+// standard vectorized plans on both page layouts; morsel-parallel native
+// runs agree across worker counts {1, 2, 4, 8} up to float addition
+// order, with Q13's within-tie row order canonicalized (parallel join
+// arrival order is not deterministic).
+
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+// nativeWorkerCtxs builds n fresh nil-recorder contexts.
+func nativeWorkerCtxs(h *TPCH, n int) []*engine.Ctx {
+	ctxs := make([]*engine.Ctx, n)
+	for w := range ctxs {
+		ctxs[w] = h.DB.NewCtx(nil, 60+w, 24<<20)
+	}
+	return ctxs
+}
+
+// TestNativeGoldenSerial: on both layouts, every native flavor of
+// Q1/Q6/Q13 — compiled+selection (the fast path), interpreted+compacting
+// (the slow reference), and the mixed corners — is byte-identical to the
+// standard vectorized plan at the same parameters.
+func TestNativeGoldenSerial(t *testing.T) {
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	flavors := []struct {
+		name string
+		o    NativeOpts
+	}{
+		{"compiled+sel", NativeOpts{}},
+		{"interpreted+compact", NativeOpts{Interpret: true, Compact: true}},
+		{"compiled+compact", NativeOpts{Compact: true}},
+		{"interpreted+sel", NativeOpts{Interpret: true}},
+	}
+	for _, layout := range []storage.Layout{storage.NSM, storage.PAXLayout} {
+		h := vecTPCH(t, layout)
+		ctx := h.DB.NewCtx(nil, 58, 48<<20)
+		for _, q := range []int{1, 6, 13} {
+			ctx.Work.Reset()
+			want, err := h.RunQuery(ctx, q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("q%d/%v: empty reference result", q, layout)
+			}
+			for _, fl := range flavors {
+				ctx.Work.Reset()
+				got, err := h.RunQueryNative(ctx, q, p, fl.o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exactRows(t, layout.String()+"/q"+string(rune('0'+q))+"/"+fl.name, got, want)
+			}
+		}
+	}
+}
+
+// canonRows sorts a result set by its integer columns (Q13's output is
+// all-int) so multiset comparisons survive within-tie reordering.
+func canonRows(rows [][]engine.Value) [][]engine.Value {
+	out := append([][]engine.Value(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		for c := range out[i] {
+			if out[i][c].I != out[j][c].I {
+				return out[i][c].I < out[j][c].I
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestNativeGoldenParallel: the morsel-parallel native runs agree with
+// the serial native plan at every worker count — keys and integer
+// aggregates exactly, float sums up to addition order (sameRows), Q13 as
+// a canonicalized multiset.
+func TestNativeGoldenParallel(t *testing.T) {
+	h := vecTPCH(t, storage.NSM)
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	serial := h.DB.NewCtx(nil, 59, 48<<20)
+	for _, q := range []int{1, 6, 13} {
+		serial.Work.Reset()
+		want, err := h.RunQueryNative(serial, q, p, NativeOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q == 13 {
+			want = canonRows(want)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, err := h.RunQueryParallel(nativeWorkerCtxs(h, workers), q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q == 13 {
+				got = canonRows(got)
+			}
+			sameRows(t, "native-parallel", got, want)
+		}
+	}
+}
+
+// TestNativeParallelMergeRaceHammer repeatedly drives the 8-worker
+// parallel aggregate and join so `go test -race` can watch the partial
+// merge and morsel claiming for unsynchronized access.
+func TestNativeParallelMergeRaceHammer(t *testing.T) {
+	h := vecTPCH(t, storage.NSM)
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	ctxs := nativeWorkerCtxs(h, 8)
+	for i := 0; i < iters; i++ {
+		for _, q := range []int{1, 6, 13} {
+			for _, c := range ctxs {
+				c.Work.Reset()
+			}
+			rows, err := h.RunQueryParallel(ctxs, q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("iter %d q%d: empty result", i, q)
+			}
+		}
+	}
+}

@@ -116,14 +116,47 @@ func (h *TPCH) OrdersPerCustomerParallel(ctxs []*engine.Ctx) (int, error) {
 	return n, err
 }
 
-// RunQueryParallel executes the parallel variant of query q (1 or 6 have
-// morsel-parallel plans) across the worker contexts.
+// Q13Parallel computes Q13's full distribution with the partitioned
+// parallel hash join feeding the shared vectorized tail. Group keys and
+// counts match Q13 exactly; row order within equal-custdist ties can
+// differ from the serial plan (join output arrives in worker order), so
+// cross-worker-count comparisons treat the result as a multiset.
+func (h *TPCH) Q13Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("workload: Q13Parallel with no worker contexts")
+	}
+	os := h.orders.Schema
+	probePool := engine.NewMorselPool(len(ctxs), h.customer.Heap.NumPages(), 0)
+	buildPool := engine.NewMorselPool(len(ctxs), h.orders.Heap.NumPages(), 0)
+	join := &engine.ParallelHashJoin{
+		Ctxs: ctxs,
+		ProbeSrcVec: func(w int) engine.VecOp {
+			return &engine.MorselScanVec{Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w}
+		},
+		BuildSrcVec: func(w int) engine.VecOp {
+			return &engine.MorselScanVec{
+				Table:  h.orders,
+				Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+				Pool:   buildPool,
+				Worker: w,
+			}
+		},
+		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
+		Type: engine.LeftOuter,
+	}
+	return engine.Collect(ctxs[0], h.q13TailVec(&engine.VecAdapter{Child: join}))
+}
+
+// RunQueryParallel executes the parallel variant of query q (1, 6, and
+// 13 have parallel plans) across the worker contexts.
 func (h *TPCH) RunQueryParallel(ctxs []*engine.Ctx, q int, p QueryParams) ([][]engine.Value, error) {
 	switch q {
 	case 1:
 		return h.Q1Parallel(ctxs, p)
 	case 6:
 		return h.Q6Parallel(ctxs, p)
+	case 13:
+		return h.Q13Parallel(ctxs, p)
 	}
-	return nil, fmt.Errorf("workload: no parallel variant of query %d (have 1, 6)", q)
+	return nil, fmt.Errorf("workload: no parallel variant of query %d (have 1, 6, 13)", q)
 }

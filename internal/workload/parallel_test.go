@@ -125,7 +125,7 @@ func TestParallelJoinRowCountMatchesSerial(t *testing.T) {
 
 func TestRunQueryParallelRejectsUnknown(t *testing.T) {
 	h := parTPCH(t)
-	if _, err := h.RunQueryParallel(parCtxs(h, 2), 13, QueryParams{}); err == nil {
-		t.Fatal("query 13 has no parallel variant but was accepted")
+	if _, err := h.RunQueryParallel(parCtxs(h, 2), 16, QueryParams{}); err == nil {
+		t.Fatal("query 16 has no parallel variant but was accepted")
 	}
 }

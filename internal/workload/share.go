@@ -99,7 +99,8 @@ func (h *TPCH) Q13Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([
 			Source: rd,
 		},
 		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
-		Type: engine.LeftOuter,
+		Type:     engine.LeftOuter,
+		Expected: h.nOrders,
 	}
 	rows, err := engine.Collect(ctx, h.q13TailVec(join))
 	return rows, rd.StartPage(), err

@@ -364,7 +364,8 @@ func (h *TPCH) Q13(ctx *engine.Ctx, p QueryParams) ([][]engine.Value, error) {
 			StartPage: h.scanOrigin(h.orders, p),
 		},
 		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
-		Type: engine.LeftOuter,
+		Type:     engine.LeftOuter,
+		Expected: h.nOrders,
 	}
 	// The post-join pipeline (match tagging and the two aggregations) is
 	// shared with Q13Shared — see q13TailVec in share.go. A matched join
