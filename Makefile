@@ -41,21 +41,27 @@ bench-oltp:
 bench-oltp-mt:
 	$(GO) test -run '^$$' -bench '^BenchmarkStagedOLTPParallel$$' -benchtime=1x .
 
-# Native fast-path gate: Q6 with compiled predicates + selection vectors
-# must beat the interpreted path >= 1.5x at 1 worker; 4 workers must
-# scale >= 2.5x over 1 when the host actually has 4 CPUs (the scaling
-# assertion is skipped on smaller runners — a 1-CPU container cannot
-# express parallel speedup).
+# Native fast-path gate: at 1 worker Q6 with compiled predicates +
+# selection vectors must beat the interpreted path >= 1.5x, the
+# zero-copy (page-aliasing) path >= 1.9x over interpreted and >= 1.25x
+# over copying; Q13's compiled join kernels over borrowed scans must
+# beat interpreted >= 1.3x; 4 workers must scale >= 2.5x over 1 when the
+# host actually has 4 CPUs (the scaling assertion is skipped on smaller
+# runners — a 1-CPU container cannot express parallel speedup). The gate
+# appends a benchstat-style copy-vs-borrow summary to bench-native.txt
+# (CI archives it as an artifact).
 bench-native:
-	BENCH_NATIVE=1 $(GO) test -run '^TestNativeSpeedupGate$$' -count=1 -v ./internal/core/
+	BENCH_NATIVE=1 BENCH_NATIVE_OUT=$(CURDIR)/bench-native.txt \
+		$(GO) test -run '^TestNativeSpeedupGate$$' -count=1 -v ./internal/core/
 
 # Machine-readable perf trajectory: the native fast-path sweep (compiled
-# vs interpreted, worker scaling), rows/sec + simulated vectorized/row
+# vs interpreted, copy vs zero-copy, worker scaling, median+IQR and
+# effective GB/s per point), rows/sec + simulated vectorized/row
 # speedups for scan, aggregate, join, plus the staged-OLTP comparison and
-# the partitioned-OLTP scaling sweep, into BENCH_pr8.json (archived as a
+# the partitioned-OLTP scaling sweep, into BENCH_pr9.json (archived as a
 # CI artifact so later PRs can diff executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -pr pr8-native -out BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -pr pr9-zerocopy -out BENCH_pr9.json
 
 # Run the execution server on :8080 (POST /v1/query, POST /v1/txn,
 # GET /v1/jobs/{id}, GET /healthz, GET /metrics).

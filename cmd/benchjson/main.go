@@ -103,29 +103,42 @@ type oltpPartEntry struct {
 }
 
 // nativePoint is one native fast-path sweep point: query Query at
-// Workers morsel-parallel workers, wall-clock best of 3. The leading
-// interpreted point (compiled predicates and selection vectors off) is
-// the reference the 1-worker compiled_vs_interpreted_x ratio divides
+// Workers morsel-parallel workers, wall-clock best of 50 (median and
+// interquartile range record the spread). The leading interpreted point
+// (compiled predicates, hash kernels, and selection vectors off) is the
+// reference the 1-worker compiled_vs_interpreted_x ratio divides
 // against; multi-worker points carry scaling_vs_1worker_x instead.
+// Borrowed points alias buffer-pool pages (zero-copy) and carry
+// borrow_vs_copy_x against the copying point at the same worker count.
 type nativePoint struct {
 	Query       int     `json:"query"`
 	Workers     int     `json:"workers"`
 	Interpreted bool    `json:"interpreted"`
+	Borrowed    bool    `json:"borrowed"`
 	RowsScanned int     `json:"rows_scanned"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
+	MedianSec   float64 `json:"median_sec"`
+	IQRSec      float64 `json:"iqr_sec"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
-	ResultRows  int     `json:"result_rows"`
+	// BytesScanned is base-table bytes per run (rows × row width);
+	// GBPerSec the effective scan bandwidth at the best wall time.
+	BytesScanned int     `json:"bytes_scanned"`
+	GBPerSec     float64 `json:"gb_per_sec"`
+	ResultRows   int     `json:"result_rows"`
 	// Digest fingerprints the result rows: typed-value FNV for serial
-	// points (byte-identical across interpreted/compiled), a row-count
-	// digest for multi-worker points whose float sums reassociate.
+	// points (byte-identical across interpreted/compiled/borrowed), a
+	// row-count digest for multi-worker points whose float sums
+	// reassociate.
 	Digest    string  `json:"digest"`
 	CompiledX float64 `json:"compiled_vs_interpreted_x,omitempty"`
 	ScalingX  float64 `json:"scaling_vs_1worker_x,omitempty"`
+	BorrowX   float64 `json:"borrow_vs_copy_x,omitempty"`
 }
 
-// nativeSection is the v5 native fast-path sweep: every query × worker
-// count, plus the host CPU count that contextualizes the scaling ratios
-// (a 1-CPU CI runner cannot express parallel speedup).
+// nativeSection is the native fast-path sweep: every query × worker
+// count (copy and zero-copy flavors), plus the host CPU count that
+// contextualizes the scaling ratios (a 1-CPU CI runner cannot express
+// parallel speedup).
 type nativeSection struct {
 	HostCPUs     int           `json:"host_cpus"`
 	WorkerCounts []int         `json:"worker_counts"`
@@ -136,6 +149,9 @@ type nativeSection struct {
 // v4 adds per-side cycle-accounting stalls breakdowns (core.Stalls).
 // v5 adds the native fast-path sweep (compiled predicates + selection
 // vectors vs interpreted, morsel-parallel worker scaling) and host_cpus.
+// v6 adds the zero-copy (borrowed) flavor per sweep point, median/IQR of
+// the 50 timed runs, and effective scan bandwidth (bytes_scanned,
+// gb_per_sec).
 type report struct {
 	Version     int             `json:"version"`
 	PR          string          `json:"pr"`
@@ -148,7 +164,7 @@ type report struct {
 }
 
 func main() {
-	pr := flag.String("pr", "pr8-native", "PR label recorded in the report")
+	pr := flag.String("pr", "pr9-zerocopy", "PR label recorded in the report")
 	out := flag.String("out", "", "output file (default BENCH_<pr prefix>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -158,37 +174,51 @@ func main() {
 
 	r := core.NewRunner(core.TestScale())
 	bg := context.Background()
-	rep := report{Version: 5, PR: *pr, Scale: "test"}
+	rep := report{Version: 6, PR: *pr, Scale: "test"}
 
 	// Native fast path: the compiled+selection sweep over every native
-	// query at 1/2/4 workers, led by the interpreted reference.
+	// query at 1/2/4 workers, led by the interpreted reference, each
+	// count measured copying and zero-copy (borrowed) side by side.
 	rep.NativeFast = nativeSection{HostCPUs: runtime.NumCPU(), WorkerCounts: []int{1, 2, 4}}
 	for _, q := range []int{1, 6, 13} {
-		runs, err := r.RunNativeDSS(q, rep.NativeFast.WorkerCounts, 7)
+		runs, err := r.RunNativeDSS(q, rep.NativeFast.WorkerCounts, 7, true)
 		if err != nil {
 			fatal(err)
 		}
 		var interp, w1 core.NativeRun
+		copyAt := map[int]core.NativeRun{}
 		for _, n := range runs {
 			switch {
 			case n.Interpreted:
 				interp = n
-			case n.Workers == 1:
-				w1 = n
+			case !n.Borrowed:
+				copyAt[n.Workers] = n
+				if n.Workers == 1 {
+					w1 = n
+				}
 			}
 		}
 		for _, n := range runs {
 			pt := nativePoint{
-				Query: n.Query, Workers: n.Workers, Interpreted: n.Interpreted,
+				Query: n.Query, Workers: n.Workers,
+				Interpreted: n.Interpreted, Borrowed: n.Borrowed,
 				RowsScanned: n.Rows, ElapsedSec: float64(n.Nanos) / 1e9,
-				RowsPerSec: n.RowsPerSec, ResultRows: n.ResultRows,
-				Digest: fmt.Sprintf("%016x", n.Digest),
+				MedianSec: float64(n.MedianNanos) / 1e9, IQRSec: float64(n.IQRNanos) / 1e9,
+				RowsPerSec:   n.RowsPerSec,
+				BytesScanned: n.BytesScanned, GBPerSec: n.GBPerSec,
+				ResultRows: n.ResultRows,
+				Digest:     fmt.Sprintf("%016x", n.Digest),
 			}
 			if !n.Interpreted && n.Workers == 1 && interp.Nanos > 0 {
 				pt.CompiledX = float64(interp.Nanos) / float64(n.Nanos)
 			}
 			if n.Workers > 1 && w1.Nanos > 0 {
 				pt.ScalingX = float64(w1.Nanos) / float64(n.Nanos)
+			}
+			if n.Borrowed {
+				if cp, ok := copyAt[n.Workers]; ok && cp.Nanos > 0 {
+					pt.BorrowX = float64(cp.Nanos) / float64(n.Nanos)
+				}
 			}
 			rep.NativeFast.Points = append(rep.NativeFast.Points, pt)
 		}
@@ -319,8 +349,11 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 	for _, p := range rep.NativeFast.Points {
 		tag := "compiled"
-		if p.Interpreted {
+		switch {
+		case p.Interpreted:
 			tag = "interpreted"
+		case p.Borrowed:
+			tag = "zero-copy"
 		}
 		extra := ""
 		if p.CompiledX > 0 {
@@ -329,7 +362,10 @@ func main() {
 		if p.ScalingX > 0 {
 			extra = fmt.Sprintf("  %.2fx vs 1 worker", p.ScalingX)
 		}
-		fmt.Printf("  native q%-2d %-11s x%d %12.0f rows/sec%s\n", p.Query, tag, p.Workers, p.RowsPerSec, extra)
+		if p.BorrowX > 0 {
+			extra += fmt.Sprintf("  %.2fx vs copy", p.BorrowX)
+		}
+		fmt.Printf("  native q%-2d %-11s x%d %12.0f rows/sec %5.1f GB/s%s\n", p.Query, tag, p.Workers, p.RowsPerSec, p.GBPerSec, extra)
 	}
 	for _, e := range rep.Simulated {
 		fmt.Printf("  %-15s %6.2fx simulated speedup (%d -> %d cycles)\n", e.Description, e.SpeedupX, e.RowCycles, e.VecCycles)

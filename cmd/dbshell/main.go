@@ -58,7 +58,7 @@ func dispatch(opts *cli.Options) error {
 		return err
 	}
 	if len(counts) > 0 {
-		return runNative(opts.Lineitems, counts)
+		return runNative(opts.Lineitems, counts, opts.ZeroCopy)
 	}
 	if opts.Steps {
 		return runSteps(opts.Txns, opts.Cohort, opts.Parts, opts.Remote)
@@ -68,8 +68,9 @@ func dispatch(opts *cli.Options) error {
 
 // runNative sweeps the trace-free fast path over Q1/Q6/Q13: the
 // interpreted 1-worker reference first, then compiled predicates +
-// selection vectors at each requested worker count.
-func runNative(lineitems int, counts []int) error {
+// selection vectors at each requested worker count — each count twice
+// (copying, then borrowed page-aliasing blocks) when zeroCopy is set.
+func runNative(lineitems int, counts []int, zeroCopy bool) error {
 	fmt.Println("== Native fast path: compiled predicates + selection vectors ==")
 	scale := core.FullScale()
 	scale.TPCH = workload.TPCHConfig{Lineitems: lineitems, ArenaBytes: 256 << 20}
@@ -82,7 +83,7 @@ func runNative(lineitems int, counts []int) error {
 	fmt.Printf("loaded %d lineitem rows in %s\n", lineitems, time.Since(start).Truncate(time.Millisecond))
 
 	for _, q := range []int{1, 6, 13} {
-		runs, err := r.RunNativeDSS(q, counts, 7)
+		runs, err := r.RunNativeDSS(q, counts, 7, zeroCopy)
 		if err != nil {
 			return err
 		}
@@ -92,17 +93,25 @@ func runNative(lineitems int, counts []int) error {
 			switch {
 			case n.Interpreted:
 				ref = n
-			case n.Workers == 1:
+			case n.Workers == 1 && !n.Borrowed:
 				w1 = n
 			}
 			label := "compiled   "
-			if n.Interpreted {
+			switch {
+			case n.Interpreted:
 				label = "interpreted"
+			case n.Borrowed:
+				label = "zero-copy  "
 			}
-			line := fmt.Sprintf("Q%-2d %s x%d: %6.1fM rows/s (%d result rows, best of 11)",
-				q, label, n.Workers, n.RowsPerSec/1e6, n.ResultRows)
+			line := fmt.Sprintf("Q%-2d %s x%d: %6.1fM rows/s %5.1f GB/s (%d result rows, best of 50, median %s iqr %s)",
+				q, label, n.Workers, n.RowsPerSec/1e6, n.GBPerSec, n.ResultRows,
+				time.Duration(n.MedianNanos).Truncate(time.Microsecond),
+				time.Duration(n.IQRNanos).Truncate(time.Microsecond))
 			if !n.Interpreted && ref.Nanos > 0 && n.Workers == 1 {
 				line += fmt.Sprintf("  %.2fx vs interpreted", float64(ref.Nanos)/float64(n.Nanos))
+			}
+			if n.Borrowed && n.Workers == 1 && w1.Nanos > 0 {
+				line += fmt.Sprintf("  %.2fx vs copy", float64(w1.Nanos)/float64(n.Nanos))
 			}
 			if n.Workers > 1 && w1.Nanos > 0 {
 				line += fmt.Sprintf("  %.2fx vs x1", float64(w1.Nanos)/float64(n.Nanos))

@@ -95,6 +95,10 @@ type Request struct {
 	// on the host (trace-free, wall-clock timed) at each listed worker
 	// count, populating Result.Native. DSS modes with a single query only.
 	NativeWorkers []int
+	// NativeZeroCopy additionally measures each native worker count with
+	// borrowed page-aliasing scan blocks, recording the copy-vs-borrow
+	// pair side by side. Requires NativeWorkers.
+	NativeZeroCopy bool
 	// Seed drives every deterministic input stream. Default 7.
 	Seed int64
 	// Cell overrides the chip geometry; nil picks DefaultModeCell on the
@@ -208,6 +212,9 @@ func (q Request) Validate() error {
 				return &ValidationError{Field: "native_workers", Reason: fmt.Sprintf("native worker count %d (need >= 1)", n)}
 			}
 		}
+	}
+	if q.NativeZeroCopy && len(q.NativeWorkers) == 0 {
+		return &ValidationError{Field: "native_zero_copy", Reason: "zero-copy native measurement needs native_workers"}
 	}
 	if q.Mode == ModeStagedOLTP {
 		o := q.stagedOpts(q.Parts)
@@ -344,7 +351,8 @@ type Result struct {
 	Traces []obs.Run
 	// Native holds the host-execution sweep when Request.NativeWorkers is
 	// set: the interpreted 1-worker reference first, then one compiled
-	// point per requested worker count (wall-clock, best of 3).
+	// point per requested worker count (wall-clock, best of 50) — two per
+	// count when NativeZeroCopy also measures the borrowed flavor.
 	Native []NativeRun
 	// NativeRows / NativeRowsPerSec headline the best compiled native
 	// point: base-table rows scanned and host throughput.
@@ -387,7 +395,7 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		native, err := r.RunNativeDSS(req.Query, req.NativeWorkers, req.Seed)
+		native, err := r.RunNativeDSS(req.Query, req.NativeWorkers, req.Seed, req.NativeZeroCopy)
 		if err != nil {
 			return Result{}, err
 		}

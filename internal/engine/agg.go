@@ -138,11 +138,18 @@ func (a *HashAgg) findOrInsertGroup(rec *trace.Recorder, gkey []byte) ([]byte, m
 func (a *HashAgg) findOrInsertGroupH(rec *trace.Recorder, h uint64, gkey []byte) ([]byte, mem.Addr) {
 	payload, at := a.findGroup(rec, h, gkey)
 	if payload == nil {
-		payload, at = a.ht.Insert(rec, h, nil)
-		copy(payload[:a.groupW], gkey)
-		a.initAccums(payload[a.groupW:])
-		rec.StoreRange(at, a.groupW+a.slotW)
+		payload, at = a.insertGroup(rec, h, gkey)
 	}
+	return payload, at
+}
+
+// insertGroup creates gkey's entry (first sight of the group): zeroed
+// accumulators except Min/Max sentinels, the insert's stores traced.
+func (a *HashAgg) insertGroup(rec *trace.Recorder, h uint64, gkey []byte) ([]byte, mem.Addr) {
+	payload, at := a.ht.Insert(rec, h, nil)
+	copy(payload[:a.groupW], gkey)
+	a.initAccums(payload[a.groupW:])
+	rec.StoreRange(at, a.groupW+a.slotW)
 	return payload, at
 }
 
@@ -230,6 +237,26 @@ func mergeAccums(cs Schema, aggs []AggSpec, dst, src []byte) {
 		}
 		off += accWidth(g.Func)
 	}
+}
+
+// findGroupNative is findGroup as an inline chain walk — no tracing, no
+// per-entry callback — for the native batch-absorb loop. It returns the
+// whole payload (group bytes + accumulators), nil when the group is
+// absent; the walk visits entries in the same chain order as findGroup.
+func (a *HashAgg) findGroupNative(h uint64, gkey []byte) []byte {
+	ht := a.ht
+	buf, base := ht.arena.Raw()
+	cur := binary.LittleEndian.Uint64(buf[ht.bucketAddr(h)-base:])
+	for cur != 0 {
+		eo := mem.Addr(cur) - base
+		eb := buf[eo : eo+mem.Addr(ht.entryW)]
+		if binary.LittleEndian.Uint64(eb[8:16]) == h &&
+			string(eb[htEntryHeader:htEntryHeader+a.groupW]) == string(gkey) {
+			return eb[htEntryHeader:]
+		}
+		cur = binary.LittleEndian.Uint64(eb[0:8])
+	}
+	return nil
 }
 
 // findGroup locates the entry whose stored group bytes equal gkey.
@@ -327,8 +354,17 @@ func (a *HashAgg) Next(ctx *Ctx) ([]byte, bool, error) {
 	if !a.drained {
 		a.drained = true
 		cs := a.Child.Schema()
+		w := a.out.RowWidth()
+		// Result rows come from chunked slabs, not one allocation per
+		// group — a large aggregate would otherwise hand the GC tens of
+		// thousands of tiny objects per query.
+		var slab []byte
 		a.ht.Scan(ctx.Rec, func(_ uint64, p []byte) bool {
-			out := make([]byte, a.out.RowWidth())
+			if len(slab) < w {
+				slab = make([]byte, 256*w)
+			}
+			out := slab[:w:w]
+			slab = slab[w:]
 			copy(out[:a.groupW], p[:a.groupW])
 			a.finish(cs, p[a.groupW:], out[a.groupW:])
 			a.results = append(a.results, out)

@@ -1,0 +1,11 @@
+package engine
+
+import "os"
+
+// aliasDebug arms the zero-copy alias-safety assertions: a borrowed
+// block panics when its backing page is released while other consumers
+// still hold references, or when Rows() exposes shared borrowed memory
+// for mutation. Off by default (the checks cost atomic loads on hot
+// paths); set ENGINE_ALIAS_DEBUG=1 to arm. Tests in this package flip
+// the variable directly.
+var aliasDebug = os.Getenv("ENGINE_ALIAS_DEBUG") != ""

@@ -423,6 +423,14 @@ func (j *ParallelHashJoin) Open(ctx *Ctx) error {
 				errs[w] = RunVec(wctx, j.buildVecChild(w), func(blk *Block) error {
 					wctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecBuildCost)
 					blk.TraceRows(wctx.Rec)
+					// Honor a selection vector (native borrowed scans
+					// deliver Sel-annotated blocks): scatter live rows only.
+					if blk.Sel != nil {
+						for _, i := range blk.Sel {
+							scatterRow(blk.RowAt(int(i)))
+						}
+						return nil
+					}
 					for i := 0; i < blk.N(); i++ {
 						scatterRow(blk.RowAt(i))
 					}

@@ -109,6 +109,50 @@ func (h *HashTable) Insert(rec *trace.Recorder, key uint64, payload []byte) ([]b
 // a second pass through IterAt.
 func (h *HashTable) BucketOf(key uint64) mem.Addr { return h.bucketAddr(key) }
 
+// BucketsOf appends every key's bucket-head address to out — BucketOf
+// over a whole block of precomputed keys in one monomorphic loop.
+func (h *HashTable) BucketsOf(keys []uint64, out []mem.Addr) []mem.Addr {
+	for _, k := range keys {
+		out = append(out, h.bucketAddr(k))
+	}
+	return out
+}
+
+// InsertBatch adds one entry per listed row of a row-major buffer — the
+// native whole-block build primitive behind the compiled join kernels.
+// keys[k] is the k-th listed row's key; rows lists physical row indexes
+// (nil means the dense prefix [0, n)). Entries come from one arena slab
+// and are pushed onto their chains in row order, so chain order — and
+// therefore probe match order and emission order — is identical to
+// calling Insert per row; only the per-entry allocation and trace
+// bookkeeping are batched away. Untraced: callers are native-only (nil
+// Recorder) paths.
+func (h *HashTable) InsertBatch(keys []uint64, buf []byte, stride int, rows []int32, n int) {
+	if n == 0 {
+		return
+	}
+	estride := (h.entryW + 7) &^ 7
+	slab := h.arena.Alloc(n*estride, 8)
+	sb := h.arena.Bytes(slab, n*estride)
+	for k := 0; k < n; k++ {
+		i := k
+		if rows != nil {
+			i = int(rows[k])
+		}
+		row := buf[i*stride : i*stride+h.payloadW]
+		key := keys[k]
+		ea := slab + mem.Addr(k*estride)
+		eb := sb[k*estride : k*estride+h.entryW]
+		ba := h.bucketAddr(key)
+		bm := h.arena.Bytes(ba, 8)
+		binary.LittleEndian.PutUint64(eb[0:8], binary.LittleEndian.Uint64(bm))
+		binary.LittleEndian.PutUint64(eb[8:16], key)
+		copy(eb[htEntryHeader:], row)
+		binary.LittleEndian.PutUint64(bm, uint64(ea))
+	}
+	h.n += n
+}
+
 // Iter walks all entries matching key, calling fn with each payload and
 // its simulated address; fn returns false to stop. The chain walk loads
 // are dependent: each entry's address comes from the previous entry.
@@ -137,6 +181,24 @@ func (h *HashTable) IterAt(rec *trace.Recorder, ba mem.Addr, key uint64, fn func
 		}
 		cur = binary.LittleEndian.Uint64(eb[0:8])
 	}
+}
+
+// matchesNative appends every chain entry whose key equals key to out —
+// IterAt minus the tracing and the per-entry callback, for native
+// (nil-Recorder) probe loops. Match order is chain order, so emission
+// order is identical to IterAt's.
+func (h *HashTable) matchesNative(ba mem.Addr, key uint64, out [][]byte) [][]byte {
+	buf, base := h.arena.Raw()
+	cur := binary.LittleEndian.Uint64(buf[ba-base:])
+	for cur != 0 {
+		eo := mem.Addr(cur) - base
+		eb := buf[eo : eo+mem.Addr(h.entryW)]
+		if binary.LittleEndian.Uint64(eb[8:16]) == key {
+			out = append(out, eb[htEntryHeader:])
+		}
+		cur = binary.LittleEndian.Uint64(eb[0:8])
+	}
+	return out
 }
 
 // Lookup returns the first payload for key (nil when absent) and its

@@ -1,0 +1,187 @@
+// Compiled whole-block hash kernels: the CompilePreds idea applied to
+// the join and aggregate side. A KeyKernel extracts a block's worth of
+// 64-bit join keys in one monomorphic loop; a GroupKernel fuses
+// HashAgg's group-key copy and FNV-1a hash into one pass. Both are
+// Sel-aware (rows lists the live physical indexes; nil means dense
+// [0, n)) and layout-agnostic: a borrowed NSM block is a row-major
+// buffer with the table's stride, a borrowed PAX minipage is the same
+// thing with stride == column width, so one kernel covers both.
+//
+// The kernels are exact drop-ins for the per-row loops they replace:
+// identical key bits (a float column's 8 bytes read as int64 and
+// converted to uint64 are its Float64bits) and identical FNV-1a hashes,
+// so hash-table chain order — and therefore output order and digests —
+// cannot diverge from the interpreted path.
+
+package engine
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// KeyKernel extracts the 64-bit join key of rows of a row-major buffer
+// into keys[:n]. rows lists physical row indexes (a selection vector);
+// nil means the dense prefix [0, n).
+type KeyKernel func(buf []byte, stride int, rows []int32, n int, keys []uint64)
+
+// CompileKeyKernel lowers key extraction for one 8-byte column at byte
+// offset off. Integer and float columns produce the same key bits the
+// per-row uint64(RowInt(...)) path does; other types report nil and the
+// caller keeps its per-row loop.
+func CompileKeyKernel(t Type, off int) KeyKernel {
+	switch t {
+	case TInt:
+		return func(buf []byte, stride int, rows []int32, n int, keys []uint64) {
+			if rows == nil {
+				for i, p := 0, off; i < n; i, p = i+1, p+stride {
+					keys[i] = uint64(RowInt(buf, p))
+				}
+				return
+			}
+			for k, i := range rows {
+				keys[k] = uint64(RowInt(buf, int(i)*stride+off))
+			}
+		}
+	case TFloat:
+		return func(buf []byte, stride int, rows []int32, n int, keys []uint64) {
+			if rows == nil {
+				for i, p := 0, off; i < n; i, p = i+1, p+stride {
+					keys[i] = math.Float64bits(RowFloat(buf, p))
+				}
+				return
+			}
+			for k, i := range rows {
+				keys[k] = math.Float64bits(RowFloat(buf, int(i)*stride+off))
+			}
+		}
+	default:
+		return nil
+	}
+}
+
+// AggKernel folds one input row into one aggregate's slice of a group's
+// accumulator bytes. Compiled kernels bake the accumulator offset, input
+// column offset, and type dispatch into the closure, replacing
+// HashAgg.update's per-row switch on the native path. The accumulator
+// bit patterns they produce are identical to update's (same adds, same
+// float operations in the same order), so results and digests cannot
+// diverge.
+type AggKernel func(row, acc []byte)
+
+// CompileAggKernels lowers each AggSpec to its update closure. The acc
+// slice the kernels index is the group's full accumulator region (the
+// per-agg offset is baked in).
+func CompileAggKernels(cs Schema, offs []int, aggs []AggSpec) []AggKernel {
+	ks := make([]AggKernel, len(aggs))
+	accOff := 0
+	for idx, g := range aggs {
+		o := accOff
+		asF := func(row []byte) float64 { return 0 }
+		if g.Func != Count {
+			co := offs[g.Col]
+			if cs[g.Col].Type == TInt {
+				asF = func(row []byte) float64 { return float64(RowInt(row, co)) }
+			} else {
+				asF = func(row []byte) float64 { return RowFloat(row, co) }
+			}
+		}
+		switch g.Func {
+		case Count:
+			ks[idx] = func(_, acc []byte) {
+				binary.LittleEndian.PutUint64(acc[o:], binary.LittleEndian.Uint64(acc[o:])+1)
+			}
+		case Sum:
+			co := offs[g.Col]
+			if cs[g.Col].Type == TInt {
+				ks[idx] = func(row, acc []byte) {
+					v := binary.LittleEndian.Uint64(acc[o:])
+					binary.LittleEndian.PutUint64(acc[o:], v+uint64(RowInt(row, co)))
+				}
+			} else {
+				ks[idx] = func(row, acc []byte) {
+					v := math.Float64frombits(binary.LittleEndian.Uint64(acc[o:]))
+					v += RowFloat(row, co)
+					binary.LittleEndian.PutUint64(acc[o:], math.Float64bits(v))
+				}
+			}
+		case Avg:
+			ks[idx] = func(row, acc []byte) {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(acc[o:]))
+				v += asF(row)
+				binary.LittleEndian.PutUint64(acc[o:], math.Float64bits(v))
+				n := binary.LittleEndian.Uint64(acc[o+8:])
+				binary.LittleEndian.PutUint64(acc[o+8:], n+1)
+			}
+		case Min:
+			ks[idx] = func(row, acc []byte) {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(acc[o:]))
+				if x := asF(row); x < v {
+					binary.LittleEndian.PutUint64(acc[o:], math.Float64bits(x))
+				}
+			}
+		case Max:
+			ks[idx] = func(row, acc []byte) {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(acc[o:]))
+				if x := asF(row); x > v {
+					binary.LittleEndian.PutUint64(acc[o:], math.Float64bits(x))
+				}
+			}
+		}
+		accOff += accWidth(g.Func)
+	}
+	return ks
+}
+
+// GroupKernel extracts every listed row's group-key bytes into keys
+// (groupW bytes per row) and the key's FNV-1a hash into hashes[:n] —
+// HashAgg.groupBytes and hashBytes fused into one pass over the block.
+type GroupKernel func(buf []byte, stride int, rows []int32, n int, keys []byte, hashes []uint64)
+
+// CompileGroupKernel lowers group-key extraction for groupCols of the
+// input schema, with the single-8-byte-column case (int or float group
+// key — the common DSS shape) specialized to a fixed-length hash loop.
+func CompileGroupKernel(cs Schema, offs, groupCols []int) GroupKernel {
+	type span struct{ off, w int }
+	spans := make([]span, len(groupCols))
+	groupW := 0
+	for i, c := range groupCols {
+		spans[i] = span{offs[c], cs[c].Width}
+		groupW += cs[c].Width
+	}
+	if len(spans) == 1 && spans[0].w == 8 {
+		off := spans[0].off
+		return func(buf []byte, stride int, rows []int32, n int, keys []byte, hashes []uint64) {
+			for k := 0; k < n; k++ {
+				i := k
+				if rows != nil {
+					i = int(rows[k])
+				}
+				gk := keys[k*8 : k*8+8]
+				copy(gk, buf[i*stride+off:i*stride+off+8])
+				h := fnvOffset
+				for _, c := range gk {
+					h ^= uint64(c)
+					h *= fnvPrime
+				}
+				hashes[k] = h
+			}
+		}
+	}
+	return func(buf []byte, stride int, rows []int32, n int, keys []byte, hashes []uint64) {
+		for k := 0; k < n; k++ {
+			i := k
+			if rows != nil {
+				i = int(rows[k])
+			}
+			row := buf[i*stride:]
+			gk := keys[k*groupW : (k+1)*groupW]
+			o := 0
+			for _, s := range spans {
+				copy(gk[o:o+s.w], row[s.off:s.off+s.w])
+				o += s.w
+			}
+			hashes[k] = hashBytes(gk)
+		}
+	}
+}

@@ -61,6 +61,14 @@ type Block struct {
 	// contents; Reset and ring recycling clear it.
 	Sel []int32
 
+	// RevDense marks a Sel that is exactly the pure reversal [N-1 ... 0]
+	// of a borrowed NSM page span (every physical row live, reverse
+	// order). Filters exploit it: predicates can run over the span with
+	// the dense ascending kernels and the survivors reversed afterward —
+	// same emission order, monomorphic-loop speed. Anything that attaches
+	// a different selection (or detaches it) clears the mark.
+	RevDense bool
+
 	buf  []byte
 	addr mem.Addr
 	rowW int
@@ -68,6 +76,17 @@ type Block struct {
 	n    int
 	refs atomic.Int32
 	home chan *Block
+
+	// Borrowed-mode state (the zero-copy fast path): a borrowed block
+	// aliases buffer-pool page memory instead of arena rows. own* save
+	// the arena storage for restoration when the borrow ends; onRelease
+	// (the page lease's release) fires exactly once — on Reset, or on
+	// the final ring Release.
+	borrowed  bool
+	onRelease func()
+	ownBuf    []byte
+	ownAddr   mem.Addr
+	ownCap    int
 }
 
 // NewBlock allocates a block of capRows rows of rowW bytes from work.
@@ -82,8 +101,54 @@ func NewBlock(work *mem.Arena, capRows, rowW int) *Block {
 // Reset empties the block for reuse; a reused block keeps its simulated
 // address, which is what makes recycled batches cache-resident. Any
 // attached selection vector is detached — a refilled block must never
-// carry a stale selection into its next life.
-func (b *Block) Reset() { b.n = 0; b.Pages = PageRange{}; b.Sel = nil }
+// carry a stale selection into its next life — and a borrowed page is
+// released back to the buffer pool.
+func (b *Block) Reset() {
+	b.endBorrow()
+	b.n = 0
+	b.Pages = PageRange{}
+	b.Sel = nil
+	b.RevDense = false
+}
+
+// Borrow points the block at externally owned row memory — a pinned
+// buffer-pool page span (NSM) or minipage (PAX) — making it a zero-copy
+// view of n rows of the block's row width. onRelease (typically
+// PageLease.Release) runs exactly once when the borrow ends: at the
+// next Reset, or at the final ring Release. The block's arena storage
+// is saved and restored then, so a borrowed block drops back into copy
+// mode without reallocation.
+func (b *Block) Borrow(buf []byte, addr mem.Addr, n int, onRelease func()) {
+	b.endBorrow()
+	b.ownBuf, b.ownAddr, b.ownCap = b.buf, b.addr, b.cap
+	b.buf, b.addr = buf, addr
+	b.cap, b.n = n, n
+	b.borrowed = true
+	b.onRelease = onRelease
+}
+
+// Borrowed reports whether the block currently aliases borrowed page
+// memory.
+func (b *Block) Borrowed() bool { return b.borrowed }
+
+// endBorrow restores the block's arena storage and releases the
+// borrowed page; idempotent, and a no-op for unborrowed blocks.
+func (b *Block) endBorrow() {
+	if !b.borrowed {
+		return
+	}
+	if aliasDebug && b.refs.Load() > 0 {
+		panic("engine: borrowed block's page released while consumers hold refs")
+	}
+	b.borrowed = false
+	b.buf, b.addr, b.cap = b.ownBuf, b.ownAddr, b.ownCap
+	b.ownBuf = nil
+	rel := b.onRelease
+	b.onRelease = nil
+	if rel != nil {
+		rel()
+	}
+}
 
 // N returns the row count, counting rows a selection vector marks dead.
 func (b *Block) N() int { return b.n }
@@ -116,8 +181,16 @@ func (b *Block) RowWidth() int { return b.rowW }
 // Addr returns the simulated address of row 0.
 func (b *Block) Addr() mem.Addr { return b.addr }
 
-// Rows returns the host view of the occupied row bytes.
-func (b *Block) Rows() []byte { return b.buf[:b.n*b.rowW] }
+// Rows returns the host view of the occupied row bytes. Writing through
+// it on a borrowed block shared across consumers would corrupt the
+// pinned page for every reader; the alias-debug build panics on that
+// access pattern.
+func (b *Block) Rows() []byte {
+	if aliasDebug && b.borrowed && b.refs.Load() > 1 {
+		panic("engine: Rows() on a borrowed block shared across consumers")
+	}
+	return b.buf[:b.n*b.rowW]
+}
 
 // RowAt returns row i without tracing; vectorized loops charge their
 // reads at block granularity instead.
@@ -244,11 +317,16 @@ func (b *Block) Retain() { b.refs.Add(1) }
 // operator's buffer) is detached before the block re-enters the ring, so
 // a producer that claims the recycled block can never observe — or
 // deliver to another consumer — a stale selection, even if it refills
-// without calling Reset.
+// without calling Reset. A borrowed page is released here too: the last
+// consumer's Release is the end of the block's zero-copy lifetime.
 func (b *Block) Release() {
-	if b.refs.Add(-1) == 0 && b.home != nil {
+	if b.refs.Add(-1) == 0 {
 		b.Sel = nil
-		b.home <- b
+		b.RevDense = false
+		b.endBorrow()
+		if b.home != nil {
+			b.home <- b
+		}
 	}
 }
 
@@ -425,17 +503,28 @@ type ScanVec struct {
 	// the compiled predicate closures (the golden equivalence suite's
 	// reference; results and charged instruction counts are identical).
 	Interpret bool
+	// Borrow enables zero-copy page aliasing on the native fast path:
+	// clean pages are emitted as borrowed blocks that pin the buffer-pool
+	// frame for the block's lifetime (released on the block's Reset or
+	// final ring Release — see README "Zero-copy lifetime rules"); torn,
+	// fragmented, or concurrently written pages fall back to the copy
+	// path, chosen per page at fill time. Traced and Interpret runs
+	// ignore it.
+	Borrow bool
 
-	out      Schema
-	blk      *Block
-	page     int // pages consumed within the range
-	pageCap  int // max tuples one heap page can hold
-	code     mem.CodeSeg
-	predCols []Schema // single-column schema per pred (PAX column eval)
-	preds0   []Pred   // preds rebased to column 0 (PAX column eval)
-	cp       *CompiledPreds
-	colFns   []ColPred // compiled per-column predicates (PAX column eval)
-	selbuf   []int
+	out       Schema
+	blk       *Block
+	page      int // pages consumed within the range
+	pageCap   int // max tuples one heap page can hold
+	code      mem.CodeSeg
+	predCols  []Schema // single-column schema per pred (PAX column eval)
+	preds0    []Pred   // preds rebased to column 0 (PAX column eval)
+	cp        *CompiledPreds
+	colFns    []ColPred // compiled per-column predicates (PAX column eval)
+	selbuf    []int
+	canBorrow bool    // scan shape supports the alias fast path
+	ver       uint64  // heap write-version snapshot at Open
+	revsel    []int32 // reversing selection scratch (NSM spans)
 }
 
 // Schema implements VecOp.
@@ -480,12 +569,27 @@ func (s *ScanVec) Open(ctx *Ctx) error {
 			s.colFns[i] = CompileColPred(p, s.Table.Schema[p.Col])
 		}
 	}
+	// Aliasing needs the emitted rows to be the page's physical bytes:
+	// full-row NSM projection (predicates refine a selection vector), or
+	// one bare PAX minipage. Anything else copies.
+	s.ver = s.Table.Heap.Version()
+	if s.Table.Heap.Layout() == storage.NSM {
+		s.canBorrow = s.Cols == nil
+	} else {
+		s.canBorrow = len(s.Preds) == 0 && len(s.Cols) == 1
+	}
 	s.code = ctx.DB.Codes.Register("op:scanvec", 2048)
 	return nil
 }
 
-// Close implements VecOp (idempotent; a reopen rewinds the scan).
-func (s *ScanVec) Close(ctx *Ctx) {}
+// Close implements VecOp (idempotent; a reopen rewinds the scan). A
+// borrowed block still attached — Close mid-stream — drops its page pin
+// here.
+func (s *ScanVec) Close(ctx *Ctx) {
+	if s.blk != nil && s.blk.Borrowed() {
+		s.blk.Reset()
+	}
+}
 
 // pageBounds returns the scan's page window [lo, hi) and the heap size.
 func (s *ScanVec) pageBounds() (lo, hi, n int) {
@@ -538,16 +642,23 @@ func (s *ScanVec) FillBlock(ctx *Ctx, blk *Block) (bool, error) {
 		if err := s.scanPage(ctx, idx, blk); err != nil {
 			return false, err
 		}
-		if s.Range == nil {
-			continue
-		}
-		if blk.Pages.Lo == blk.Pages.Hi {
-			blk.Pages = PageRange{Lo: idx, Hi: idx + 1}
-		} else if idx >= blk.Pages.Hi {
-			blk.Pages.Hi = idx + 1
-		}
+		s.notePages(blk, idx)
 	}
 	return s.remaining(), nil
+}
+
+// notePages extends blk's page provenance with idx for Range-restricted
+// scans (morsels — always contiguous); a circular StartPage scan can
+// wrap mid-block, so its blocks carry no provenance.
+func (s *ScanVec) notePages(blk *Block, idx int) {
+	if s.Range == nil {
+		return
+	}
+	if blk.Pages.Lo == blk.Pages.Hi {
+		blk.Pages = PageRange{Lo: idx, Hi: idx + 1}
+	} else if idx >= blk.Pages.Hi {
+		blk.Pages.Hi = idx + 1
+	}
 }
 
 // scanPage decodes one heap page into blk with batched tracing: the page
@@ -571,7 +682,10 @@ func (s *ScanVec) scanPage(ctx *Ctx, idx int, blk *Block) error {
 			// Native full-row scan: bulk-copy the page's tuples straight
 			// into the block, skipping the per-tuple visit dispatch. Row
 			// order (slot order) is identical to the visiting path.
-			k := sp.CopyTuples(blk.buf[blk.n*blk.rowW:], blk.rowW)
+			k, cerr := sp.CopyTuples(blk.buf[blk.n*blk.rowW:], blk.rowW)
+			if cerr != nil {
+				return cerr
+			}
 			blk.n += k
 			nrows = k
 		} else if s.cp != nil {
@@ -741,6 +855,9 @@ func (s *ScanVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 		}
 		s.blk = NewBlock(ctx.Work, capRows, s.out.RowWidth())
 	}
+	if s.borrowing(ctx) {
+		return s.nextBorrowed(ctx)
+	}
 	for {
 		s.blk.Reset()
 		more, err := s.FillBlock(ctx, s.blk)
@@ -753,6 +870,122 @@ func (s *ScanVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 		if !more {
 			return nil, false, nil
 		}
+	}
+}
+
+// borrowing reports whether this scan emits borrowed zero-copy blocks
+// under ctx: native execution (nil Recorder), Borrow requested, the
+// compiled path, and a shape the alias fast path supports.
+func (s *ScanVec) borrowing(ctx *Ctx) bool {
+	return s.Borrow && !s.Interpret && ctx.Rec == nil && s.canBorrow
+}
+
+// nextBorrowed emits page-at-a-time borrowed blocks: each clean page is
+// aliased in place, the block pinning the page via a buffer-pool lease
+// released on the block's Reset or final ring Release; pages the alias
+// check rejects are decoded through the copy path, one page per block.
+// NSM spans hold tuples in reverse slot order, so borrowed NSM blocks
+// carry a reversing selection vector — live order equals slot order,
+// keeping results byte-identical with the copy path.
+func (s *ScanVec) nextBorrowed(ctx *Ctx) (*Block, bool, error) {
+	blk := s.blk
+	for {
+		blk.Reset() // releases the previous page's lease, if any
+		idx, ok := s.nextPageIdx()
+		if !ok {
+			return nil, false, nil
+		}
+		aliased, err := s.aliasPage(ctx, idx, blk)
+		if err != nil {
+			return nil, false, err
+		}
+		if !aliased {
+			if err := s.scanPage(ctx, idx, blk); err != nil {
+				return nil, false, err
+			}
+		}
+		if blk.Live() == 0 {
+			continue // page empty or fully filtered; next Reset drops its pin
+		}
+		s.notePages(blk, idx)
+		return blk, true, nil
+	}
+}
+
+// aliasPage tries to alias page idx into blk zero-copy, reporting false
+// (no error) when the page must take the copy path instead: the heap
+// has been written since Open, the NSM page is fragmented or not purely
+// fixed-width, or the page is empty. On success blk borrows the page
+// span and holds its lease.
+func (s *ScanVec) aliasPage(ctx *Ctx, idx int, blk *Block) (bool, error) {
+	h := s.Table.Heap
+	if h.Version() != s.ver {
+		return false, nil
+	}
+	lease, err := ctx.DB.Pool.Lease(ctx.Rec, h.PageAt(idx))
+	if err != nil {
+		return false, err
+	}
+	ref := lease.Page()
+	h.RLatch()
+	if h.Layout() == storage.NSM {
+		sp := storage.AsSlotted(ref.Data, ref.Addr)
+		off, n, ok := sp.TupleSpan(blk.rowW)
+		h.RUnlatch()
+		if !ok {
+			lease.Release()
+			return false, nil
+		}
+		blk.Borrow(ref.Data[off:off+n*blk.rowW], ref.Addr+mem.Addr(off), n, lease.Release)
+		if s.cp != nil && s.cp.Len() > 0 {
+			// Evaluate the scan predicates densely over the span (the
+			// ascending monomorphic kernels) and reverse the survivors:
+			// reversed ascending physical order is exactly slot order.
+			sel := s.cp.SelectDense(blk.buf, blk.rowW, n, s.revsel[:0])
+			reverseSelInPlace(sel)
+			s.revsel = sel[:0:cap(sel)]
+			blk.Sel = sel
+		} else {
+			blk.Sel = s.reverseSel(n)
+			blk.RevDense = true
+		}
+		return true, nil
+	}
+	px := storage.AsPAX(ref.Data, ref.Addr, s.Table.Schema.Widths())
+	n := px.N()
+	c := s.Cols[0]
+	col := px.ColumnBytes(c)
+	addr := px.FieldAddr(0, c)
+	h.RUnlatch()
+	if n == 0 {
+		lease.Release()
+		return false, nil
+	}
+	blk.Borrow(col, addr, n, lease.Release)
+	return true, nil
+}
+
+// reverseSel returns [n-1 ... 0] backed by the scan's scratch: NSM pages
+// store slot s at PageSize-(s+1)*rowW, so an aliased span's physical
+// order is the reverse of slot order.
+func (s *ScanVec) reverseSel(n int) []int32 {
+	if cap(s.revsel) < n {
+		s.revsel = make([]int32, n)
+	}
+	sel := s.revsel[:n]
+	for i := range sel {
+		sel[i] = int32(n - 1 - i)
+	}
+	return sel
+}
+
+// reverseSelInPlace flips a selection vector end-for-end. Dense predicate
+// kernels over a borrowed NSM span produce survivors in ascending
+// physical order; reversing them restores slot order, which is the order
+// the copy path emits.
+func reverseSelInPlace(sel []int32) {
+	for l, r := 0, len(sel)-1; l < r; l, r = l+1, r-1 {
+		sel[l], sel[r] = sel[r], sel[l]
 	}
 }
 
@@ -878,6 +1111,13 @@ func (f *FilterVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 func (f *FilterVec) selectInto(cs Schema, in *Block) (*Block, bool) {
 	sel := f.sel[:0]
 	switch {
+	case f.cp != nil && in.RevDense:
+		// Borrowed NSM span whose selection is the pure reversal: run the
+		// conjunction densely over the whole span (ascending monomorphic
+		// kernels, no indexed refine) and reverse the survivors — slot
+		// order again, byte-identical emission to the copy path.
+		sel = f.cp.SelectDense(in.buf, in.rowW, in.N(), sel)
+		reverseSelInPlace(sel)
 	case f.cp != nil && in.Sel != nil:
 		// A stacked native filter: copy the upstream selection (its
 		// backing array belongs to the upstream filter) and refine ours
@@ -901,6 +1141,7 @@ func (f *FilterVec) selectInto(cs Schema, in *Block) (*Block, bool) {
 		}
 	}
 	f.sel = sel
+	in.RevDense = false // in.Sel no longer the pure reversal (if it ever was)
 	if len(sel) == 0 {
 		in.Sel = nil
 		return nil, false
@@ -1037,11 +1278,17 @@ type HashAggVec struct {
 	// (default 1024 groups); plans pass it so the table never rehashes—
 	// it is allocated once at roughly twice the expected group count.
 	Expected int
+	// Interpret disables the compiled group-key kernel, keeping the
+	// per-row groupBytes+hashBytes loops (the golden reference; the
+	// kernel computes bit-identical keys and hashes).
+	Interpret bool
 
 	inner   *HashAgg
 	blk     *Block
-	keys    []byte   // batch scratch: live rows' group keys, groupW each
-	hashes  []uint64 // batch scratch: live rows' group-key hashes
+	gk      GroupKernel
+	ak      []AggKernel // compiled per-agg update closures (native path)
+	keys    []byte      // batch scratch: live rows' group keys, groupW each
+	hashes  []uint64    // batch scratch: live rows' group-key hashes
 	results [][]byte
 	resIdx  int
 	code    mem.CodeSeg
@@ -1069,6 +1316,11 @@ func (a *HashAggVec) Schema() Schema { return a.agg().Schema() }
 func (a *HashAggVec) Open(ctx *Ctx) error {
 	in := a.agg()
 	cs := in.prepare(ctx)
+	a.gk, a.ak = nil, nil
+	if !a.Interpret {
+		a.gk = CompileGroupKernel(cs, in.offs, a.GroupCols)
+		a.ak = CompileAggKernels(cs, in.offs, a.Aggs)
+	}
 	a.code = ctx.DB.Codes.Register("op:hashaggvec", 2048)
 	a.results, a.resIdx = nil, 0
 	if err := a.Child.Open(ctx); err != nil {
@@ -1111,6 +1363,43 @@ func (a *HashAggVec) absorbBlock(ctx *Ctx, in *HashAgg, cs Schema, blk *Block) {
 		a.hashes = make([]uint64, live)
 	}
 	a.hashes = a.hashes[:live]
+	if a.gk != nil {
+		// Compiled path: one fused key-copy+hash pass over the block
+		// (Sel-aware), bit-identical to the per-row loops below.
+		a.gk(blk.buf, blk.rowW, blk.Sel, live, a.keys, a.hashes)
+		if ctx.Rec == nil && a.ak != nil {
+			// Native: inline group lookup (no per-entry callback) and the
+			// compiled per-agg update closures. Group insertion order and
+			// accumulator bits match the traced loop exactly.
+			for k := 0; k < live; k++ {
+				i := k
+				if blk.Sel != nil {
+					i = int(blk.Sel[k])
+				}
+				row := blk.RowAt(i)
+				gk := a.keys[k*gw : (k+1)*gw]
+				acc := in.findGroupNative(a.hashes[k], gk)
+				if acc == nil {
+					acc, _ = in.insertGroup(nil, a.hashes[k], gk)
+				}
+				acc = acc[in.groupW:]
+				for _, kern := range a.ak {
+					kern(row, acc)
+				}
+			}
+			return
+		}
+		if blk.Sel != nil {
+			for k, i := range blk.Sel {
+				in.absorbHashed(ctx, cs, a.keys[k*gw:(k+1)*gw], a.hashes[k], blk.RowAt(int(i)))
+			}
+			return
+		}
+		for k := 0; k < live; k++ {
+			in.absorbHashed(ctx, cs, a.keys[k*gw:(k+1)*gw], a.hashes[k], blk.RowAt(k))
+		}
+		return
+	}
 	if blk.Sel != nil {
 		for k, i := range blk.Sel {
 			gk := a.keys[k*gw : (k+1)*gw]
@@ -1186,6 +1475,11 @@ type HashJoinVec struct {
 	// pre-sized from (default 4096); plans pass it so a large build never
 	// degenerates into long chains.
 	Expected int
+	// Interpret disables the compiled key kernels and the whole-block
+	// build insert, keeping the per-row PR 8 loops (the golden
+	// reference; the kernels produce identical key bits and chain
+	// order).
+	Interpret bool
 
 	out      Schema
 	ht       *HashTable
@@ -1203,6 +1497,9 @@ type HashJoinVec struct {
 	probeBuckets []mem.Addr
 	keyOff       int
 	probeW       int
+	buildKernel  KeyKernel
+	probeKernel  KeyKernel
+	buildKeys    []uint64 // batch scratch: one build block's keys
 	code         mem.CodeSeg
 }
 
@@ -1225,6 +1522,11 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 
 	bOff := j.Build.Schema().Offsets()[j.BuildCol]
 	bWidth := j.Build.Schema().RowWidth()
+	j.buildKernel, j.probeKernel = nil, nil
+	if !j.Interpret {
+		j.buildKernel = CompileKeyKernel(j.Build.Schema()[j.BuildCol].Type, bOff)
+		j.probeKernel = CompileKeyKernel(j.Probe.Schema()[j.ProbeCol].Type, j.keyOff)
+	}
 	if err := j.Build.Open(ctx); err != nil {
 		return err
 	}
@@ -1244,6 +1546,13 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 		}
 		ctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecBuildCost)
 		blk.TraceRows(ctx.Rec)
+		if ctx.Rec == nil && j.buildKernel != nil {
+			// Native whole-block build: compiled key extraction feeding
+			// the table's batch insert. Chain order matches the per-row
+			// path exactly.
+			j.insertBatch(blk)
+			continue
+		}
 		if blk.Sel != nil {
 			for _, i := range blk.Sel {
 				row := blk.RowAt(int(i))
@@ -1312,10 +1621,17 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 		j.probeIdx++
 		j.curRow = j.probeBlk.RowAt(int(j.probeRows[k]))
 		j.pending = j.pending[:0]
-		j.ht.IterAt(ctx.Rec, j.probeBuckets[k], j.probeKeys[k], func(payload []byte, _ mem.Addr) bool {
-			j.pending = append(j.pending, payload)
-			return true
-		})
+		if ctx.Rec == nil && j.probeKernel != nil {
+			// Native: walk the chain inline — no per-entry callback, no
+			// trace bookkeeping. Chain order (and so emission order) is
+			// exactly IterAt's.
+			j.pending = j.ht.matchesNative(j.probeBuckets[k], j.probeKeys[k], j.pending)
+		} else {
+			j.ht.IterAt(ctx.Rec, j.probeBuckets[k], j.probeKeys[k], func(payload []byte, _ mem.Addr) bool {
+				j.pending = append(j.pending, payload)
+				return true
+			})
+		}
 		if len(j.pending) == 0 && j.Type == LeftOuter {
 			j.emit(nil)
 		}
@@ -1332,8 +1648,6 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 // identical to hashing inside the per-row loop.
 func (j *HashJoinVec) hashProbeBlock(blk *Block) {
 	j.probeRows = j.probeRows[:0]
-	j.probeKeys = j.probeKeys[:0]
-	j.probeBuckets = j.probeBuckets[:0]
 	if blk.Sel != nil {
 		j.probeRows = append(j.probeRows, blk.Sel...)
 	} else {
@@ -1341,11 +1655,39 @@ func (j *HashJoinVec) hashProbeBlock(blk *Block) {
 			j.probeRows = append(j.probeRows, int32(i))
 		}
 	}
+	if j.probeKernel != nil {
+		n := len(j.probeRows)
+		if cap(j.probeKeys) < n {
+			j.probeKeys = make([]uint64, n)
+		}
+		j.probeKeys = j.probeKeys[:n]
+		j.probeKernel(blk.buf, blk.rowW, j.probeRows, n, j.probeKeys)
+		j.probeBuckets = j.ht.BucketsOf(j.probeKeys, j.probeBuckets[:0])
+		return
+	}
+	j.probeKeys = j.probeKeys[:0]
+	j.probeBuckets = j.probeBuckets[:0]
 	for _, i := range j.probeRows {
 		key := uint64(RowInt(blk.RowAt(int(i)), j.keyOff))
 		j.probeKeys = append(j.probeKeys, key)
 		j.probeBuckets = append(j.probeBuckets, j.ht.BucketOf(key))
 	}
+}
+
+// insertBatch drains one native build block into the hash table: the
+// compiled key kernel extracts every live key, then InsertBatch pushes
+// the entries in row order.
+func (j *HashJoinVec) insertBatch(blk *Block) {
+	n := blk.Live()
+	if n == 0 {
+		return
+	}
+	if cap(j.buildKeys) < n {
+		j.buildKeys = make([]uint64, n)
+	}
+	keys := j.buildKeys[:n]
+	j.buildKernel(blk.buf, blk.rowW, blk.Sel, n, keys)
+	j.ht.InsertBatch(keys, blk.buf, blk.rowW, blk.Sel, n)
 }
 
 // MorselScanVec is ScanVec's morsel-driven form: workers sharing one
@@ -1362,6 +1704,9 @@ type MorselScanVec struct {
 	// Interpret forces the interpreted predicate path on the inner scan
 	// (the golden equivalence suite's reference).
 	Interpret bool
+	// Borrow enables zero-copy page aliasing on the inner scan (native
+	// fast path only; see ScanVec.Borrow).
+	Borrow bool
 
 	inner  *ScanVec
 	active bool
@@ -1370,7 +1715,7 @@ type MorselScanVec struct {
 // scan returns the reusable inner ScanVec.
 func (s *MorselScanVec) scan() *ScanVec {
 	if s.inner == nil {
-		s.inner = &ScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols, Interpret: s.Interpret}
+		s.inner = &ScanVec{Table: s.Table, Preds: s.Preds, Cols: s.Cols, Interpret: s.Interpret, Borrow: s.Borrow}
 	}
 	return s.inner
 }

@@ -86,6 +86,12 @@ func (a *Arena) Contains(addr Addr) bool {
 	return addr >= a.base && addr < a.base+Addr(len(a.buf))
 }
 
+// Raw returns the arena's whole backing store and its base address. The
+// backing is allocated once and never moves, so native hot loops (hash
+// chain walks) can resolve simulated addresses with one subtraction
+// instead of a bounds-checked Bytes call per access.
+func (a *Arena) Raw() ([]byte, Addr) { return a.buf, a.base }
+
 // Bytes returns the host-memory view of the n simulated bytes at addr.
 // The returned slice aliases the arena; writes through it are stores to
 // simulated memory.

@@ -33,7 +33,10 @@ type QueryRequest struct {
 	// worker counts; host wall-clock numbers ride back on the result's
 	// native section.
 	NativeWorkers []int `json:"native_workers,omitempty"`
-	Seed          int64 `json:"seed,omitempty"`
+	// ZeroCopy additionally measures each native worker count with
+	// borrowed page-aliasing scan blocks (copy vs borrow side by side).
+	ZeroCopy bool  `json:"zero_copy,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
 	// Async makes the server return 202 with a queued Job instead of
 	// blocking until the measurement completes.
 	Async bool `json:"async,omitempty"`
@@ -59,7 +62,8 @@ func (q QueryRequest) ToCore() (core.Request, error) {
 	return core.Request{
 		Mode: mode, Query: q.Query, Clients: q.Clients,
 		Workers: q.Workers, WorkerCounts: q.WorkerCounts,
-		NativeWorkers: q.NativeWorkers, Seed: q.Seed,
+		NativeWorkers: q.NativeWorkers, NativeZeroCopy: q.ZeroCopy,
+		Seed:  q.Seed,
 		Trace: q.Trace,
 	}, nil
 }
@@ -123,17 +127,23 @@ type Side struct {
 }
 
 // NativeRun is one native fast-path measurement on the wire: query
-// Query at Workers host workers, wall-clock timed (best of 3). Serial
-// digests are byte-comparable across interpreted and compiled points;
+// Query at Workers host workers, wall-clock timed (best of 50; median
+// and interquartile range record the spread). Serial digests are
+// byte-comparable across interpreted, compiled, and borrowed points;
 // multi-worker digests fingerprint the row count only (parallel float
 // sums agree up to addition order).
 type NativeRun struct {
 	Query       int     `json:"query"`
 	Workers     int     `json:"workers"`
 	Interpreted bool    `json:"interpreted,omitempty"`
+	Borrowed    bool    `json:"borrowed,omitempty"`
 	Rows        int     `json:"rows_scanned"`
 	Nanos       int64   `json:"nanos"`
+	MedianNanos int64   `json:"median_nanos"`
+	IQRNanos    int64   `json:"iqr_nanos"`
 	RowsPerSec  float64 `json:"rows_per_sec"`
+	Bytes       int     `json:"bytes_scanned"`
+	GBPerSec    float64 `json:"gb_per_sec"`
 	ResultRows  int     `json:"result_rows"`
 	Digest      string  `json:"digest"`
 }
@@ -203,8 +213,12 @@ func FromCore(res core.Result) Result {
 	}
 	for _, n := range res.Native {
 		out.Native = append(out.Native, NativeRun{
-			Query: n.Query, Workers: n.Workers, Interpreted: n.Interpreted,
-			Rows: n.Rows, Nanos: n.Nanos, RowsPerSec: n.RowsPerSec,
+			Query: n.Query, Workers: n.Workers,
+			Interpreted: n.Interpreted, Borrowed: n.Borrowed,
+			Rows: n.Rows, Nanos: n.Nanos,
+			MedianNanos: n.MedianNanos, IQRNanos: n.IQRNanos,
+			RowsPerSec: n.RowsPerSec,
+			Bytes:      n.BytesScanned, GBPerSec: n.GBPerSec,
 			ResultRows: n.ResultRows, Digest: Digest(n.Digest),
 		})
 	}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -43,6 +44,11 @@ type BufferPool struct {
 	tableCap  int
 
 	code mem.CodeSeg
+
+	// leases counts outstanding PageLease objects (not lease refcounts):
+	// the zero-copy leak check asserts this returns to zero after every
+	// equivalence suite.
+	leases atomic.Int64
 
 	// Counters (protected by mu).
 	Hits, Misses, Evictions uint64
@@ -99,6 +105,54 @@ func (r *PageRef) Release() {
 		r.pool.pins[r.fr]--
 	}
 	r.pool.mu.Unlock()
+}
+
+// PageLease is a refcounted pin on a page, held by zero-copy blocks that
+// alias the frame's bytes. The lease keeps the frame unevictable (via the
+// underlying pin) until every holder has released it; Retain/Release
+// compose with the Block ring protocol so a borrowed block shared across
+// consumers releases the page exactly once, when the last ref drops.
+type PageLease struct {
+	ref  *PageRef
+	refs atomic.Int32
+}
+
+// Lease pins page pid and wraps the pin in a refcounted lease (count 1).
+func (bp *BufferPool) Lease(rec *trace.Recorder, pid PageID) (*PageLease, error) {
+	ref, err := bp.Get(rec, pid)
+	if err != nil {
+		return nil, err
+	}
+	bp.leases.Add(1)
+	l := &PageLease{ref: ref}
+	l.refs.Store(1)
+	return l, nil
+}
+
+// Page returns the leased page.
+func (l *PageLease) Page() *PageRef { return l.ref }
+
+// Retain adds a holder.
+func (l *PageLease) Retain() { l.refs.Add(1) }
+
+// Release drops one holder; the final release unpins the page. Releasing
+// an already-dead lease panics — it means some block released its page
+// twice, exactly the lifetime bug the lease layer exists to catch.
+func (l *PageLease) Release() {
+	n := l.refs.Add(-1)
+	if n < 0 {
+		panic("storage: PageLease released more times than retained")
+	}
+	if n == 0 {
+		l.ref.pool.leases.Add(-1)
+		l.ref.Release()
+	}
+}
+
+// Leases returns the number of outstanding page leases — zero when every
+// borrowed block has been reset or recycled.
+func (bp *BufferPool) Leases() int {
+	return int(bp.leases.Load())
 }
 
 func (bp *BufferPool) tableEntryAddr(pid PageID) mem.Addr {

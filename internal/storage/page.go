@@ -144,9 +144,27 @@ func (p Slotted) ScanTuples(rec *trace.Recorder, visit func(slot int, tuple []by
 // untraced bulk companion to ScanTuples for the native fast path: the
 // caller traces (or skips tracing) the page read itself, and the
 // per-tuple work collapses to one slot-directory decode and one copy —
-// no callback dispatch.
-func (p Slotted) CopyTuples(dst []byte, stride int) int {
+// no callback dispatch. The destination must hold every live tuple and
+// every tuple must fit its stride slot; violations return a counted
+// error instead of silently truncating the tail.
+func (p Slotted) CopyTuples(dst []byte, stride int) (int, error) {
 	n := p.NumSlots()
+	live := 0
+	for s := 0; s < n; s++ {
+		so := p.slotOff(s)
+		ln := int(binary.LittleEndian.Uint16(p.data[so+2:]))
+		if ln == 0 {
+			continue
+		}
+		if ln > stride {
+			return 0, fmt.Errorf("storage: CopyTuples slot %d is %d bytes, exceeds stride %d", s, ln, stride)
+		}
+		live++
+	}
+	if need := live * stride; need > len(dst) {
+		return 0, fmt.Errorf("storage: CopyTuples needs %d bytes for %d live tuples (stride %d), dst holds %d",
+			need, live, stride, len(dst))
+	}
 	k := 0
 	for s := 0; s < n; s++ {
 		so := p.slotOff(s)
@@ -158,7 +176,36 @@ func (p Slotted) CopyTuples(dst []byte, stride int) int {
 		copy(dst[k*stride:k*stride+ln], p.data[off:off+ln])
 		k++
 	}
-	return k
+	return k, nil
+}
+
+// TupleSpan reports whether the page's live tuples form one dense,
+// stride-aligned span that a zero-copy block can alias directly: every
+// slot live, every tuple exactly stride bytes, slot s stored at
+// PageSize-(s+1)*stride (the layout pure fixed-width appends always
+// produce). On success it returns the span's start offset and tuple
+// count; tuples sit in *reverse* slot order within the span (appends grow
+// from the back), so the borrower must attach a reversing selection
+// vector to preserve slot order. Pages with deleted slots, variable
+// lengths, or relocated tuples report ok=false and take the copy path.
+func (p Slotted) TupleSpan(stride int) (off, n int, ok bool) {
+	n = p.NumSlots()
+	if n == 0 || stride <= 0 || stride > PageSize {
+		return 0, 0, false
+	}
+	// A slot entry is offset u16 | length u16, so the pure-append layout
+	// makes slot s's whole entry the constant PageSize-(s+1)*stride |
+	// stride<<16 — one descending u32 compare per slot instead of two
+	// u16 decodes and two comparisons.
+	want := uint32(PageSize-stride) | uint32(stride)<<16
+	dir := p.data[slottedHeader : slottedHeader+n*4]
+	for s := 0; s < n; s++ {
+		if binary.LittleEndian.Uint32(dir[s*4:]) != want {
+			return 0, 0, false
+		}
+		want -= uint32(stride)
+	}
+	return PageSize - n*stride, n, true
 }
 
 // TupleAddr returns the simulated address of slot's body (for callers that

@@ -1,0 +1,203 @@
+// Tests for the zero-copy storage primitives: TupleSpan's dense-span
+// detection (the gate every borrowed NSM page must pass), CopyTuples'
+// counted-error hardening, and the PageLease lifecycle — release exactly
+// once, refusal to evict a leased frame, and a panic on double release.
+
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// spanPage fills a fresh slotted page with as many stride-byte tuples as
+// fit (the pure-append layout TupleSpan recognizes) and returns the page
+// and tuple count. Tuple s's bytes are all byte(s+1).
+func spanPage(t *testing.T, stride int) (Slotted, []byte, int) {
+	t.Helper()
+	buf := make([]byte, PageSize)
+	p := AsSlotted(buf, 0)
+	p.Init()
+	n := 0
+	for {
+		tup := bytes.Repeat([]byte{byte(n + 1)}, stride)
+		if _, ok := p.Insert(nil, tup); !ok {
+			break
+		}
+		n++
+	}
+	if n < 3 {
+		t.Fatalf("page held only %d tuples of %d bytes", n, stride)
+	}
+	return p, buf, n
+}
+
+// TestTupleSpanPureAppendPage: a purely appended fixed-width page is one
+// dense span starting at PageSize-n*stride, with tuples in reverse slot
+// order (appends grow from the back).
+func TestTupleSpanPureAppendPage(t *testing.T) {
+	const stride = 64
+	p, buf, n := spanPage(t, stride)
+	off, cnt, ok := p.TupleSpan(stride)
+	if !ok {
+		t.Fatal("pure-append page rejected")
+	}
+	if cnt != n || off != PageSize-n*stride {
+		t.Fatalf("span off=%d n=%d, want off=%d n=%d", off, cnt, PageSize-n*stride, n)
+	}
+	span := buf[off:]
+	for s := 0; s < n; s++ {
+		row := span[(n-1-s)*stride : (n-s)*stride]
+		if row[0] != byte(s+1) || row[stride-1] != byte(s+1) {
+			t.Fatalf("slot %d not at span position %d", s, n-1-s)
+		}
+	}
+}
+
+// TestTupleSpanRejections: every shape the alias fast path cannot
+// represent — empty pages, mismatched strides, deleted slots, and
+// variable-length tuples — must fall back to the copy path (ok=false),
+// never return a wrong span.
+func TestTupleSpanRejections(t *testing.T) {
+	empty := AsSlotted(make([]byte, PageSize), 0)
+	empty.Init()
+	if _, _, ok := empty.TupleSpan(64); ok {
+		t.Fatal("empty page reported a span")
+	}
+
+	const stride = 64
+	p, _, _ := spanPage(t, stride)
+	for _, bad := range []int{0, -8, stride - 8, stride + 8, PageSize + 1} {
+		if _, _, ok := p.TupleSpan(bad); ok {
+			t.Fatalf("stride %d accepted on a %d-byte-tuple page", bad, stride)
+		}
+	}
+
+	deleted, _, _ := spanPage(t, stride)
+	deleted.Delete(nil, 3)
+	if _, _, ok := deleted.TupleSpan(stride); ok {
+		t.Fatal("page with a deleted slot reported a span")
+	}
+
+	varlen := AsSlotted(make([]byte, PageSize), 0)
+	varlen.Init()
+	varlen.Insert(nil, make([]byte, stride))
+	varlen.Insert(nil, make([]byte, stride/2))
+	varlen.Insert(nil, make([]byte, stride))
+	if _, _, ok := varlen.TupleSpan(stride); ok {
+		t.Fatal("variable-length page reported a span")
+	}
+}
+
+// TestCopyTuplesHardened: the native bulk copy skips deleted slots,
+// preserves slot order, and returns counted errors — instead of silent
+// truncation — when the destination is short or a tuple overflows its
+// stride slot.
+func TestCopyTuplesHardened(t *testing.T) {
+	const stride = 64
+	p, _, n := spanPage(t, stride)
+	p.Delete(nil, 2)
+	live := n - 1
+
+	dst := make([]byte, live*stride)
+	k, err := p.CopyTuples(dst, stride)
+	if err != nil || k != live {
+		t.Fatalf("CopyTuples = %d, %v; want %d live rows", k, err, live)
+	}
+	want := byte(1)
+	for r := 0; r < live; r++ {
+		if r == 2 {
+			want++ // slot 2 was deleted; slot order skips it
+		}
+		if dst[r*stride] != want {
+			t.Fatalf("row %d starts with %d, want %d", r, dst[r*stride], want)
+		}
+		want++
+	}
+
+	if _, err := p.CopyTuples(dst[:live*stride-1], stride); err == nil ||
+		!strings.Contains(err.Error(), "needs") {
+		t.Fatalf("short destination: err = %v, want counted size error", err)
+	}
+	if _, err := p.CopyTuples(dst, stride/2); err == nil ||
+		!strings.Contains(err.Error(), "exceeds stride") {
+		t.Fatalf("over-stride tuple: err = %v, want counted stride error", err)
+	}
+}
+
+// TestPageLeaseLifecycle: a lease counts as one outstanding lease no
+// matter how many holders retain it, the final release drops the pin and
+// the count, and releasing a dead lease panics — the exact double-free
+// the lease layer exists to catch.
+func TestPageLeaseLifecycle(t *testing.T) {
+	bp := testPool(t, 4)
+	ref, err := bp.NewPage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ref.ID
+	ref.Release()
+
+	l, err := bp.Lease(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Leases() != 1 {
+		t.Fatalf("Leases = %d after Lease, want 1", bp.Leases())
+	}
+	l.Retain()
+	l.Release()
+	if bp.Leases() != 1 {
+		t.Fatalf("Leases = %d with a holder remaining, want 1", bp.Leases())
+	}
+	l.Release()
+	if bp.Leases() != 0 {
+		t.Fatalf("Leases = %d after final release, want 0", bp.Leases())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release of a dead lease did not panic")
+		}
+	}()
+	l.Release()
+}
+
+// TestLeasedPageRefusesEviction: a leased frame is pinned — with every
+// frame leased, page allocation must fail rather than evict aliased
+// memory out from under a borrowed block; releasing one lease frees its
+// frame for reuse.
+func TestLeasedPageRefusesEviction(t *testing.T) {
+	bp := testPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 2; i++ {
+		ref, err := bp.NewPage(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ref.ID)
+		ref.Release()
+	}
+	la, err := bp.Lease(nil, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := bp.Lease(nil, ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.NewPage(nil); err == nil {
+		t.Fatal("NewPage evicted a leased frame")
+	}
+	la.Release()
+	ref, err := bp.NewPage(nil)
+	if err != nil {
+		t.Fatalf("NewPage after releasing a lease: %v", err)
+	}
+	ref.Release()
+	lb.Release()
+	if bp.Leases() != 0 {
+		t.Fatalf("Leases = %d at end, want 0", bp.Leases())
+	}
+}

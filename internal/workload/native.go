@@ -20,11 +20,15 @@ import (
 // NativeOpts selects the execution flavor of a native-shape plan.
 type NativeOpts struct {
 	// Interpret forces interpreted Pred.Eval instead of the compiled
-	// predicate closures.
+	// predicate closures and hash kernels.
 	Interpret bool
 	// Compact forces survivor compaction instead of selection-vector
 	// annotation. Interpret+Compact together is the slow-path reference.
 	Compact bool
+	// ZeroCopy enables borrowed (page-aliasing) scan blocks: clean pages
+	// are pinned and exposed in place instead of memmoved into the
+	// block's arena. Ignored on traced and Interpret runs.
+	ZeroCopy bool
 }
 
 // Q1Native is Q1 in its native fast-path shape: a predicate-free scan
@@ -40,6 +44,7 @@ func (h *TPCH) Q1Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engin
 					Table:     h.lineitem,
 					StartPage: h.scanOrigin(h.lineitem, p),
 					Interpret: o.Interpret,
+					Borrow:    o.ZeroCopy,
 				},
 				Preds:     preds,
 				Compact:   o.Compact,
@@ -52,6 +57,7 @@ func (h *TPCH) Q1Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engin
 		GroupCols: []int{0, 1},
 		Aggs:      aggs,
 		Expected:  8,
+		Interpret: o.Interpret,
 	}
 	return engine.Collect(ctx, &engine.Sort{Child: &engine.RowAdapter{Vec: plan}, Col: 0})
 }
@@ -68,6 +74,7 @@ func (h *TPCH) Q6Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engin
 					Table:     h.lineitem,
 					StartPage: h.scanOrigin(h.lineitem, p),
 					Interpret: o.Interpret,
+					Borrow:    o.ZeroCopy,
 				},
 				Preds:     preds,
 				Compact:   o.Compact,
@@ -80,6 +87,7 @@ func (h *TPCH) Q6Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engin
 		GroupCols: []int{0},
 		Aggs:      aggs,
 		Expected:  2,
+		Interpret: o.Interpret,
 	}
 	return engine.CollectVec(ctx, plan)
 }
@@ -87,26 +95,40 @@ func (h *TPCH) Q6Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engin
 // Q13Native is Q13 in its native fast-path shape: the orders filter
 // (~98% survivors) runs as a FilterVec whose selection-vector output
 // feeds the join build loop directly, and the join table is pre-sized
-// from the orders cardinality.
+// from the customer cardinality — the build keys are custkeys, so
+// distinct keys (not order entries) are what bucket count must cover;
+// sizing from orders would zero and probe an 8-16x larger bucket array
+// for the same chains.
 func (h *TPCH) Q13Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
 	os := h.orders.Schema
 	join := &engine.HashJoinVec{
-		Probe: &engine.ScanVec{Table: h.customer, Cols: []int{0}, Interpret: o.Interpret},
-		Build: &engine.FilterVec{
-			Child: &engine.ScanVec{
-				Table:     h.orders,
-				StartPage: h.scanOrigin(h.orders, p),
+		Probe: &engine.ScanVec{Table: h.customer, Cols: []int{0}, Interpret: o.Interpret, Borrow: o.ZeroCopy},
+		// The build side keeps only the two columns the rest of the plan
+		// reads (join key + the match tag's totalprice): entries, probe
+		// walks, and join-output rows move 16 bytes instead of a whole
+		// orders row — Q13 is memory-bound here at full scale.
+		Build: &engine.ProjectVec{
+			Child: &engine.FilterVec{
+				Child: &engine.ScanVec{
+					Table:     h.orders,
+					StartPage: h.scanOrigin(h.orders, p),
+					Interpret: o.Interpret,
+					Borrow:    o.ZeroCopy,
+				},
+				Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+				Compact:   o.Compact,
 				Interpret: o.Interpret,
 			},
-			Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
-			Compact:   o.Compact,
-			Interpret: o.Interpret,
+			Cols: []int{os.Col("o_custkey"), os.Col("o_totalprice")},
 		},
-		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
-		Type:     engine.LeftOuter,
-		Expected: h.nOrders,
+		ProbeCol: 0, BuildCol: 0,
+		Type:      engine.LeftOuter,
+		Expected:  h.nCustomers,
+		Interpret: o.Interpret,
 	}
-	return engine.Collect(ctx, h.q13TailVec(join))
+	// Join rows are custkey(8) ++ [o_custkey, o_totalprice]: the match
+	// tag's totalprice sits at byte 16, not the full-width plans' 24.
+	return engine.Collect(ctx, h.q13TailVecOpts(join, o.Interpret, 16))
 }
 
 // RunQueryNative executes query q (1, 6, or 13) in its native fast-path
@@ -132,6 +154,19 @@ func (h *TPCH) NativeRowsScanned(q int) int {
 		return h.Cfg.Lineitems
 	case 13:
 		return h.nCustomers + h.nOrders
+	}
+	return 0
+}
+
+// NativeBytesScanned returns the base-table bytes one native run of
+// query q reads — rows × row width summed over the scanned tables, the
+// numerator of the effective-GB/s figure the native bench reports.
+func (h *TPCH) NativeBytesScanned(q int) int {
+	switch q {
+	case 1, 6:
+		return h.Cfg.Lineitems * h.lineitem.Schema.RowWidth()
+	case 13:
+		return h.nCustomers*h.customer.Schema.RowWidth() + h.nOrders*h.orders.Schema.RowWidth()
 	}
 	return 0
 }

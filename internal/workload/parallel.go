@@ -19,6 +19,12 @@ import (
 // the gather context. Group keys and counts match Q1 exactly; float sums
 // agree up to addition order.
 func (h *TPCH) Q1Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	return h.Q1ParallelOpts(ctxs, p, NativeOpts{})
+}
+
+// Q1ParallelOpts is Q1Parallel with the native execution flavor exposed:
+// ZeroCopy makes each worker's morsel scan borrow clean pages in place.
+func (h *TPCH) Q1ParallelOpts(ctxs []*engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
 	if len(ctxs) == 0 {
 		return nil, fmt.Errorf("workload: Q1Parallel with no worker contexts")
 	}
@@ -28,10 +34,13 @@ func (h *TPCH) Q1Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, 
 		Ctxs: ctxs,
 		BuildVec: func(w int) engine.VecOp {
 			return &engine.MapVec{
-				Child: &engine.MorselScanVec{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
-				Out:   mapped,
-				Fn:    fn,
-				Cost:  18,
+				Child: &engine.MorselScanVec{
+					Table: h.lineitem, Preds: preds, Pool: pool, Worker: w,
+					Interpret: o.Interpret, Borrow: o.ZeroCopy,
+				},
+				Out:  mapped,
+				Fn:   fn,
+				Cost: 18,
 			}
 		},
 		GroupCols: []int{0, 1},
@@ -43,6 +52,11 @@ func (h *TPCH) Q1Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, 
 
 // Q6Parallel computes Q6's result with the morsel-driven executor.
 func (h *TPCH) Q6Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	return h.Q6ParallelOpts(ctxs, p, NativeOpts{})
+}
+
+// Q6ParallelOpts is Q6Parallel with the native execution flavor exposed.
+func (h *TPCH) Q6ParallelOpts(ctxs []*engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
 	if len(ctxs) == 0 {
 		return nil, fmt.Errorf("workload: Q6Parallel with no worker contexts")
 	}
@@ -52,10 +66,13 @@ func (h *TPCH) Q6Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, 
 		Ctxs: ctxs,
 		BuildVec: func(w int) engine.VecOp {
 			return &engine.MapVec{
-				Child: &engine.MorselScanVec{Table: h.lineitem, Preds: preds, Pool: pool, Worker: w},
-				Out:   mapped,
-				Fn:    fn,
-				Cost:  12,
+				Child: &engine.MorselScanVec{
+					Table: h.lineitem, Preds: preds, Pool: pool, Worker: w,
+					Interpret: o.Interpret, Borrow: o.ZeroCopy,
+				},
+				Out:  mapped,
+				Fn:   fn,
+				Cost: 12,
 			}
 		},
 		GroupCols: []int{0},
@@ -122,6 +139,14 @@ func (h *TPCH) OrdersPerCustomerParallel(ctxs []*engine.Ctx) (int, error) {
 // differ from the serial plan (join output arrives in worker order), so
 // cross-worker-count comparisons treat the result as a multiset.
 func (h *TPCH) Q13Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value, error) {
+	return h.Q13ParallelOpts(ctxs, p, NativeOpts{})
+}
+
+// Q13ParallelOpts is Q13Parallel with the native execution flavor
+// exposed: ZeroCopy makes both morsel scans borrow clean pages in place
+// (the join's build scatter and probe adapter are Sel-aware, so the
+// borrowed blocks' selection vectors flow through unchanged).
+func (h *TPCH) Q13ParallelOpts(ctxs []*engine.Ctx, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
 	if len(ctxs) == 0 {
 		return nil, fmt.Errorf("workload: Q13Parallel with no worker contexts")
 	}
@@ -131,32 +156,44 @@ func (h *TPCH) Q13Parallel(ctxs []*engine.Ctx, p QueryParams) ([][]engine.Value,
 	join := &engine.ParallelHashJoin{
 		Ctxs: ctxs,
 		ProbeSrcVec: func(w int) engine.VecOp {
-			return &engine.MorselScanVec{Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w}
+			return &engine.MorselScanVec{
+				Table: h.customer, Cols: []int{0}, Pool: probePool, Worker: w,
+				Interpret: o.Interpret, Borrow: o.ZeroCopy,
+			}
 		},
 		BuildSrcVec: func(w int) engine.VecOp {
 			return &engine.MorselScanVec{
-				Table:  h.orders,
-				Preds:  []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
-				Pool:   buildPool,
-				Worker: w,
+				Table:     h.orders,
+				Preds:     []engine.Pred{engine.PredInt(os.Col("o_special"), engine.EQ, 0)},
+				Pool:      buildPool,
+				Worker:    w,
+				Interpret: o.Interpret,
+				Borrow:    o.ZeroCopy,
 			}
 		},
 		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
 		Type: engine.LeftOuter,
 	}
-	return engine.Collect(ctxs[0], h.q13TailVec(&engine.VecAdapter{Child: join}))
+	return engine.Collect(ctxs[0], h.q13TailVecOpts(&engine.VecAdapter{Child: join}, o.Interpret, 8+16))
 }
 
 // RunQueryParallel executes the parallel variant of query q (1, 6, and
 // 13 have parallel plans) across the worker contexts.
 func (h *TPCH) RunQueryParallel(ctxs []*engine.Ctx, q int, p QueryParams) ([][]engine.Value, error) {
+	return h.RunQueryParallelNative(ctxs, q, p, NativeOpts{})
+}
+
+// RunQueryParallelNative is RunQueryParallel with the native execution
+// flavor exposed (the native sweep's parallel points run it with
+// ZeroCopy toggled both ways).
+func (h *TPCH) RunQueryParallelNative(ctxs []*engine.Ctx, q int, p QueryParams, o NativeOpts) ([][]engine.Value, error) {
 	switch q {
 	case 1:
-		return h.Q1Parallel(ctxs, p)
+		return h.Q1ParallelOpts(ctxs, p, o)
 	case 6:
-		return h.Q6Parallel(ctxs, p)
+		return h.Q6ParallelOpts(ctxs, p, o)
 	case 13:
-		return h.Q13Parallel(ctxs, p)
+		return h.Q13ParallelOpts(ctxs, p, o)
 	}
 	return nil, fmt.Errorf("workload: no parallel variant of query %d (have 1, 6, 13)", q)
 }

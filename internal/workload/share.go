@@ -106,15 +106,17 @@ func (h *TPCH) Q13Shared(ctx *engine.Ctx, p QueryParams, reg *share.Registry) ([
 	return rows, rd.StartPage(), err
 }
 
-// q13MapPieces returns the match-tagging transform both Q13 tails share:
-// a matched join row carries a real order (o_totalprice > 0); unmatched
-// outer rows are zero-filled.
-func (h *TPCH) q13MapPieces() (out engine.Schema, fn func(in, out []byte)) {
+// q13MapPieces returns the match-tagging transform every Q13 tail
+// shares: a matched join row carries a real order (o_totalprice > 0);
+// unmatched outer rows are zero-filled. tpOff is the totalprice byte
+// offset in the join-output row — 8+16 for the full-width orders build,
+// 8+8 for the native plan's projected [o_custkey, o_totalprice] build.
+func (h *TPCH) q13MapPieces(tpOff int) (out engine.Schema, fn func(in, out []byte)) {
 	out = engine.Schema{engine.Int("custkey"), engine.Int("matched")}
 	fn = func(in, o []byte) {
 		engine.PutRowInt(o, 0, engine.RowInt(in, 0))
 		matched := int64(0)
-		if engine.RowFloat(in, 8+16) > 0 {
+		if engine.RowFloat(in, tpOff) > 0 {
 			matched = 1
 		}
 		engine.PutRowInt(o, 8, matched)
@@ -126,7 +128,7 @@ func (h *TPCH) q13MapPieces() (out engine.Schema, fn func(in, out []byte)) {
 // matches, count orders per customer, then count customers per
 // order-count. Kept as the reference tail for Q13Row.
 func (h *TPCH) q13Tail(join engine.Op) engine.Op {
-	out, fn := h.q13MapPieces()
+	out, fn := h.q13MapPieces(8 + 16)
 	mapped := &engine.Map{Child: join, Out: out, Fn: fn, Cost: 10}
 	perCustomer := &engine.HashAgg{
 		Child:     mapped,
@@ -147,19 +149,29 @@ func (h *TPCH) q13Tail(join engine.Op) engine.Op {
 // serial-vectorized and shared-scan variants). Both aggregates absorb in
 // the same row order as the row tail, so results are byte-identical.
 func (h *TPCH) q13TailVec(join engine.VecOp) engine.Op {
-	out, fn := h.q13MapPieces()
+	return h.q13TailVecOpts(join, false, 8+16)
+}
+
+// q13TailVecOpts is q13TailVec with the aggregates' interpreted escape
+// hatch exposed (the native golden reference runs the tail without the
+// compiled group kernels too) and the join row's totalprice offset
+// parameterized (the native plan narrows the build side).
+func (h *TPCH) q13TailVecOpts(join engine.VecOp, interpret bool, tpOff int) engine.Op {
+	out, fn := h.q13MapPieces(tpOff)
 	mapped := &engine.MapVec{Child: join, Out: out, Fn: fn, Cost: 10}
 	perCustomer := &engine.HashAggVec{
 		Child:     mapped,
 		GroupCols: []int{0},
 		Aggs:      []engine.AggSpec{{Func: engine.Sum, Col: 1, Name: "c_count"}},
 		Expected:  h.nCustomers,
+		Interpret: interpret,
 	}
 	distribution := &engine.HashAggVec{
 		Child:     perCustomer,
 		GroupCols: []int{1},
 		Aggs:      []engine.AggSpec{{Func: engine.Count, Name: "custdist"}},
 		Expected:  64,
+		Interpret: interpret,
 	}
 	return &engine.Sort{Child: &engine.RowAdapter{Vec: distribution}, Col: 1, Desc: true}
 }

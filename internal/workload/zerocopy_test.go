@@ -1,0 +1,111 @@
+// Golden equivalence tests for zero-copy execution: borrowed
+// (page-aliasing) native plans must return byte-identical results to the
+// standard plans on both layouts, serial and morsel-parallel, and every
+// run must end with zero outstanding page leases — a leaked lease means
+// some borrowed block never released its pin.
+
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// leaseCheck fails the test when outstanding page leases survive a run.
+func leaseCheck(t *testing.T, h *TPCH, what string) {
+	t.Helper()
+	if n := h.DB.Pool.Leases(); n != 0 {
+		t.Fatalf("%s: %d page leases outstanding, want 0", what, n)
+	}
+}
+
+// TestZeroCopyGoldenSerial: on both layouts, the zero-copy native flavor
+// of Q1/Q6/Q13 is byte-identical to the standard vectorized plan, with
+// no lease leaked. NSM full-row scans and single-column PAX scans take
+// the alias fast path; shapes it rejects fall back to copying per page —
+// either way the rows must match exactly.
+func TestZeroCopyGoldenSerial(t *testing.T) {
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	for _, layout := range []storage.Layout{storage.NSM, storage.PAXLayout} {
+		h := vecTPCH(t, layout)
+		ctx := h.DB.NewCtx(nil, 61, 48<<20)
+		for _, q := range []int{1, 6, 13} {
+			ctx.Work.Reset()
+			want, err := h.RunQuery(ctx, q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("q%d/%v: empty reference result", q, layout)
+			}
+			ctx.Work.Reset()
+			got, err := h.RunQueryNative(ctx, q, p, NativeOpts{ZeroCopy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := layout.String() + "/q" + string(rune('0'+q)) + "/zero-copy"
+			exactRows(t, name, got, want)
+			leaseCheck(t, h, name)
+		}
+	}
+}
+
+// TestZeroCopyGoldenParallel: morsel-parallel zero-copy runs agree with
+// the serial zero-copy plan at every worker count (Q13 as a multiset —
+// parallel join arrival order is not deterministic), leaking no leases.
+func TestZeroCopyGoldenParallel(t *testing.T) {
+	h := vecTPCH(t, storage.NSM)
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	serial := h.DB.NewCtx(nil, 62, 48<<20)
+	for _, q := range []int{1, 6, 13} {
+		serial.Work.Reset()
+		want, err := h.RunQueryNative(serial, q, p, NativeOpts{ZeroCopy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q == 13 {
+			want = canonRows(want)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			got, err := h.RunQueryParallelNative(nativeWorkerCtxs(h, workers), q, p, NativeOpts{ZeroCopy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q == 13 {
+				got = canonRows(got)
+			}
+			sameRows(t, "zero-copy-parallel", got, want)
+			leaseCheck(t, h, "zero-copy-parallel")
+		}
+	}
+}
+
+// TestZeroCopyParallelRaceHammer repeatedly drives 8-worker zero-copy
+// parallel plans so `go test -race` can watch borrowed blocks cross the
+// morsel pool, the partitioned join, and the recycle rings; every
+// iteration must end lease-clean.
+func TestZeroCopyParallelRaceHammer(t *testing.T) {
+	h := vecTPCH(t, storage.NSM)
+	p := QueryParams{Date: 2000, Discount: 0.05, Quantity: 30}
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	ctxs := nativeWorkerCtxs(h, 8)
+	for i := 0; i < iters; i++ {
+		for _, q := range []int{1, 6, 13} {
+			for _, c := range ctxs {
+				c.Work.Reset()
+			}
+			rows, err := h.RunQueryParallelNative(ctxs, q, p, NativeOpts{ZeroCopy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("iter %d q%d: empty result", i, q)
+			}
+			leaseCheck(t, h, "race-hammer")
+		}
+	}
+}
