@@ -45,7 +45,10 @@ bench-oltp-mt:
 # selection vectors must beat the interpreted path >= 1.5x, the
 # zero-copy (page-aliasing) path >= 1.9x over interpreted and >= 1.25x
 # over copying; Q13's compiled join kernels over borrowed scans must
-# beat interpreted >= 1.3x; 4 workers must scale >= 2.5x over 1 when the
+# beat interpreted >= 1.3x; the partitioned and prefetch join modes
+# must each beat the chained native path >= 1.15x (best-of-3, digests
+# byte-identical across modes) and simulated Q13 must show a strictly
+# lower partitioned D-stall fraction; 4 workers must scale >= 2.5x over 1 when the
 # host actually has 4 CPUs (the scaling assertion is skipped on smaller
 # runners — a 1-CPU container cannot express parallel speedup). The gate
 # appends a benchstat-style copy-vs-borrow summary to bench-native.txt
@@ -58,10 +61,11 @@ bench-native:
 # vs interpreted, copy vs zero-copy, worker scaling, median+IQR and
 # effective GB/s per point), rows/sec + simulated vectorized/row
 # speedups for scan, aggregate, join, plus the staged-OLTP comparison and
-# the partitioned-OLTP scaling sweep, into BENCH_pr9.json (archived as a
-# CI artifact so later PRs can diff executor performance).
+# the partitioned-OLTP scaling sweep, plus the Q13 join-mode points
+# (schema v7), into BENCH_pr10.json (archived as a CI artifact so later
+# PRs can diff executor performance).
 bench-json:
-	$(GO) run ./cmd/benchjson -pr pr9-zerocopy -out BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -pr pr10-joinmodes -out BENCH_pr10.json
 
 # Run the execution server on :8080 (POST /v1/query, POST /v1/txn,
 # GET /v1/jobs/{id}, GET /healthz, GET /metrics).

@@ -20,9 +20,29 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// toPoint converts one sweep measurement to its report form. The auto
+// join mode is recorded as absence — only pinned modes are interesting.
+func toPoint(n core.NativeRun) nativePoint {
+	pt := nativePoint{
+		Query: n.Query, Workers: n.Workers,
+		Interpreted: n.Interpreted, Borrowed: n.Borrowed,
+		RowsScanned: n.Rows, ElapsedSec: float64(n.Nanos) / 1e9,
+		MedianSec: float64(n.MedianNanos) / 1e9, IQRSec: float64(n.IQRNanos) / 1e9,
+		RowsPerSec:   n.RowsPerSec,
+		BytesScanned: n.BytesScanned, GBPerSec: n.GBPerSec,
+		ResultRows: n.ResultRows,
+		Digest:     fmt.Sprintf("%016x", n.Digest),
+	}
+	if n.JoinMode != "" && n.JoinMode != "auto" {
+		pt.JoinMode = n.JoinMode
+	}
+	return pt
+}
 
 // simEntry is one simulated vectorized-vs-row measurement.
 type simEntry struct {
@@ -133,6 +153,26 @@ type nativePoint struct {
 	CompiledX float64 `json:"compiled_vs_interpreted_x,omitempty"`
 	ScalingX  float64 `json:"scaling_vs_1worker_x,omitempty"`
 	BorrowX   float64 `json:"borrow_vs_copy_x,omitempty"`
+	// JoinMode is the hash-join strategy the point pinned (chained,
+	// partitioned, prefetch); empty for non-join sweeps and the auto
+	// policy.
+	JoinMode string `json:"join_mode,omitempty"`
+}
+
+// joinModeSection is the Q13 join-mode comparison: one point per mode ×
+// copy/borrow flavor at one worker, the borrowed-flavor speedups of the
+// cache-conscious modes over the chained table, and the simulated
+// D-stall (L2+mem) fraction of busy cycles per mode — the paper's
+// stall-taxonomy view of what partitioning buys.
+type joinModeSection struct {
+	Query        int           `json:"query"`
+	Points       []nativePoint `json:"points"`
+	PartitionedX float64       `json:"partitioned_vs_chained_x"`
+	PrefetchX    float64       `json:"prefetch_vs_chained_x"`
+	// SimDStallFrac maps join mode to the simulated D-stall fraction;
+	// SimStalls carries the full core.Stalls breakdown per mode.
+	SimDStallFrac map[string]float64     `json:"sim_dstall_frac"`
+	SimStalls     map[string]core.Stalls `json:"sim_stalls"`
 }
 
 // nativeSection is the native fast-path sweep: every query × worker
@@ -152,11 +192,15 @@ type nativeSection struct {
 // v6 adds the zero-copy (borrowed) flavor per sweep point, median/IQR of
 // the 50 timed runs, and effective scan bandwidth (bytes_scanned,
 // gb_per_sec).
+// v7 adds join_mode on native points and the q13_join_modes section:
+// per-join-mode Q13 points, partitioned/prefetch-vs-chained ratios, and
+// the simulated D-stall fraction per mode.
 type report struct {
 	Version     int             `json:"version"`
 	PR          string          `json:"pr"`
 	Scale       string          `json:"scale"`
 	NativeFast  nativeSection   `json:"native"`
+	JoinModes   joinModeSection `json:"q13_join_modes"`
 	Native      []nativeEntry   `json:"native_q6"`
 	Simulated   []simEntry      `json:"simulated"`
 	OLTP        []oltpEntry     `json:"oltp_staged"`
@@ -174,7 +218,7 @@ func main() {
 
 	r := core.NewRunner(core.TestScale())
 	bg := context.Background()
-	rep := report{Version: 6, PR: *pr, Scale: "test"}
+	rep := report{Version: 7, PR: *pr, Scale: "test"}
 
 	// Native fast path: the compiled+selection sweep over every native
 	// query at 1/2/4 workers, led by the interpreted reference, each
@@ -199,16 +243,7 @@ func main() {
 			}
 		}
 		for _, n := range runs {
-			pt := nativePoint{
-				Query: n.Query, Workers: n.Workers,
-				Interpreted: n.Interpreted, Borrowed: n.Borrowed,
-				RowsScanned: n.Rows, ElapsedSec: float64(n.Nanos) / 1e9,
-				MedianSec: float64(n.MedianNanos) / 1e9, IQRSec: float64(n.IQRNanos) / 1e9,
-				RowsPerSec:   n.RowsPerSec,
-				BytesScanned: n.BytesScanned, GBPerSec: n.GBPerSec,
-				ResultRows: n.ResultRows,
-				Digest:     fmt.Sprintf("%016x", n.Digest),
-			}
+			pt := toPoint(n)
 			if !n.Interpreted && n.Workers == 1 && interp.Nanos > 0 {
 				pt.CompiledX = float64(interp.Nanos) / float64(n.Nanos)
 			}
@@ -221,6 +256,48 @@ func main() {
 				}
 			}
 			rep.NativeFast.Points = append(rep.NativeFast.Points, pt)
+		}
+	}
+
+	// Q13 join modes: the three strategies measured side by side at one
+	// worker (copy and borrowed flavors), plus the simulated stall
+	// taxonomy per mode — digests are byte-identical across modes by the
+	// golden suite, so these points differ only in how fast they arrive.
+	jmModes := []engine.JoinMode{engine.JoinChained, engine.JoinPartitioned, engine.JoinPrefetch}
+	jmRuns, err := r.RunNativeDSS(13, []int{1}, 7, true, jmModes...)
+	if err != nil {
+		fatal(err)
+	}
+	rep.JoinModes = joinModeSection{
+		Query:         13,
+		SimDStallFrac: map[string]float64{},
+		SimStalls:     map[string]core.Stalls{},
+	}
+	borrowed := map[string]core.NativeRun{}
+	for _, n := range jmRuns[1:] {
+		rep.JoinModes.Points = append(rep.JoinModes.Points, toPoint(n))
+		if n.Borrowed {
+			borrowed[n.JoinMode] = n
+		}
+	}
+	if ch := borrowed["chained"]; ch.Nanos > 0 {
+		if pa := borrowed["partitioned"]; pa.Nanos > 0 {
+			rep.JoinModes.PartitionedX = float64(ch.Nanos) / float64(pa.Nanos)
+		}
+		if pf := borrowed["prefetch"]; pf.Nanos > 0 {
+			rep.JoinModes.PrefetchX = float64(ch.Nanos) / float64(pf.Nanos)
+		}
+	}
+	vecCell := core.DefaultModeCell(core.ModeVecDSS, sim.FatCamp)
+	for _, m := range jmModes {
+		res, err := r.RunVecDSS(vecCell, 13, true, 7, m)
+		if err != nil {
+			fatal(err)
+		}
+		s := core.StallsOf(res.Result)
+		rep.JoinModes.SimStalls[m.String()] = s
+		if s.Busy > 0 {
+			rep.JoinModes.SimDStallFrac[m.String()] = float64(s.DStallL2+s.DStallMem) / float64(s.Busy)
 		}
 	}
 
@@ -366,6 +443,11 @@ func main() {
 			extra += fmt.Sprintf("  %.2fx vs copy", p.BorrowX)
 		}
 		fmt.Printf("  native q%-2d %-11s x%d %12.0f rows/sec %5.1f GB/s%s\n", p.Query, tag, p.Workers, p.RowsPerSec, p.GBPerSec, extra)
+	}
+	fmt.Printf("  q13 join modes: partitioned %.2fx, prefetch %.2fx vs chained (zero-copy)\n",
+		rep.JoinModes.PartitionedX, rep.JoinModes.PrefetchX)
+	for _, m := range []string{"chained", "partitioned", "prefetch"} {
+		fmt.Printf("  q13 sim %-11s dstall frac %.4f\n", m, rep.JoinModes.SimDStallFrac[m])
 	}
 	for _, e := range rep.Simulated {
 		fmt.Printf("  %-15s %6.2fx simulated speedup (%d -> %d cycles)\n", e.Description, e.SpeedupX, e.RowCycles, e.VecCycles)

@@ -33,6 +33,11 @@ import (
 // delivery regime), for -trace-out.
 var collected []obs.Run
 
+// joinMetrics receives hash-join build observations (chain lengths,
+// partition fan-out) from every traced DSS run of this process, backed
+// by a private registry; printJoinStats renders it after joining runs.
+var joinMetrics = obs.NewJoinMetrics(obs.NewRegistry())
+
 func main() {
 	var opts cli.Options
 	opts.RegisterSim(flag.CommandLine)
@@ -44,6 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 	r := core.NewRunner(sc)
+	r.Join = joinMetrics
 
 	if mode, ok := opts.Mode(); ok {
 		req, err := opts.Request()
@@ -160,6 +166,31 @@ func printStallMix(indent string, s core.Side) {
 		(b.Frac(sim.KindIStallL2)+b.Frac(sim.KindIStallMem))*100,
 		(b.Frac(sim.KindDStallL2)+b.Frac(sim.KindDStallMem)+b.Frac(sim.KindDStallCoh))*100,
 		b.Frac(sim.KindOther)*100, b.Idle())
+	if st := s.Result.Cache; st.Prefetches > 0 {
+		fmt.Printf("%sprefetch: %d issued, %d demand hits, %d caught in flight\n",
+			indent, st.Prefetches, st.PrefetchHits, st.PrefetchLate)
+	}
+}
+
+// printJoinStats prints the hash-join build internals collected across
+// this process's traced runs — builds and partition fan-out by mode,
+// plus the bucket-chain length distribution — and is a no-op when the
+// run never built a join (Q1/Q6).
+func printJoinStats() {
+	h := joinMetrics.ChainLen
+	if h.Count() == 0 {
+		return
+	}
+	line := "  join builds:"
+	for _, mode := range []string{"chained", "partitioned", "prefetch"} {
+		if b := joinMetrics.Builds.With(mode).Value(); b > 0 {
+			p := joinMetrics.Partitions.With(mode).Value()
+			line += fmt.Sprintf("  %s x%d (fanout %.0f)", mode, b, float64(p)/float64(b))
+		}
+	}
+	fmt.Println(line)
+	fmt.Printf("  bucket chains: %d non-empty, mean length %.2f\n",
+		h.Count(), h.Sum()/float64(h.Count()))
 }
 
 // runParallel measures one query on the morsel-driven executor at 1 and
@@ -176,6 +207,7 @@ func runParallel(r *core.Runner, req core.Request) {
 		printStallMix("    ", p)
 	}
 	fmt.Printf("  speedup %dw over 1w: %.2fx\n", res.Main.Workers, res.SpeedupX)
+	printJoinStats()
 }
 
 // runVec measures one serial query on the row-at-a-time reference
@@ -197,6 +229,7 @@ func runVec(r *core.Runner, req core.Request) {
 	}
 	fmt.Printf("  vectorized speedup: %.2fx\n", res.SpeedupX)
 	fmt.Printf("  result digests: row %#x == vectorized %#x\n", res.Baseline.Digest, res.Main.Digest)
+	printJoinStats()
 }
 
 // runSteps measures the same deterministic transaction stream executed

@@ -58,7 +58,7 @@ func dispatch(opts *cli.Options) error {
 		return err
 	}
 	if len(counts) > 0 {
-		return runNative(opts.Lineitems, counts, opts.ZeroCopy)
+		return runNative(opts.Lineitems, counts, opts.ZeroCopy, opts.JoinMode)
 	}
 	if opts.Steps {
 		return runSteps(opts.Txns, opts.Cohort, opts.Parts, opts.Remote)
@@ -70,7 +70,13 @@ func dispatch(opts *cli.Options) error {
 // interpreted 1-worker reference first, then compiled predicates +
 // selection vectors at each requested worker count — each count twice
 // (copying, then borrowed page-aliasing blocks) when zeroCopy is set.
-func runNative(lineitems int, counts []int, zeroCopy bool) error {
+// On Q13 an empty joinMode measures the three hash-join strategies
+// (chained, partitioned, prefetch) side by side; a named mode pins it.
+func runNative(lineitems int, counts []int, zeroCopy bool, joinMode string) error {
+	jm, err := engine.ParseJoinMode(joinMode)
+	if err != nil {
+		return err
+	}
 	fmt.Println("== Native fast path: compiled predicates + selection vectors ==")
 	scale := core.FullScale()
 	scale.TPCH = workload.TPCHConfig{Lineitems: lineitems, ArenaBytes: 256 << 20}
@@ -83,18 +89,39 @@ func runNative(lineitems int, counts []int, zeroCopy bool) error {
 	fmt.Printf("loaded %d lineitem rows in %s\n", lineitems, time.Since(start).Truncate(time.Millisecond))
 
 	for _, q := range []int{1, 6, 13} {
-		runs, err := r.RunNativeDSS(q, counts, 7, zeroCopy)
+		var modes []engine.JoinMode
+		if q == 13 {
+			if joinMode == "" {
+				modes = []engine.JoinMode{engine.JoinChained, engine.JoinPartitioned, engine.JoinPrefetch}
+			} else {
+				modes = []engine.JoinMode{jm}
+			}
+		}
+		runs, err := r.RunNativeDSS(q, counts, 7, zeroCopy, modes...)
 		if err != nil {
 			return err
 		}
 		fmt.Println()
-		var ref, w1 core.NativeRun
+		var ref core.NativeRun
+		// Baselines for the ratio columns: the 1-worker copying point per
+		// join mode, and the chained point per (workers, flavor) pair.
+		w1 := map[string]core.NativeRun{}
+		chained := map[[2]int]int64{}
+		for _, n := range runs {
+			if n.JoinMode == engine.JoinChained.String() && !n.Interpreted {
+				b := 0
+				if n.Borrowed {
+					b = 1
+				}
+				chained[[2]int{n.Workers, b}] = n.Nanos
+			}
+		}
 		for _, n := range runs {
 			switch {
 			case n.Interpreted:
 				ref = n
 			case n.Workers == 1 && !n.Borrowed:
-				w1 = n
+				w1[n.JoinMode] = n
 			}
 			label := "compiled   "
 			switch {
@@ -103,18 +130,30 @@ func runNative(lineitems int, counts []int, zeroCopy bool) error {
 			case n.Borrowed:
 				label = "zero-copy  "
 			}
+			if len(modes) > 1 && !n.Interpreted {
+				label += fmt.Sprintf(" %-11s", n.JoinMode)
+			}
 			line := fmt.Sprintf("Q%-2d %s x%d: %6.1fM rows/s %5.1f GB/s (%d result rows, best of 50, median %s iqr %s)",
 				q, label, n.Workers, n.RowsPerSec/1e6, n.GBPerSec, n.ResultRows,
 				time.Duration(n.MedianNanos).Truncate(time.Microsecond),
 				time.Duration(n.IQRNanos).Truncate(time.Microsecond))
-			if !n.Interpreted && ref.Nanos > 0 && n.Workers == 1 {
+			if !n.Interpreted && ref.Nanos > 0 && n.Workers == 1 && !n.Borrowed {
 				line += fmt.Sprintf("  %.2fx vs interpreted", float64(ref.Nanos)/float64(n.Nanos))
 			}
-			if n.Borrowed && n.Workers == 1 && w1.Nanos > 0 {
-				line += fmt.Sprintf("  %.2fx vs copy", float64(w1.Nanos)/float64(n.Nanos))
+			if n.Borrowed && n.Workers == 1 && w1[n.JoinMode].Nanos > 0 {
+				line += fmt.Sprintf("  %.2fx vs copy", float64(w1[n.JoinMode].Nanos)/float64(n.Nanos))
 			}
-			if n.Workers > 1 && w1.Nanos > 0 {
-				line += fmt.Sprintf("  %.2fx vs x1", float64(w1.Nanos)/float64(n.Nanos))
+			if n.Workers > 1 && w1[n.JoinMode].Nanos > 0 {
+				line += fmt.Sprintf("  %.2fx vs x1", float64(w1[n.JoinMode].Nanos)/float64(n.Nanos))
+			}
+			if len(modes) > 1 && n.JoinMode != engine.JoinChained.String() && !n.Interpreted {
+				b := 0
+				if n.Borrowed {
+					b = 1
+				}
+				if base := chained[[2]int{n.Workers, b}]; base > 0 {
+					line += fmt.Sprintf("  %.2fx vs chained", float64(base)/float64(n.Nanos))
+				}
 			}
 			fmt.Println(line)
 		}

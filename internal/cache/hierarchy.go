@@ -119,6 +119,9 @@ type Stats struct {
 	Upgrades           uint64 // S->M invalidation rounds
 	PortQueueCycles    uint64 // total cycles spent queued on L2 ports
 	BackInvalidations  uint64 // inclusive-L2 evictions invalidating L1 lines
+	Prefetches         uint64 // software prefetches that started a fill
+	PrefetchHits       uint64 // demand loads fully covered by a prefetch
+	PrefetchLate       uint64 // demand loads that caught their prefetch in flight
 }
 
 // L2MissRate returns misses / (hits+misses), or 0 when idle.
@@ -136,6 +139,14 @@ type Result struct {
 	DoneAt uint64 // cycle at which the data is available
 }
 
+// pfFill is one software-prefetched line still in flight: the demand load
+// that catches it pays only the remaining latency, attributed to the level
+// the fill is coming from.
+type pfFill struct {
+	doneAt uint64
+	level  Level
+}
+
 // Hierarchy is the full simulated memory system.
 type Hierarchy struct {
 	cfg   Config
@@ -144,6 +155,7 @@ type Hierarchy struct {
 	l2    []*Cache // one entry when shared; per-core when private
 	sb    []*streamBuffer
 	ports []uint64 // next-free cycle per L2 port (shared-L2 contention)
+	pf    []map[mem.Addr]pfFill
 	Stats Stats
 }
 
@@ -161,6 +173,7 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		h.l1i = append(h.l1i, New(cfg.L1ISize, cfg.L1Assoc))
 		h.l1d = append(h.l1d, New(cfg.L1DSize, cfg.L1Assoc))
 		h.sb = append(h.sb, newStreamBuffer(cfg.StreamBufDepth))
+		h.pf = append(h.pf, make(map[mem.Addr]pfFill))
 	}
 	if cfg.SharedL2 {
 		h.l2 = []*Cache{New(cfg.L2Size, cfg.L2Assoc)}
@@ -242,6 +255,21 @@ func (h *Hierarchy) insertL1D(core int, line mem.Addr, st State) {
 // level and completion time.
 func (h *Hierarchy) Read(core int, a mem.Addr, now uint64) Result {
 	line := a.Line()
+	if m := h.pf[core]; len(m) != 0 {
+		if f, ok := m[line]; ok {
+			delete(m, line)
+			if f.doneAt > now {
+				// The demand load caught its prefetch in flight: it pays
+				// only the remaining latency, still attributed to the
+				// level the fill is coming from.
+				h.Stats.L1DHits++
+				h.Stats.PrefetchLate++
+				return Result{f.level, f.doneAt}
+			}
+			h.Stats.PrefetchHits++
+			// Completed fills fall through to the (now resident) L1 probe.
+		}
+	}
 	if h.l1d[core].Touch(line) != Invalid {
 		h.Stats.L1DHits++
 		return Result{LvlL1, now + uint64(h.cfg.L1Lat)}
@@ -316,6 +344,81 @@ func (h *Hierarchy) readSMP(core int, line mem.Addr, now uint64) Result {
 	h.insertL2(core, line, Exclusive)
 	h.insertL1D(core, line, Exclusive)
 	return Result{LvlMem, now + uint64(h.cfg.MemLat)}
+}
+
+// Prefetch starts a non-binding software prefetch of the line holding a.
+// An L1-resident line is a no-op (which makes prefetching already-hot data
+// cycle-free); otherwise the fill installs immediately and its completion
+// time is tracked so a demand Read that arrives early pays the remaining
+// latency. Prefetches consume L2 port bandwidth like any other access but
+// never count as demand misses.
+func (h *Hierarchy) Prefetch(core int, a mem.Addr, now uint64) {
+	line := a.Line()
+	if h.l1d[core].Touch(line) != Invalid {
+		return
+	}
+	if _, ok := h.pf[core][line]; ok {
+		return // already in flight
+	}
+	h.Stats.Prefetches++
+	var f pfFill
+	if h.cfg.SharedL2 {
+		f = h.prefetchCMP(core, line, now)
+	} else {
+		f = h.prefetchSMP(core, line, now)
+	}
+	h.pf[core][line] = f
+}
+
+func (h *Hierarchy) prefetchCMP(core int, line mem.Addr, now uint64) pfFill {
+	for i := range h.l1d {
+		if i == core {
+			continue
+		}
+		switch h.l1d[i].Probe(line) {
+		case Modified:
+			h.l1d[i].SetState(line, Shared)
+			h.l2[0].SetState(line, Modified)
+			h.insertL1D(core, line, Shared)
+			return pfFill{now + uint64(h.cfg.L1XferLat), LvlL2}
+		case Exclusive:
+			h.l1d[i].SetState(line, Shared)
+		}
+	}
+	delay := h.acquirePort(now)
+	if h.l2[0].Touch(line) != Invalid {
+		h.insertL1D(core, line, Shared)
+		return pfFill{now + delay + uint64(h.cfg.L2Lat), LvlL2}
+	}
+	h.insertL2(core, line, Exclusive)
+	h.insertL1D(core, line, Exclusive)
+	return pfFill{now + delay + uint64(h.cfg.MemLat), LvlMem}
+}
+
+func (h *Hierarchy) prefetchSMP(core int, line mem.Addr, now uint64) pfFill {
+	if h.l2[core].Touch(line) != Invalid {
+		h.insertL1D(core, line, Shared)
+		return pfFill{now + uint64(h.cfg.L2Lat), LvlL2}
+	}
+	for i := range h.l2 {
+		if i == core {
+			continue
+		}
+		switch h.l2[i].Probe(line) {
+		case Modified:
+			h.l2[i].SetState(line, Shared)
+			h.l1d[i].SetState(line, Shared)
+			h.insertL2(core, line, Shared)
+			h.insertL1D(core, line, Shared)
+			return pfFill{now + uint64(h.cfg.CohLat), LvlCoh}
+		case Exclusive:
+			h.l2[i].SetState(line, Shared)
+			h.l1d[i].SetState(line, Shared)
+		}
+	}
+	h.insertL2(core, line, Exclusive)
+	h.insertL1D(core, line, Exclusive)
+	return pfFill{now + uint64(h.cfg.MemLat), LvlMem}
 }
 
 // Write performs a data store by core at address a. Stores retire through

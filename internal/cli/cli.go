@@ -62,6 +62,10 @@ type Options struct {
 	// borrowed page-aliasing scan blocks (copy vs borrow side by side).
 	ZeroCopy bool
 
+	// JoinMode pins the hash-join strategy of joining plans (Q13):
+	// chained, partitioned, prefetch, or auto (the build-size policy).
+	JoinMode string
+
 	Lineitems int
 
 	fs *flag.FlagSet
@@ -91,6 +95,7 @@ func (o *Options) RegisterSim(fs *flag.FlagSet) {
 	fs.IntVar(&o.Warm, "warm", 400000, "functional-warming refs per thread")
 	fs.StringVar(&o.Scale, "scale", "full", "workload scale: full or test")
 	fs.StringVar(&o.TraceOut, "trace-out", "", "write executor-mode span traces (dual clock: simulated cycles + wall time) as Chrome trace-event JSON to this file (load in Perfetto)")
+	fs.StringVar(&o.JoinMode, "join-mode", "", "hash-join strategy for joining plans (Q13): chained, partitioned, prefetch, or auto (build-size policy)")
 }
 
 // RegisterNative binds the native driver's (cmd/dbshell) flag surface —
@@ -109,6 +114,7 @@ func (o *Options) RegisterNative(fs *flag.FlagSet) {
 	fs.IntVar(&o.Remote, "remote", 0, "with -steps: percent chance of remote-warehouse NewOrder lines / Payment customers (cross-partition transactions are fenced)")
 	fs.StringVar(&o.NativeWorkers, "native-workers", "", "comma-separated worker counts (e.g. 1,2,4): sweep the native fast path on Q1/Q6/Q13 — compiled predicates + selection vectors vs the interpreted reference, morsel-parallel at each count")
 	fs.BoolVar(&o.ZeroCopy, "zero-copy", false, "with -native-workers: also measure each count with borrowed page-aliasing scan blocks (zero-copy), recording the copy-vs-borrow pair side by side")
+	fs.StringVar(&o.JoinMode, "join-mode", "", "hash-join strategy for joining plans (Q13): chained, partitioned, prefetch, or auto (build-size policy); with -native-workers on Q13, an empty value measures all three side by side")
 	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 }
 
@@ -261,7 +267,7 @@ func (o *Options) Request() (core.Request, error) {
 	if err != nil {
 		return core.Request{}, err
 	}
-	req := core.Request{Mode: mode, Query: o.Query, Seed: 7, Cell: &cell, Trace: o.TraceOut != ""}
+	req := core.Request{Mode: mode, Query: o.Query, Seed: 7, Cell: &cell, Trace: o.TraceOut != "", JoinMode: o.JoinMode}
 	switch mode {
 	case core.ModeStagedOLTP:
 		req.Clients = o.Clients

@@ -99,6 +99,11 @@ type Request struct {
 	// borrowed page-aliasing scan blocks, recording the copy-vs-borrow
 	// pair side by side. Requires NativeWorkers.
 	NativeZeroCopy bool
+	// JoinMode pins the hash-join strategy of joining plans (Q13):
+	// "chained", "partitioned", "prefetch", or ""/"auto" for the
+	// build-size policy. Applies to both the traced runs and the native
+	// sweep.
+	JoinMode string
 	// Seed drives every deterministic input stream. Default 7.
 	Seed int64
 	// Cell overrides the chip geometry; nil picks DefaultModeCell on the
@@ -216,6 +221,9 @@ func (q Request) Validate() error {
 	if q.NativeZeroCopy && len(q.NativeWorkers) == 0 {
 		return &ValidationError{Field: "native_zero_copy", Reason: "zero-copy native measurement needs native_workers"}
 	}
+	if _, err := engine.ParseJoinMode(q.JoinMode); err != nil {
+		return &ValidationError{Field: "join_mode", Reason: err.Error()}
+	}
 	if q.Mode == ModeStagedOLTP {
 		o := q.stagedOpts(q.Parts)
 		if err := o.Validate(); err != nil {
@@ -228,6 +236,14 @@ func (q Request) Validate() error {
 		}
 	}
 	return nil
+}
+
+// joinMode returns the request's parsed hash-join strategy (Validate has
+// already rejected unparseable values; a bad string here degrades to
+// auto).
+func (q Request) joinMode() engine.JoinMode {
+	m, _ := engine.ParseJoinMode(q.JoinMode)
+	return m
 }
 
 // stagedOpts maps the request onto the staged-OLTP option block at one
@@ -395,7 +411,7 @@ func (r *Runner) Run(ctx context.Context, req Request) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		native, err := r.RunNativeDSS(req.Query, req.NativeWorkers, req.Seed, req.NativeZeroCopy)
+		native, err := r.RunNativeDSS(req.Query, req.NativeWorkers, req.Seed, req.NativeZeroCopy, req.joinMode())
 		if err != nil {
 			return Result{}, err
 		}
@@ -414,11 +430,11 @@ func (r *Runner) runVecPair(ctx context.Context, req Request, res *Result) error
 		if err := ctx.Err(); err != nil {
 			return VecDSSResult{}, err
 		}
-		best, err := r.RunVecDSS(*req.Cell, req.Query, vectorized, req.Seed)
+		best, err := r.RunVecDSS(*req.Cell, req.Query, vectorized, req.Seed, req.joinMode())
 		if err != nil {
 			return best, err
 		}
-		again, err := r.RunVecDSS(*req.Cell, req.Query, vectorized, req.Seed)
+		again, err := r.RunVecDSS(*req.Cell, req.Query, vectorized, req.Seed, req.joinMode())
 		if err != nil {
 			return best, err
 		}
@@ -525,11 +541,11 @@ func (r *Runner) runParallelSweep(ctx context.Context, req Request, res *Result)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		best, err := r.RunParallelDSS(cell, req.Query, n, req.Seed)
+		best, err := r.RunParallelDSS(cell, req.Query, n, req.Seed, req.joinMode())
 		if err != nil {
 			return err
 		}
-		again, err := r.RunParallelDSS(cell, req.Query, n, req.Seed)
+		again, err := r.RunParallelDSS(cell, req.Query, n, req.Seed, req.joinMode())
 		if err != nil {
 			return err
 		}

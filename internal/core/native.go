@@ -35,6 +35,10 @@ type NativeRun struct {
 	// Borrowed marks a zero-copy point: scans alias buffer-pool pages
 	// (borrowed blocks) instead of memmoving tuples into the arena.
 	Borrowed bool
+	// JoinMode is the hash-join strategy this point requested ("auto",
+	// "chained", "partitioned", "prefetch"); only Q13 joins, so other
+	// queries always record "auto".
+	JoinMode string
 	// Rows is base-table rows scanned per run; Nanos the best wall time.
 	Rows  int
 	Nanos int64
@@ -64,10 +68,14 @@ const nativeWorkBytes = 64 << 20
 // by the interpreted single-worker reference. With zeroCopy set, each
 // worker count is measured twice — once on the copying fast path, once
 // with borrowed page-aliasing blocks — so the sweep records the
-// copy-vs-borrow pair side by side. Worker counts beyond the host's
+// copy-vs-borrow pair side by side. Optional join modes multiply the
+// points of a joining query (Q13): each listed mode is measured at every
+// (workers, flavor) combination, so chained, partitioned, and prefetch
+// probing can be compared on identical inputs; non-joining queries
+// collapse the list to one point. Worker counts beyond the host's
 // cores still run (goroutines share cores); their scaling numbers just
 // reflect the hardware they got.
-func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64, zeroCopy bool) ([]NativeRun, error) {
+func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64, zeroCopy bool, modes ...engine.JoinMode) ([]NativeRun, error) {
 	if q != 1 && q != 6 && q != 13 {
 		return nil, fmt.Errorf("core: native DSS query %d (have 1, 6, 13)", q)
 	}
@@ -128,7 +136,8 @@ func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64, zeroCopy bo
 	point := func(workers int, interpreted, borrowed bool, rows [][]engine.Value, best, median, iqr int64) NativeRun {
 		n := NativeRun{
 			Query: q, Workers: workers, Interpreted: interpreted, Borrowed: borrowed,
-			Rows: scanned, Nanos: best, MedianNanos: median, IQRNanos: iqr,
+			JoinMode: engine.JoinAuto.String(),
+			Rows:     scanned, Nanos: best, MedianNanos: median, IQRNanos: iqr,
 			BytesScanned: scannedBytes, ResultRows: len(rows),
 		}
 		if best > 0 {
@@ -154,6 +163,10 @@ func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64, zeroCopy bo
 		}
 	}
 
+	if len(modes) == 0 || q != 13 {
+		modes = []engine.JoinMode{engine.JoinAuto}
+	}
+
 	var out []NativeRun
 	rows, best, median, iqr, err := measure(func() ([][]engine.Value, error) {
 		return h.RunQueryNative(ctxs[0], q, p, workload.NativeOpts{Interpret: true, Compact: true})
@@ -169,12 +182,16 @@ func (r *Runner) RunNativeDSS(q int, workerCounts []int, seed int64, zeroCopy bo
 	}
 	for _, w := range workerCounts {
 		for _, borrow := range flavors {
-			run := runPoint(w, workload.NativeOpts{ZeroCopy: borrow})
-			rows, best, median, iqr, err := measure(run)
-			if err != nil {
-				return nil, fmt.Errorf("core: native q%d workers=%d zero_copy=%v: %w", q, w, borrow, err)
+			for _, m := range modes {
+				run := runPoint(w, workload.NativeOpts{ZeroCopy: borrow, JoinMode: m})
+				rows, best, median, iqr, err := measure(run)
+				if err != nil {
+					return nil, fmt.Errorf("core: native q%d workers=%d zero_copy=%v join=%s: %w", q, w, borrow, m, err)
+				}
+				pt := point(w, false, borrow, rows, best, median, iqr)
+				pt.JoinMode = m.String()
+				out = append(out, pt)
 			}
-			out = append(out, point(w, false, borrow, rows, best, median, iqr))
 		}
 	}
 	// Borrowed blocks pin buffer-pool pages for their lifetime; a sweep

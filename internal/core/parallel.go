@@ -48,7 +48,9 @@ type ParallelDSSResult struct {
 // one context per core; LC cores carry several contexts each); callers
 // comparing worker counts must pass the same cell geometry for each —
 // ParallelSpeedup does — or the cycle ratio mixes in hardware scaling.
-func (r *Runner) RunParallelDSS(cell Cell, q, workers int, seed int64) (ParallelDSSResult, error) {
+// An optional join mode pins the hash-join strategy of joining plans
+// (Q13); omitted, the auto policy decides per worker partition.
+func (r *Runner) RunParallelDSS(cell Cell, q, workers int, seed int64, mode ...engine.JoinMode) (ParallelDSSResult, error) {
 	if workers <= 0 {
 		return ParallelDSSResult{}, fmt.Errorf("core: parallel DSS with %d workers", workers)
 	}
@@ -73,6 +75,10 @@ func (r *Runner) RunParallelDSS(cell Cell, q, workers int, seed int64) (Parallel
 		recs[w], streams[w] = rec, s
 		chip.AddThread(s)
 		ctxs[w] = h.DB.NewCtx(rec, 64+w, 64<<20)
+		ctxs[w].Join = r.Join
+		if len(mode) > 0 {
+			ctxs[w].JoinMode = mode[0]
+		}
 	}
 
 	p := workload.RandomParams(rand.New(rand.NewSource(seed)))

@@ -47,6 +47,12 @@ type Runner struct {
 	// value discards them.
 	Sched obs.SchedMetrics
 
+	// Join, when set, receives hash-join build observations — chain-length
+	// distribution, partition fan-out — from the traced DSS runs. The zero
+	// value discards them. Native (wall-clock) sweeps never observe: the
+	// chain walk would tax the timed loop.
+	Join obs.JoinMetrics
+
 	mu   sync.Mutex
 	tpcc *workload.TPCC
 	tpch *workload.TPCH

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -45,8 +46,9 @@ func (r VecDSSResult) Throughput() float64 {
 
 // RunVecDSS executes one serial query (1, 6, or 13) to completion on a
 // fresh chip described by cell, on the vectorized executor or the
-// row-at-a-time reference path.
-func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64) (VecDSSResult, error) {
+// row-at-a-time reference path. An optional join mode pins the hash-join
+// strategy of joining plans (Q13); omitted, the auto policy decides.
+func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64, mode ...engine.JoinMode) (VecDSSResult, error) {
 	if q != 1 && q != 6 && q != 13 {
 		return VecDSSResult{}, fmt.Errorf("core: vectorized DSS query %d (have 1, 6, 13)", q)
 	}
@@ -59,6 +61,10 @@ func (r *Runner) RunVecDSS(cell Cell, q int, vectorized bool, seed int64) (VecDS
 	rec, s := trace.Pipe()
 	chip.AddThread(s)
 	ctx := h.DB.NewCtx(rec, 72, 64<<20)
+	ctx.Join = r.Join
+	if len(mode) > 0 {
+		ctx.JoinMode = mode[0]
+	}
 
 	p := workload.RandomParams(rand.New(rand.NewSource(seed)))
 	var rows int

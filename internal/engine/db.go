@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -213,6 +214,14 @@ type Ctx struct {
 	Rec  *trace.Recorder
 	DB   *DB
 	Work *mem.Arena // per-worker workspace for hash tables and results
+
+	// JoinMode is the hash-join strategy operators fall back to when
+	// their plan does not pin one (see JoinMode); the zero value is
+	// JoinAuto.
+	JoinMode JoinMode
+	// Join receives join-build observations (chain lengths, partition
+	// fanout); the zero value discards them.
+	Join obs.JoinMetrics
 }
 
 // NewCtx builds an execution context with a private workspace of workBytes

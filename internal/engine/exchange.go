@@ -315,12 +315,19 @@ type ParallelHashJoin struct {
 	ProbeCol    int // key column in the probe schema
 	Type        JoinType
 	Ctxs        []*Ctx
+	// Mode pins the per-partition build strategy: JoinPartitioned radix-
+	// splits each worker's partition into cache-sized sub-tables; JoinAuto
+	// decides from the per-worker partition size. JoinPrefetch falls back
+	// to chained here — the probe is row-at-a-time per worker, and the
+	// workers' own overlap already provides the memory-level parallelism
+	// the serial prefetch modes recover.
+	Mode JoinMode
 
 	out              Schema
 	buildChildren    []Op
 	probeChildren    []Op
 	buildVecChildren []VecOp
-	parts            []*HashTable
+	parts            []*PartedTable
 	ex               *Exchange
 	code             mem.CodeSeg
 }
@@ -453,8 +460,10 @@ func (j *ParallelHashJoin) Open(ctx *Ctx) error {
 	}
 
 	// Phase 2 — build: worker p assembles partition p's hash table from
-	// every scatter buffer targeting it.
-	j.parts = make([]*HashTable, nw)
+	// every scatter buffer targeting it. In partitioned mode the worker
+	// radix-splits its partition into cache-sized sub-tables (the rows are
+	// already staged, so the split costs only routing, not another copy).
+	j.parts = make([]*PartedTable, nw)
 	for p := 0; p < nw; p++ {
 		wg.Add(1)
 		go func(p int) {
@@ -464,18 +473,39 @@ func (j *ParallelHashJoin) Open(ctx *Ctx) error {
 			for w := 0; w < nw; w++ {
 				n += len(scatter[w][p])
 			}
-			ht := NewHashTable(wctx, n+1, bWidth)
+			mode := resolveJoinMode(j.Mode, wctx, n+1, htEntryHeader+bWidth)
+			sub := 1
+			if mode == JoinPartitioned {
+				sub = joinParts(n+1, htEntryHeader+bWidth)
+			}
+			mask := uint64(sub - 1)
+			counts := make([]int, sub)
+			if sub > 1 {
+				for w := 0; w < nw; w++ {
+					for _, r := range scatter[w][p] {
+						counts[int(mix(uint64(RowInt(r.b, bOff)))>>radixShift&mask)]++
+					}
+				}
+			} else {
+				counts[0] = n
+			}
+			pt := &PartedTable{tables: make([]*HashTable, sub), mask: mask}
+			for s := 0; s < sub; s++ {
+				pt.tables[s] = NewHashTable(wctx, counts[s]+1, bWidth)
+			}
 			for w := 0; w < nw; w++ {
 				for _, r := range scatter[w][p] {
+					key := uint64(RowInt(r.b, bOff))
 					wctx.Rec.Exec(j.code, 45)
 					wctx.Rec.LoadRange(r.at, len(r.b))
-					ht.Insert(wctx.Rec, uint64(RowInt(r.b, bOff)), r.b)
+					pt.Table(key).Insert(wctx.Rec, key, r.b)
 				}
 			}
-			j.parts[p] = ht
+			j.parts[p] = pt
 		}(p)
 	}
 	wg.Wait()
+	j.observeBuild(ctx)
 
 	// Phase 3 — probe, gathered through an exchange.
 	j.ex = &Exchange{
@@ -494,6 +524,29 @@ func (j *ParallelHashJoin) Close(ctx *Ctx) {
 		j.ex.Close(ctx)
 	}
 	j.parts = nil
+}
+
+// observeBuild feeds the finished partition tables into the gather
+// context's join metrics (see HashJoinVec.observeBuild): one build event
+// for the whole join, the total sub-table fan-out across worker
+// partitions, and — when a histogram is attached — every chain length.
+func (j *ParallelHashJoin) observeBuild(ctx *Ctx) {
+	tables := 0
+	for _, pt := range j.parts {
+		tables += pt.Parts()
+	}
+	mode := JoinChained
+	if tables > len(j.parts) {
+		mode = JoinPartitioned
+	}
+	m := mode.String()
+	ctx.Join.Builds.With(m).Inc()
+	ctx.Join.Partitions.With(m).Add(uint64(tables))
+	if h := ctx.Join.ChainLen; h != nil {
+		for _, pt := range j.parts {
+			pt.ChainLengths(func(n int) { h.Observe(float64(n)) })
+		}
+	}
 }
 
 // probeOp streams one worker's probe rows against the shared (read-only)

@@ -28,10 +28,18 @@ type HashTable struct {
 const htEntryHeader = 16
 
 // NewHashTable builds a table sized for roughly expected entries with
-// fixed-width payloads.
+// fixed-width payloads. The bucket array targets two buckets per expected
+// entry but is clamped to a quarter of the workspace still free, so a
+// huge (or wrong) cardinality hint degrades to longer chains instead of
+// overflowing the doubling loop or panicking inside Arena.Alloc.
 func NewHashTable(ctx *Ctx, expected, payloadW int) *HashTable {
+	free := ctx.Work.Size() - ctx.Work.Used()
+	maxNB := uint64(16)
+	for maxNB*8*2 <= uint64(free)/4 && maxNB < 1<<30 {
+		maxNB *= 2
+	}
 	nb := uint64(16)
-	for nb < uint64(expected)*2 {
+	for expected > 0 && nb < uint64(expected)*2 && nb < maxNB {
 		nb *= 2
 	}
 	h := &HashTable{
@@ -110,8 +118,15 @@ func (h *HashTable) Insert(rec *trace.Recorder, key uint64, payload []byte) ([]b
 func (h *HashTable) BucketOf(key uint64) mem.Addr { return h.bucketAddr(key) }
 
 // BucketsOf appends every key's bucket-head address to out — BucketOf
-// over a whole block of precomputed keys in one monomorphic loop.
+// over a whole block of precomputed keys in one monomorphic loop. The
+// output is reserved up front so steady-state probe loops reusing one
+// scratch slice never regrow it mid-block.
 func (h *HashTable) BucketsOf(keys []uint64, out []mem.Addr) []mem.Addr {
+	if need := len(out) + len(keys); cap(out) < need {
+		grown := make([]mem.Addr, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
 	for _, k := range keys {
 		out = append(out, h.bucketAddr(k))
 	}
@@ -151,6 +166,33 @@ func (h *HashTable) InsertBatch(keys []uint64, buf []byte, stride int, rows []in
 		binary.LittleEndian.PutUint64(bm, uint64(ea))
 	}
 	h.n += n
+}
+
+// LinkEntry adopts one entry-shaped record — the [next u64][key u64]
+// [payload] layout RadixPart stages, at simulated address ea backed by
+// eb — as this table's entry: it is pushed onto its bucket's chain by
+// writing only its next word and the bucket head, so the radix build
+// links rows where they were staged instead of copying them again.
+// Head-insertion in arrival order makes chain order identical to
+// Insert/InsertBatch over the same input order. Traced, it charges the
+// dependent bucket-head load and the two header stores; the record
+// itself was stored (and charged) at staging time.
+func (h *HashTable) LinkEntry(rec *trace.Recorder, key uint64, ea mem.Addr, eb []byte) {
+	ba := h.bucketAddr(key)
+	bm := h.arena.Bytes(ba, 8)
+	if rec != nil {
+		rec.Exec(h.code, 12)
+		// The bucket address is computed from the just-staged key: a
+		// dependent access, same as Insert's.
+		rec.Load(ba, true)
+	}
+	binary.LittleEndian.PutUint64(eb[0:8], binary.LittleEndian.Uint64(bm))
+	binary.LittleEndian.PutUint64(bm, uint64(ea))
+	if rec != nil {
+		rec.Store(ea)
+		rec.Store(ba)
+	}
+	h.n++
 }
 
 // Iter walks all entries matching key, calling fn with each payload and
@@ -199,6 +241,144 @@ func (h *HashTable) matchesNative(ba mem.Addr, key uint64, out [][]byte) [][]byt
 		cur = binary.LittleEndian.Uint64(eb[0:8])
 	}
 	return out
+}
+
+// probeLanes is how many chain walks the batched native probe keeps in
+// flight: enough independent loads per round that an out-of-order host
+// core overlaps their cache misses (AMAC-style memory-level parallelism),
+// small enough that the lane state stays register/L1-resident.
+const probeLanes = 16
+
+// laneMatches is the reusable per-lane match staging of one batch-probe
+// group; emission drains lanes in key order so output order is identical
+// to walking the chains one key at a time.
+type laneMatches struct {
+	rows [probeLanes][][]byte
+}
+
+// ProbeBatchNative walks the chains of up to probeLanes keys lock-step —
+// each round issues one independent entry load per live lane, so the
+// host's out-of-order window overlaps what a one-key-at-a-time walk
+// serializes — and calls emit with every match in (key index, chain
+// order), byte-identical to per-key matchesNative. bas[k] must be keys[k]'s
+// bucket-head address; lm is reusable scratch.
+func (h *HashTable) ProbeBatchNative(bas []mem.Addr, keys []uint64, lm *laneMatches, emit func(k int, row []byte)) {
+	buf, base := h.arena.Raw()
+	var cur [probeLanes]mem.Addr
+	for g := 0; g < len(keys); g += probeLanes {
+		n := len(keys) - g
+		if n > probeLanes {
+			n = probeLanes
+		}
+		live := 0
+		for l := 0; l < n; l++ {
+			lm.rows[l] = lm.rows[l][:0]
+			cur[l] = mem.Addr(binary.LittleEndian.Uint64(buf[bas[g+l]-base:]))
+			if cur[l] != 0 {
+				live++
+			}
+		}
+		for live > 0 {
+			for l := 0; l < n; l++ {
+				if cur[l] == 0 {
+					continue
+				}
+				eo := cur[l] - base
+				eb := buf[eo : eo+mem.Addr(h.entryW)]
+				if binary.LittleEndian.Uint64(eb[8:16]) == keys[g+l] {
+					lm.rows[l] = append(lm.rows[l], eb[htEntryHeader:])
+				}
+				cur[l] = mem.Addr(binary.LittleEndian.Uint64(eb[0:8]))
+				if cur[l] == 0 {
+					live--
+				}
+			}
+		}
+		for l := 0; l < n; l++ {
+			for _, row := range lm.rows[l] {
+				emit(g+l, row)
+			}
+		}
+	}
+}
+
+// ProbeBatchTraced is ProbeBatchNative's traced twin: the same lock-step
+// multi-lane chain walk, with every lane's next line software-prefetched
+// one round ahead (AMAC-style), so the dependent loads that serialize a
+// one-key-at-a-time walk arrive warmed — the other lanes' work is the
+// prefetch distance. Instruction charges match IterAt (one probe charge
+// per key, one load per chain entry, payload loads on match), and match
+// order is byte-identical to per-key IterAt walks.
+func (h *HashTable) ProbeBatchTraced(rec *trace.Recorder, bas []mem.Addr, keys []uint64, lm *laneMatches, emit func(k int, row []byte)) {
+	var cur [probeLanes]mem.Addr
+	for g := 0; g < len(keys); g += probeLanes {
+		n := len(keys) - g
+		if n > probeLanes {
+			n = probeLanes
+		}
+		// Bucket heads: prefetched as a group, then loaded. The head
+		// addresses come from the block's up-front key pass, not from any
+		// in-flight load, so the loads are independent and overlap.
+		for l := 0; l < n; l++ {
+			lm.rows[l] = lm.rows[l][:0]
+			rec.Prefetch(bas[g+l])
+		}
+		live := 0
+		for l := 0; l < n; l++ {
+			rec.Exec(h.code, 35)
+			rec.Load(bas[g+l], false)
+			cur[l] = mem.Addr(binary.LittleEndian.Uint64(h.arena.Bytes(bas[g+l], 8)))
+			if cur[l] != 0 {
+				rec.Prefetch(cur[l])
+				live++
+			}
+		}
+		for live > 0 {
+			for l := 0; l < n; l++ {
+				if cur[l] == 0 {
+					continue
+				}
+				ea := cur[l]
+				eb := h.arena.Bytes(ea, h.entryW)
+				rec.Load(ea, true)
+				if binary.LittleEndian.Uint64(eb[8:16]) == keys[g+l] {
+					if h.payloadW > 0 {
+						rec.LoadRange(ea+htEntryHeader, h.payloadW)
+					}
+					lm.rows[l] = append(lm.rows[l], eb[htEntryHeader:])
+				}
+				cur[l] = mem.Addr(binary.LittleEndian.Uint64(eb[0:8]))
+				if cur[l] != 0 {
+					rec.Prefetch(cur[l])
+				} else {
+					live--
+				}
+			}
+		}
+		for l := 0; l < n; l++ {
+			for _, row := range lm.rows[l] {
+				emit(g+l, row)
+			}
+		}
+	}
+}
+
+// ChainLengths calls observe with the length of every non-empty bucket
+// chain — a native walk for observability (engine_hash_chain_len), so it
+// charges no simulated work.
+func (h *HashTable) ChainLengths(observe func(n int)) {
+	buf, base := h.arena.Raw()
+	for b := uint64(0); b < h.nbuckets; b++ {
+		cur := binary.LittleEndian.Uint64(buf[h.buckets+mem.Addr(b*8)-base:])
+		n := 0
+		for cur != 0 {
+			n++
+			cur = binary.LittleEndian.Uint64(buf[mem.Addr(cur)-base:])
+		}
+		if n > 0 {
+			observe(n)
+		}
+	}
 }
 
 // Lookup returns the first payload for key (nil when absent) and its

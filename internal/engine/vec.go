@@ -1475,19 +1475,37 @@ type HashJoinVec struct {
 	// pre-sized from (default 4096); plans pass it so a large build never
 	// degenerates into long chains.
 	Expected int
+	// BuildRows is the expected build-side entry count — rows inserted,
+	// not distinct keys — used to size the partitioned mode's radix
+	// fan-out and the auto-mode footprint estimate; 0 defaults to
+	// Expected. Dup-heavy builds (many rows per distinct key) set both:
+	// Expected covers the bucket count a chained table needs, BuildRows
+	// the entry volume the partitions must spread under JoinPartBudget.
+	BuildRows int
 	// Interpret disables the compiled key kernels and the whole-block
 	// build insert, keeping the per-row PR 8 loops (the golden
 	// reference; the kernels produce identical key bits and chain
 	// order).
 	Interpret bool
+	// Mode pins the join strategy; JoinAuto (the zero value) defers to
+	// the context's mode and then to the build-size estimate (see
+	// resolveJoinMode). Every mode emits byte-identical results — only
+	// the cache behaviour of the build and probe changes.
+	Mode JoinMode
 
 	out      Schema
-	ht       *HashTable
+	mode     JoinMode     // resolved at Open
+	ht       *HashTable   // chained/prefetch build
+	pt       *PartedTable // partitioned build
 	blk      *Block
 	probeBlk *Block
 	probeIdx int      // next live ordinal within the probe scratch arrays
 	curRow   []byte   // probe row whose matches are being emitted
-	pending  [][]byte // remaining matches of curRow (stable ht payloads)
+	pending  [][]byte // matches of curRow (stable ht payloads)
+	pendPos  int      // next pending match to emit — an index, so the
+	// drain never re-slices pending's head away and its capacity
+	// survives from key to key (re-slicing eroded cap one row per emit,
+	// reallocating the scratch tens of thousands of times per query)
 	// Batch-probe scratch, filled once per probe block: the live rows'
 	// physical indexes, their join keys, and the keys' bucket addresses
 	// (hashed up front, pure host arithmetic; the traced chain walks then
@@ -1495,12 +1513,25 @@ type HashJoinVec struct {
 	probeRows    []int32
 	probeKeys    []uint64
 	probeBuckets []mem.Addr
+	probeTabs    []*HashTable // partitioned mode: each key's partition table
 	keyOff       int
 	probeW       int
 	buildKernel  KeyKernel
 	probeKernel  KeyKernel
 	buildKeys    []uint64 // batch scratch: one build block's keys
-	code         mem.CodeSeg
+	// Prefetch-mode batch scratch: matches in (key index, chain order),
+	// produced by the multi-lane walk and drained by the per-key emission
+	// loop. Traced runs stage a whole block; native runs walk one
+	// probeLanes group on demand (nextProbeGroup), so the arrays stay a
+	// few lanes deep.
+	lanes     laneMatches
+	batchOrd  []int32
+	batchRow  [][]byte
+	batchPos  int
+	batchNext int // native prefetch: first ordinal the group walk has not covered
+	batchBase int // ordinal offset of the staged group (0 for whole-block traced walks)
+	stage     func(k int, row []byte)
+	code      mem.CodeSeg
 }
 
 // Schema implements VecOp.
@@ -1517,7 +1548,7 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 	j.code = ctx.DB.Codes.Register("op:hashjoinvec", 4096)
 	j.keyOff = j.Probe.Schema().Offsets()[j.ProbeCol]
 	j.probeW = j.Probe.Schema().RowWidth()
-	j.probeBlk, j.probeIdx, j.curRow, j.pending = nil, 0, nil, nil
+	j.probeBlk, j.probeIdx, j.curRow, j.pending, j.pendPos = nil, 0, nil, nil, 0
 	j.probeRows = j.probeRows[:0]
 
 	bOff := j.Build.Schema().Offsets()[j.BuildCol]
@@ -1535,7 +1566,24 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 	if expected == 0 {
 		expected = 4096
 	}
-	j.ht = NewHashTable(ctx, expected, bWidth)
+	buildRows := j.BuildRows
+	if buildRows == 0 {
+		buildRows = expected
+	}
+	j.mode = resolveJoinMode(j.Mode, ctx, buildRows, htEntryHeader+bWidth)
+	j.ht, j.pt = nil, nil
+	var rp *RadixPart
+	if j.mode == JoinPartitioned {
+		rp = NewRadixPart(ctx, joinParts(buildRows, htEntryHeader+bWidth), bWidth, expected, buildRows)
+	} else {
+		j.ht = NewHashTable(ctx, expected, bWidth)
+	}
+	if j.stage == nil {
+		j.stage = func(k int, row []byte) {
+			j.batchOrd = append(j.batchOrd, int32(j.batchBase+k))
+			j.batchRow = append(j.batchRow, row)
+		}
+	}
 	for {
 		blk, ok, err := j.Build.NextBlock(ctx)
 		if err != nil {
@@ -1548,32 +1596,64 @@ func (j *HashJoinVec) Open(ctx *Ctx) error {
 		blk.TraceRows(ctx.Rec)
 		if ctx.Rec == nil && j.buildKernel != nil {
 			// Native whole-block build: compiled key extraction feeding
-			// the table's batch insert. Chain order matches the per-row
-			// path exactly.
-			j.insertBatch(blk)
+			// the table's (or radix pass's) batch insert. Chain order
+			// matches the per-row path exactly.
+			j.insertBatch(rp, blk)
 			continue
+		}
+		insert := func(row []byte) {
+			key := uint64(RowInt(row, bOff))
+			if rp != nil {
+				rp.Add(key, row)
+			} else {
+				j.ht.Insert(ctx.Rec, key, row)
+			}
 		}
 		if blk.Sel != nil {
 			for _, i := range blk.Sel {
-				row := blk.RowAt(int(i))
-				j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+				insert(blk.RowAt(int(i)))
 			}
 		} else {
 			n := blk.N()
 			for i := 0; i < n; i++ {
-				row := blk.RowAt(i)
-				j.ht.Insert(ctx.Rec, uint64(RowInt(row, bOff)), row)
+				insert(blk.RowAt(i))
 			}
 		}
 	}
+	if rp != nil {
+		j.pt = rp.Build()
+	}
+	j.observeBuild(ctx)
 	return j.Probe.Open(ctx)
+}
+
+// observeBuild feeds the finished build into the context's join metrics:
+// build/partition counters by mode, and — only when a chain-length
+// histogram is attached, since the walk is pure observability — the
+// bucket-chain length distribution.
+func (j *HashJoinVec) observeBuild(ctx *Ctx) {
+	m := j.mode.String()
+	ctx.Join.Builds.With(m).Inc()
+	parts := uint64(1)
+	if j.pt != nil {
+		parts = uint64(j.pt.Parts())
+	}
+	ctx.Join.Partitions.With(m).Add(parts)
+	if h := ctx.Join.ChainLen; h != nil {
+		observe := func(n int) { h.Observe(float64(n)) }
+		if j.pt != nil {
+			j.pt.ChainLengths(observe)
+		} else {
+			j.ht.ChainLengths(observe)
+		}
+	}
 }
 
 // Close implements VecOp.
 func (j *HashJoinVec) Close(ctx *Ctx) {
 	j.Probe.Close(ctx)
-	j.ht = nil
-	j.probeBlk, j.curRow, j.pending = nil, nil, nil
+	j.ht, j.pt = nil, nil
+	j.probeBlk, j.curRow, j.pending, j.pendPos = nil, nil, nil, 0
 }
 
 // emit appends curRow ++ build to the output block.
@@ -1597,9 +1677,9 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 	}
 	j.blk.Reset()
 	for j.blk.N() < j.blk.Cap() {
-		if len(j.pending) > 0 {
-			j.emit(j.pending[0])
-			j.pending = j.pending[1:]
+		if j.pendPos < len(j.pending) {
+			j.emit(j.pending[j.pendPos])
+			j.pendPos++
 			continue
 		}
 		if j.probeBlk == nil || j.probeIdx >= len(j.probeRows) {
@@ -1615,19 +1695,44 @@ func (j *HashJoinVec) NextBlock(ctx *Ctx) (*Block, bool, error) {
 			ctx.Rec.Exec(j.code, vecBlockCost+blk.N()*vecProbeCost)
 			blk.TraceRows(ctx.Rec)
 			j.hashProbeBlock(blk)
+			if j.batched(ctx) {
+				j.batchOrd, j.batchRow = j.batchOrd[:0], j.batchRow[:0]
+				j.batchPos, j.batchNext = 0, 0
+				if ctx.Rec != nil {
+					// The traced walk covers the whole block up front,
+					// prefetch-pipelining the chain loads (AMAC). Native
+					// runs instead walk one lane group on demand as the
+					// drain loop reaches it (nextProbeGroup), keeping the
+					// staging arrays lane-sized and cache-hot through the
+					// drain.
+					j.batchBase = 0
+					j.ht.ProbeBatchTraced(ctx.Rec, j.probeBuckets, j.probeKeys, &j.lanes, j.stage)
+				}
+			}
 			continue
 		}
 		k := j.probeIdx
 		j.probeIdx++
 		j.curRow = j.probeBlk.RowAt(int(j.probeRows[k]))
-		j.pending = j.pending[:0]
-		if ctx.Rec == nil && j.probeKernel != nil {
+		j.pending, j.pendPos = j.pending[:0], 0
+		switch {
+		case j.batched(ctx):
+			if ctx.Rec == nil && k >= j.batchNext {
+				j.nextProbeGroup()
+			}
+			// Matches were staged by the batched walk, already in (key,
+			// chain) order; take this key's consecutive run.
+			for j.batchPos < len(j.batchOrd) && int(j.batchOrd[j.batchPos]) == k {
+				j.pending = append(j.pending, j.batchRow[j.batchPos])
+				j.batchPos++
+			}
+		case ctx.Rec == nil && j.probeKernel != nil:
 			// Native: walk the chain inline — no per-entry callback, no
 			// trace bookkeeping. Chain order (and so emission order) is
 			// exactly IterAt's.
-			j.pending = j.ht.matchesNative(j.probeBuckets[k], j.probeKeys[k], j.pending)
-		} else {
-			j.ht.IterAt(ctx.Rec, j.probeBuckets[k], j.probeKeys[k], func(payload []byte, _ mem.Addr) bool {
+			j.pending = j.table(k).matchesNative(j.probeBuckets[k], j.probeKeys[k], j.pending)
+		default:
+			j.table(k).IterAt(ctx.Rec, j.probeBuckets[k], j.probeKeys[k], func(payload []byte, _ mem.Addr) bool {
 				j.pending = append(j.pending, payload)
 				return true
 			})
@@ -1662,11 +1767,23 @@ func (j *HashJoinVec) hashProbeBlock(blk *Block) {
 		}
 		j.probeKeys = j.probeKeys[:n]
 		j.probeKernel(blk.buf, blk.rowW, j.probeRows, n, j.probeKeys)
+		if j.pt != nil {
+			j.routePartitions()
+			return
+		}
 		j.probeBuckets = j.ht.BucketsOf(j.probeKeys, j.probeBuckets[:0])
 		return
 	}
 	j.probeKeys = j.probeKeys[:0]
 	j.probeBuckets = j.probeBuckets[:0]
+	if j.pt != nil {
+		for _, i := range j.probeRows {
+			key := uint64(RowInt(blk.RowAt(int(i)), j.keyOff))
+			j.probeKeys = append(j.probeKeys, key)
+		}
+		j.routePartitions()
+		return
+	}
 	for _, i := range j.probeRows {
 		key := uint64(RowInt(blk.RowAt(int(i)), j.keyOff))
 		j.probeKeys = append(j.probeKeys, key)
@@ -1674,10 +1791,90 @@ func (j *HashJoinVec) hashProbeBlock(blk *Block) {
 	}
 }
 
-// insertBatch drains one native build block into the hash table: the
-// compiled key kernel extracts every live key, then InsertBatch pushes
-// the entries in row order.
-func (j *HashJoinVec) insertBatch(blk *Block) {
+// routePartitions resolves every probe key of the block to its partition
+// (index and table) and that table's bucket head — host arithmetic plus
+// table metadata, no simulated memory traffic, same as hashing ahead of
+// IterAt.
+func (j *HashJoinVec) routePartitions() {
+	n := len(j.probeKeys)
+	if cap(j.probeTabs) < n {
+		j.probeTabs = make([]*HashTable, n)
+	}
+	j.probeTabs = j.probeTabs[:n]
+	if cap(j.probeBuckets) < n {
+		j.probeBuckets = make([]mem.Addr, n)
+	}
+	j.probeBuckets = j.probeBuckets[:n]
+	for k, key := range j.probeKeys {
+		// One hash yields both the partition (top bits) and the bucket
+		// (low bits) — identical to partOf + bucketAddr on the same key.
+		h := mix(key)
+		p := int(h >> radixShift & j.pt.mask)
+		tab := j.pt.tables[p]
+		j.probeTabs[k] = tab
+		j.probeBuckets[k] = tab.buckets + mem.Addr(h&(tab.nbuckets-1))*8
+	}
+}
+
+// nextProbeGroup walks the next probeLanes keys' chains through the
+// multi-lane batch walk, staging their matches. The native batched drain
+// calls it as it reaches each group, so staging stays lane-sized (and
+// cache-hot into the emission loop) instead of materializing a whole
+// block's matches. The walk reads only the precomputed bucket heads and
+// the shared arena, so one table serves it in every mode — partitioned
+// probes cross partition tables lane by lane without extra dispatch.
+func (j *HashJoinVec) nextProbeGroup() {
+	g := j.batchNext
+	n := len(j.probeKeys) - g
+	if n > probeLanes {
+		n = probeLanes
+	}
+	j.batchOrd, j.batchRow = j.batchOrd[:0], j.batchRow[:0]
+	j.batchPos = 0
+	j.batchBase = g
+	j.walkTable().ProbeBatchNative(j.probeBuckets[g:g+n], j.probeKeys[g:g+n], &j.lanes, j.stage)
+	j.batchNext = g + n
+}
+
+// walkTable returns a table whose batch walk serves this join's probes:
+// the chained table, or (partitioned) any partition table — the walk
+// uses only the shared arena and the entry width, identical across
+// partitions.
+func (j *HashJoinVec) walkTable() *HashTable {
+	if j.pt != nil {
+		return j.pt.tables[0]
+	}
+	return j.ht
+}
+
+// table returns the hash table serving probe ordinal k: the single
+// chained table, or the key's radix partition.
+func (j *HashJoinVec) table(k int) *HashTable {
+	if j.pt != nil {
+		return j.probeTabs[k]
+	}
+	return j.ht
+}
+
+// batched reports whether this execution probes through the multi-lane
+// batch walk. Prefetch mode: always when traced (the prefetch pipeline
+// is the point), natively with a compiled key kernel (the interpreted
+// reference keeps its per-row walks). Partitioned mode: natively with a
+// compiled kernel — the same group-on-demand walk, over the partition
+// tables' precomputed bucket heads; traced partitioned runs keep their
+// per-key dependent walks, whose cache behaviour on cache-sized tables
+// is what the partitioned trace is for.
+func (j *HashJoinVec) batched(ctx *Ctx) bool {
+	if j.mode == JoinPrefetch {
+		return ctx.Rec != nil || j.probeKernel != nil
+	}
+	return j.mode == JoinPartitioned && ctx.Rec == nil && j.probeKernel != nil
+}
+
+// insertBatch drains one native build block into the hash table (or, in
+// partitioned mode, the radix pass): the compiled key kernel extracts
+// every live key, then the batch insert pushes the entries in row order.
+func (j *HashJoinVec) insertBatch(rp *RadixPart, blk *Block) {
 	n := blk.Live()
 	if n == 0 {
 		return
@@ -1687,6 +1884,10 @@ func (j *HashJoinVec) insertBatch(blk *Block) {
 	}
 	keys := j.buildKeys[:n]
 	j.buildKernel(blk.buf, blk.rowW, blk.Sel, n, keys)
+	if rp != nil {
+		rp.AddBlockNative(keys, blk.buf, blk.rowW, blk.Sel, n)
+		return
+	}
 	j.ht.InsertBatch(keys, blk.buf, blk.rowW, blk.Sel, n)
 }
 

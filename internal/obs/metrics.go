@@ -411,6 +411,35 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// JoinMetrics bundles the hash-join internals a driver can hand down
+// into join builds (nil fields are simply not fed): the bucket-chain
+// length distribution at build completion and per-mode build/partition
+// counters, which together show how radix partitioning shortens the
+// dependent-load chains behind the paper's DSS data stalls.
+type JoinMetrics struct {
+	// ChainLen observes every non-empty bucket chain's length when a
+	// join build finishes.
+	ChainLen *Histogram
+	// Builds counts completed join builds by join mode; Partitions
+	// counts the partition tables those builds fanned out into (a
+	// chained build counts one), so Partitions/Builds is the fanout.
+	Builds     *CounterVec
+	Partitions *CounterVec
+}
+
+// NewJoinMetrics registers the engine join families on r.
+func NewJoinMetrics(r *Registry) JoinMetrics {
+	return JoinMetrics{
+		ChainLen: r.Histogram("engine_hash_chain_len",
+			"Hash-join bucket chain lengths at build completion.",
+			LogBuckets(1, 2, 8)),
+		Builds: r.CounterVec("engine_join_builds_total",
+			"Completed hash-join builds by join mode.", "mode"),
+		Partitions: r.CounterVec("engine_join_partitions_total",
+			"Partition hash tables created by join builds, by join mode.", "mode"),
+	}
+}
+
 // SchedMetrics bundles the scheduler-internals histograms a driver can
 // hand down into cohort-scheduled runs (nil fields are simply not fed).
 type SchedMetrics struct {

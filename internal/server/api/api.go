@@ -35,8 +35,12 @@ type QueryRequest struct {
 	NativeWorkers []int `json:"native_workers,omitempty"`
 	// ZeroCopy additionally measures each native worker count with
 	// borrowed page-aliasing scan blocks (copy vs borrow side by side).
-	ZeroCopy bool  `json:"zero_copy,omitempty"`
-	Seed     int64 `json:"seed,omitempty"`
+	ZeroCopy bool `json:"zero_copy,omitempty"`
+	// JoinMode pins the hash-join strategy of joining plans (Q13):
+	// "chained", "partitioned", "prefetch", or ""/"auto" for the
+	// build-size policy.
+	JoinMode string `json:"join_mode,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
 	// Async makes the server return 202 with a queued Job instead of
 	// blocking until the measurement completes.
 	Async bool `json:"async,omitempty"`
@@ -63,8 +67,9 @@ func (q QueryRequest) ToCore() (core.Request, error) {
 		Mode: mode, Query: q.Query, Clients: q.Clients,
 		Workers: q.Workers, WorkerCounts: q.WorkerCounts,
 		NativeWorkers: q.NativeWorkers, NativeZeroCopy: q.ZeroCopy,
-		Seed:  q.Seed,
-		Trace: q.Trace,
+		JoinMode: q.JoinMode,
+		Seed:     q.Seed,
+		Trace:    q.Trace,
 	}, nil
 }
 
@@ -137,6 +142,7 @@ type NativeRun struct {
 	Workers     int     `json:"workers"`
 	Interpreted bool    `json:"interpreted,omitempty"`
 	Borrowed    bool    `json:"borrowed,omitempty"`
+	JoinMode    string  `json:"join_mode,omitempty"`
 	Rows        int     `json:"rows_scanned"`
 	Nanos       int64   `json:"nanos"`
 	MedianNanos int64   `json:"median_nanos"`
@@ -215,7 +221,8 @@ func FromCore(res core.Result) Result {
 		out.Native = append(out.Native, NativeRun{
 			Query: n.Query, Workers: n.Workers,
 			Interpreted: n.Interpreted, Borrowed: n.Borrowed,
-			Rows: n.Rows, Nanos: n.Nanos,
+			JoinMode: n.JoinMode,
+			Rows:     n.Rows, Nanos: n.Nanos,
 			MedianNanos: n.MedianNanos, IQRNanos: n.IQRNanos,
 			RowsPerSec: n.RowsPerSec,
 			Bytes:      n.BytesScanned, GBPerSec: n.GBPerSec,

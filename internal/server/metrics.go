@@ -57,6 +57,11 @@ type Metrics struct {
 	// Sched receives scheduler-internals observations from inside every
 	// staged-OLTP run (plumbed down through core.Runner.Sched).
 	Sched obs.SchedMetrics
+
+	// Join receives hash-join build observations — chain-length
+	// distribution, partition fan-out by join mode — from inside every
+	// traced DSS run (plumbed down through core.Runner.Join).
+	Join obs.JoinMetrics
 }
 
 // NewMetrics builds the server metric set on a fresh registry.
@@ -90,6 +95,7 @@ func NewMetrics() *Metrics {
 			QuantumSteps: r.Histogram("dbserver_sched_quantum_steps", "Continuation steps executed per scheduling quantum.", stepsBuckets),
 			ParkQuanta:   r.Histogram("dbserver_sched_park_quanta", "Quanta a transaction stayed parked before resuming.", stepsBuckets),
 		},
+		Join: obs.NewJoinMetrics(r),
 	}
 }
 

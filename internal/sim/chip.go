@@ -187,6 +187,9 @@ func (ch *Chip) Warm(refs int) {
 				ch.hier.WarmRead(core, r.Addr())
 			case trace.Store:
 				ch.hier.WarmWrite(core, r.Addr())
+			case trace.Prefetch:
+				// Warming has no clock, so a prefetch degenerates to a read.
+				ch.hier.WarmRead(core, r.Addr())
 			case trace.Mark:
 				// Free: stamp it (warming does not advance the clock)
 				// without consuming warm budget, so traced and untraced
@@ -239,6 +242,9 @@ func (ch *Chip) Run(maxCycles uint64) Result {
 	stats.Upgrades -= statsStart.Upgrades
 	stats.PortQueueCycles -= statsStart.PortQueueCycles
 	stats.BackInvalidations -= statsStart.BackInvalidations
+	stats.Prefetches -= statsStart.Prefetches
+	stats.PrefetchHits -= statsStart.PrefetchHits
+	stats.PrefetchLate -= statsStart.PrefetchLate
 
 	done := make([]uint64, len(ch.doneAt))
 	copy(done, ch.doneAt)

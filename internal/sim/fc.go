@@ -160,6 +160,12 @@ issue:
 		case trace.Mark:
 			// Span markers are free: no issue slot, no instruction.
 			c.chip.mark(t, r)
+		case trace.Prefetch:
+			// Software prefetch: starts the fill but takes no issue slot,
+			// no reorder-window entry, and no miss-queue slot (prefetch
+			// engines have their own request buffers); issue never stalls
+			// on it.
+			c.chip.hier.Prefetch(c.id, r.Addr(), now)
 		}
 	}
 	if issued == 0 {

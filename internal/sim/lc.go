@@ -107,6 +107,10 @@ issue:
 		case trace.Mark:
 			// Span markers are free: no issue slot, no instruction.
 			c.chip.mark(t, r)
+		case trace.Prefetch:
+			// Software prefetch: never blocks, even on an in-order core —
+			// the fill proceeds while the context keeps issuing.
+			c.chip.hier.Prefetch(c.id, r.Addr(), now)
 		}
 	}
 	if issued == 0 {

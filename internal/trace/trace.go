@@ -37,6 +37,12 @@ const (
 	// work actually executed. Marks consume no issue slots, no
 	// instructions, and no warming budget.
 	Mark
+	// Prefetch is a non-binding software prefetch of the line containing
+	// Addr: it warms the cache model ahead of a dependent use but retires
+	// without an issue slot, never blocks the core, and never counts as a
+	// demand miss. Prefetch shares the Load kind bits and is flagged by a
+	// bit Load records leave clear, so the two-bit packing is untouched.
+	Prefetch
 )
 
 func (k Kind) String() string {
@@ -49,6 +55,8 @@ func (k Kind) String() string {
 		return "store"
 	case Mark:
 		return "mark"
+	case Prefetch:
+		return "prefetch"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -66,6 +74,10 @@ const MaxExecCount = 1<<13 - 1
 
 const addrMask = 1<<48 - 1
 
+// prefetchBit distinguishes Prefetch from Load records: Load leaves bits
+// 3..15 clear, so bit 3 on a Load-kind record is free to carry the flag.
+const prefetchBit = 1 << 3
+
 // MakeExec builds an Exec record for n instructions at code address a.
 func MakeExec(a mem.Addr, n int) Ref {
 	if n <= 0 || n > MaxExecCount {
@@ -81,6 +93,11 @@ func MakeLoad(a mem.Addr, dep bool) Ref {
 		r |= 1 << 2
 	}
 	return r
+}
+
+// MakePrefetch builds a Prefetch record for the line containing a.
+func MakePrefetch(a mem.Addr) Ref {
+	return Ref(uint64(Load) | prefetchBit | uint64(a&addrMask)<<16)
 }
 
 // MakeStore builds a Store record.
@@ -115,7 +132,13 @@ func (r Ref) MarkID() uint64 { return uint64(r >> 3) }
 func (r Ref) MarkBegin() bool { return r&(1<<2) != 0 }
 
 // Kind returns the record kind.
-func (r Ref) Kind() Kind { return Kind(r & 3) }
+func (r Ref) Kind() Kind {
+	k := Kind(r & 3)
+	if k == Load && r&prefetchBit != 0 {
+		return Prefetch
+	}
+	return k
+}
 
 // Dep reports the dependence flag.
 func (r Ref) Dep() bool { return r&(1<<2) != 0 }
@@ -140,6 +163,8 @@ func (r Ref) String() string {
 			return fmt.Sprintf("mark begin %d", r.MarkID())
 		}
 		return fmt.Sprintf("mark end %d", r.MarkID())
+	case Prefetch:
+		return fmt.Sprintf("prefetch %#x", uint64(r.Addr()))
 	default:
 		return fmt.Sprintf("store %#x", uint64(r.Addr()))
 	}
@@ -192,6 +217,9 @@ type Recorder struct {
 	Instructions uint64
 	Loads        uint64
 	Stores       uint64
+	// Prefetches counts Prefetch records; they are hints, not workload,
+	// so they stay out of the Instructions/Loads model counters.
+	Prefetches uint64
 }
 
 // Stopped reports whether the consumer has closed the stream; workload
@@ -320,6 +348,18 @@ func (r *Recorder) LoadRangeDep(a mem.Addr, n int) {
 		r.emit(MakeLoad(l, dep))
 		dep = false
 	}
+}
+
+// Prefetch records a non-binding software prefetch of the line holding a.
+// The simulator warms the cache model with it but charges no issue slot:
+// a prefetched line that arrives before its dependent load turns that
+// load's L2-hit (or memory) stall into an L1 hit.
+func (r *Recorder) Prefetch(a mem.Addr) {
+	if r == nil || r.stopped {
+		return
+	}
+	r.Prefetches++
+	r.emit(MakePrefetch(a))
 }
 
 // Mark records a span begin/end marker. Marks do not count toward the

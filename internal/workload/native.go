@@ -29,6 +29,9 @@ type NativeOpts struct {
 	// are pinned and exposed in place instead of memmoved into the
 	// block's arena. Ignored on traced and Interpret runs.
 	ZeroCopy bool
+	// JoinMode pins the hash-join strategy of joining plans (Q13); the
+	// zero value defers to the context and then the auto policy.
+	JoinMode engine.JoinMode
 }
 
 // Q1Native is Q1 in its native fast-path shape: a predicate-free scan
@@ -122,9 +125,16 @@ func (h *TPCH) Q13Native(ctx *engine.Ctx, p QueryParams, o NativeOpts) ([][]engi
 			Cols: []int{os.Col("o_custkey"), os.Col("o_totalprice")},
 		},
 		ProbeCol: 0, BuildCol: 0,
-		Type:      engine.LeftOuter,
+		Type: engine.LeftOuter,
+		// Distinct keys (custkeys) size the bucket count; the order rows
+		// actually inserted size the radix fan-out — with ~10 orders per
+		// customer the two differ by 10x, and conflating them either
+		// wastes an oversized bucket array (chained) or under-partitions
+		// the build far past the cache budget (partitioned).
 		Expected:  h.nCustomers,
+		BuildRows: h.nOrders,
 		Interpret: o.Interpret,
+		Mode:      o.JoinMode,
 	}
 	// Join rows are custkey(8) ++ [o_custkey, o_totalprice]: the match
 	// tag's totalprice sits at byte 16, not the full-width plans' 24.

@@ -173,6 +173,7 @@ func (h *TPCH) Q13ParallelOpts(ctxs []*engine.Ctx, p QueryParams, o NativeOpts) 
 		},
 		ProbeCol: 0, BuildCol: os.Col("o_custkey"),
 		Type: engine.LeftOuter,
+		Mode: o.JoinMode,
 	}
 	return engine.Collect(ctxs[0], h.q13TailVecOpts(&engine.VecAdapter{Child: join}, o.Interpret, 8+16))
 }
